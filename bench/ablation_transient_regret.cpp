@@ -1,0 +1,83 @@
+// Ablation X9: what does convergence *cost*?  While DTU is still hunting for
+// the equilibrium, users pay the cost of interim thresholds.  This bench
+// measures the transient regret
+//
+//     R(T) = sum_{t<=T} [ W_t - W_eq ],
+//
+// where W_t is the realized population-average cost at iteration t and W_eq
+// the equilibrium cost, as a function of the step-size schedule — exposing
+// the practical trade-off behind (eta0, epsilon): faster schedules overshoot
+// more (pay spiky early regret), slower ones linger longer off-equilibrium.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "mec/core/dtu.hpp"
+#include "mec/core/mfne.hpp"
+#include "mec/io/csv.hpp"
+#include "mec/io/table.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+
+int main() {
+  using namespace mec;
+  const auto cfg = population::theoretical_scenario(
+      population::LoadRegime::kAboveService, 3000);
+  const auto pop = population::sample_population(cfg, 31);
+
+  const core::MfneResult mfne =
+      core::solve_mfne(pop.users, cfg.delay, cfg.capacity);
+  std::vector<double> eq_xs(mfne.thresholds.begin(), mfne.thresholds.end());
+  const double eq_cost =
+      core::average_cost(pop.users, eq_xs, cfg.delay, mfne.gamma_star);
+
+  std::printf("=== Ablation: transient regret of DTU ===\n");
+  std::printf("population: %s, equilibrium cost W_eq = %.4f\n\n",
+              cfg.name.c_str(), eq_cost);
+
+  core::AnalyticUtilization source(pop.users, cfg.capacity);
+  io::TextTable table("cumulative regret vs step schedule");
+  table.set_header({"eta0", "epsilon", "iterations", "cum. regret",
+                    "peak iterate cost", "final cost gap"});
+
+  std::vector<double> csv_t, csv_cost;
+  for (const double eta0 : {0.4, 0.2, 0.1, 0.05}) {
+    for (const double eps : {0.02, 0.005}) {
+      core::DtuOptions opt;
+      opt.eta0 = eta0;
+      opt.epsilon = eps;
+      opt.max_iterations = 100000;
+      const core::DtuResult r = run_dtu(pop.users, cfg.delay, source, opt);
+      double regret = 0.0, peak = 0.0;
+      for (const core::DtuIterate& it : r.trace) {
+        regret += it.mean_cost - eq_cost;
+        peak = std::max(peak, it.mean_cost);
+      }
+      table.add_row(
+          {io::TextTable::fmt(eta0, 2), io::TextTable::fmt(eps, 3),
+           std::to_string(r.iterations), io::TextTable::fmt(regret, 4),
+           io::TextTable::fmt(peak, 4),
+           io::TextTable::fmt(r.trace.back().mean_cost - eq_cost, 5)});
+      if (eta0 == 0.1 && eps == 0.005) {
+        for (const core::DtuIterate& it : r.trace) {
+          csv_t.push_back(it.t);
+          csv_cost.push_back(it.mean_cost);
+        }
+      }
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  io::write_csv("ablation_transient_regret.csv", {"t", "realized_cost"},
+                {csv_t, csv_cost});
+  std::printf(
+      "Reading: the stop rule fires after ~eta0/epsilon step halvings, so\n"
+      "*small* eta0 terminates in the fewest iterations at loose epsilon —\n"
+      "but it crawls towards gamma* and accumulates the most regret, while\n"
+      "large eta0 leaps near the equilibrium immediately (low regret) and\n"
+      "then spends its iterations shrinking the step.  Final gaps can be\n"
+      "slightly negative: transient thresholds can realize a cost below the\n"
+      "Nash cost because the equilibrium is not socially optimal (see the\n"
+      "price-of-anarchy ablation).\n"
+      "wrote ablation_transient_regret.csv\n");
+  return 0;
+}

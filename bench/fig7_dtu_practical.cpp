@@ -1,0 +1,92 @@
+// Reproduces Fig. 7 (a-c): convergence of the DTU Algorithm under the
+// practical settings — measured (synthetic) service-rate and latency
+// datasets and *asynchronous* threshold updates (each user updates with
+// probability 0.8 per iteration), converging to the Table-II equilibria
+// within ~20 iterations.
+//
+// A final column cross-checks the converged thresholds in the discrete-event
+// simulator with the *empirical* (non-exponential) service distribution.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mec/core/dtu.hpp"
+#include "mec/core/mfne.hpp"
+#include "mec/io/ascii_plot.hpp"
+#include "mec/io/csv.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+#include "mec/random/empirical_data.hpp"
+#include "mec/sim/mec_simulation.hpp"
+
+namespace {
+
+void run_regime(mec::population::LoadRegime regime, char tag,
+                double paper_star) {
+  using namespace mec;
+  const population::ScenarioConfig cfg = population::practical_scenario(regime);
+  const auto pop = population::sample_population(cfg, 21);
+
+  const core::MfneResult mfne =
+      core::solve_mfne(pop.users, cfg.delay, cfg.capacity);
+
+  core::AnalyticUtilization source(pop.users, cfg.capacity);
+  core::DtuOptions opt;
+  opt.update_gate = core::make_bernoulli_gate(0.8, /*seed=*/3);  // async
+  const core::DtuResult dtu = run_dtu(pop.users, cfg.delay, source, opt);
+
+  std::printf("--- Fig. 7%c: %s ---\n", tag,
+              population::to_string(regime).c_str());
+  std::printf("MFNE gamma* = %.4f (paper: %.2f);  async DTU converged in %d "
+              "iterations to gamma_hat = %.4f\n",
+              mfne.gamma_star, paper_star, dtu.iterations,
+              dtu.final_gamma_hat);
+
+  std::vector<double> t, gamma, gamma_hat, star;
+  for (const core::DtuIterate& it : dtu.trace) {
+    t.push_back(it.t);
+    gamma.push_back(it.gamma);
+    gamma_hat.push_back(it.gamma_hat);
+    star.push_back(mfne.gamma_star);
+  }
+  io::PlotOptions popt;
+  popt.title = "gamma_t (o), gamma_hat_t (*), gamma* (-)";
+  popt.x_label = "iteration t";
+  popt.y_label = "utilization";
+  std::printf("%s\n",
+              io::line_plot(
+                  std::vector<io::Series>{{"gamma_t", t, gamma, 'o'},
+                                          {"gamma_hat_t", t, gamma_hat, '*'},
+                                          {"gamma*", t, star, '-'}},
+                  popt)
+                  .c_str());
+
+  // DES validation with the non-exponential measured service distribution.
+  sim::SimulationOptions so;
+  so.service = sim::empirical_service(random::synthetic_yolo_processing_times());
+  so.latency = sim::empirical_latency(random::synthetic_wifi_offload_latencies());
+  so.fixed_gamma = mfne.gamma_star;
+  so.horizon = 150.0;
+  so.warmup = 15.0;
+  sim::MecSimulation sim(pop.users, cfg.capacity, cfg.delay, so);
+  const sim::SimulationResult r = sim.run_tro(dtu.thresholds);
+  std::printf(
+      "DES check (empirical service/latency): measured gamma = %.4f, "
+      "mean cost = %.3f\n\n",
+      r.measured_utilization, r.mean_cost);
+
+  io::write_csv(std::string("fig7") + tag + "_dtu_practical.csv",
+                {"t", "gamma", "gamma_hat", "gamma_star"},
+                {t, gamma, gamma_hat, star});
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Fig. 7: DTU convergence, practical settings (async p=0.8) ===\n\n");
+  run_regime(mec::population::LoadRegime::kBelowService, 'a', 0.43);
+  run_regime(mec::population::LoadRegime::kAtService, 'b', 0.44);
+  run_regime(mec::population::LoadRegime::kAboveService, 'c', 0.46);
+  return 0;
+}

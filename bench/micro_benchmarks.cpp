@@ -1,0 +1,100 @@
+// Ablation X5: google-benchmark micro-benchmarks of the hot paths — the TRO
+// closed forms, the Lemma-1 oracle, a full V(gamma) population sweep, the
+// MFNE bisection, and the discrete-event simulator's event throughput.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mec/core/best_response.hpp"
+#include "mec/core/mfne.hpp"
+#include "mec/core/threshold_oracle.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+#include "mec/queueing/threshold_queue.hpp"
+#include "mec/sim/mec_simulation.hpp"
+
+namespace {
+
+using namespace mec;
+
+const population::Population& shared_population(std::size_t n) {
+  static const population::Population pop = population::sample_population(
+      population::theoretical_scenario(population::LoadRegime::kAtService,
+                                       10000),
+      1);
+  (void)n;
+  return pop;
+}
+
+void BM_TroMetrics(benchmark::State& state) {
+  const double theta = 1.0 + static_cast<double>(state.range(0)) / 10.0;
+  const double x = static_cast<double>(state.range(1));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(queueing::tro_metrics(theta, x));
+}
+BENCHMARK(BM_TroMetrics)->Args({5, 2})->Args({5, 20})->Args({20, 100});
+
+void BM_BestThresholdOracle(benchmark::State& state) {
+  core::UserParams u;
+  u.arrival_rate = 3.0;
+  u.service_rate = 2.0;
+  u.offload_latency = 0.5;
+  u.energy_local = 1.0;
+  u.energy_offload = 0.3;
+  const double g = static_cast<double>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::best_threshold(u, g));
+}
+BENCHMARK(BM_BestThresholdOracle)->Arg(1)->Arg(5)->Arg(10);
+
+void BM_BestResponseSweep(benchmark::State& state) {
+  const auto& pop = shared_population(10000);
+  const auto users = std::span<const core::UserParams>(
+      pop.users.data(), static_cast<std::size_t>(state.range(0)));
+  const core::EdgeDelay delay = core::make_reciprocal_delay();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::best_response(users, delay, 10.0, 0.3).utilization);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BestResponseSweep)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_MfneSolve(benchmark::State& state) {
+  const auto& pop = shared_population(10000);
+  const auto users = std::span<const core::UserParams>(
+      pop.users.data(), static_cast<std::size_t>(state.range(0)));
+  const core::EdgeDelay delay = core::make_reciprocal_delay();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::solve_mfne(users, delay, 10.0).gamma_star);
+}
+BENCHMARK(BM_MfneSolve)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_DesEventThroughput(benchmark::State& state) {
+  const auto& pop = shared_population(10000);
+  const auto users = std::span<const core::UserParams>(
+      pop.users.data(), static_cast<std::size_t>(state.range(0)));
+  sim::SimulationOptions o;
+  o.warmup = 0.0;
+  o.horizon = 20.0;
+  o.fixed_gamma = 0.2;
+  sim::MecSimulation sim(users, 10.0, core::make_reciprocal_delay(), o);
+  const std::vector<double> xs(users.size(), 2.0);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const sim::SimulationResult r = sim.run_tro(xs);
+    events += r.total_events;
+    benchmark::DoNotOptimize(r.mean_cost);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DesEventThroughput)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Reproduces Table II: the unique MFNE under the practical settings — per-
+// user service rates resampled from the measured YOLOv3-on-RPi4 dataset
+// (E[S] = 8.9437), offloading latencies resampled from the measured WiFi
+// dataset, and A ~ U(4,12) / U(7.3474,10.54) / U(8,12).
+//
+// Paper reference values: gamma* = 0.43 / 0.44 / 0.46.  Note how narrowly
+// the three regimes differ: the equilibrium self-stabilizes because a higher
+// load raises g(gamma*), which pushes best-response thresholds up and
+// offload fractions down.
+#include <cstdio>
+
+#include "mec/core/mfne.hpp"
+#include "mec/io/table.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+#include "mec/stats/summary.hpp"
+
+int main() {
+  using namespace mec;
+
+  io::TextTable table("TABLE II: MFNE under practical settings");
+  table.set_header({"System Setup", "NE (sampled, N=10^3)", "Paper"});
+
+  const struct {
+    population::LoadRegime regime;
+    const char* paper;
+  } rows[] = {
+      {population::LoadRegime::kBelowService, "0.43"},
+      {population::LoadRegime::kAtService, "0.44"},
+      {population::LoadRegime::kAboveService, "0.46"},
+  };
+
+  for (const auto& row : rows) {
+    const population::ScenarioConfig cfg =
+        population::practical_scenario(row.regime);
+    stats::RunningSummary stars;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto pop = population::sample_population(cfg, seed);
+      stars.add(
+          core::solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star);
+    }
+    table.add_row({population::to_string(row.regime),
+                   io::TextTable::fmt(stars.mean(), 2) + " (+/- " +
+                       io::TextTable::fmt(stars.stddev(), 3) + ")",
+                   row.paper});
+  }
+
+  const auto cfg =
+      population::practical_scenario(population::LoadRegime::kAtService);
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Settings: S, T resampled from the measured datasets (E[S]=%.4f,\n"
+      "E[T]=%.2f), PL~U(0,3), PE~U(0,1), w=1, g(gamma)=1/(1.1-gamma),\n"
+      "c=%.2f (calibrated; unreported in the paper), N=%zu.\n",
+      cfg.service.mean(), cfg.latency.mean(), cfg.capacity, cfg.n_users);
+  return 0;
+}

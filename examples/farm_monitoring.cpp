@@ -1,0 +1,114 @@
+// Example: livestock monitoring on a farm (the paper's second motivating
+// application), stressing *operational churn*: collars join and leave the
+// radio network, links degrade during storms, and the edge box is shared
+// with other services.
+//
+// The example demonstrates that the DTU loop is a control plane you can keep
+// running: after each environmental event, the fleet re-converges to the new
+// equilibrium from its current thresholds within a handful of rounds —
+// there is no need to restart from scratch.
+#include <cstdio>
+#include <vector>
+
+#include "mec/core/dtu.hpp"
+#include "mec/core/mfne.hpp"
+#include "mec/io/table.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+
+namespace {
+
+/// Re-runs DTU warm-started from the fleet's current thresholds and reports
+/// one row of the episode table.
+mec::core::DtuResult retune(const char* event,
+                            std::vector<mec::core::UserParams>& herd,
+                            double capacity,
+                            const mec::core::EdgeDelay& delay,
+                            std::vector<double> warm_start,
+                            mec::io::TextTable& table) {
+  using namespace mec;
+  core::AnalyticUtilization source(herd, capacity);
+  core::DtuOptions opt;
+  opt.update_gate = core::make_bernoulli_gate(0.8, 17);  // duty-cycled radios
+  opt.initial_thresholds = std::move(warm_start);
+  const core::DtuResult r = run_dtu(herd, delay, source, opt);
+  const double star = core::solve_mfne(herd, delay, capacity).gamma_star;
+  double mean_x = 0.0;
+  for (const double x : r.thresholds) mean_x += x;
+  mean_x /= static_cast<double>(r.thresholds.size());
+  table.add_row({event, std::to_string(herd.size()),
+                 std::to_string(r.iterations), io::TextTable::fmt(star, 3),
+                 io::TextTable::fmt(r.final_gamma, 3),
+                 io::TextTable::fmt(mean_x, 2)});
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mec;
+
+  // Collar population: camera collars (heavy vision tasks) and accelerometer
+  // collars (light activity classification).
+  population::ScenarioConfig farm;
+  farm.name = "farm-monitoring";
+  farm.arrival = random::make_mixture(
+      {random::make_uniform(0.5, 2.0), random::make_uniform(3.0, 6.0)},
+      {0.7, 0.3});
+  farm.service = random::make_uniform(1.0, 4.0);
+  farm.latency = random::make_truncated_lognormal(-1.2, 0.5, 3.0);  // LoRa/WiFi
+  farm.energy_local = random::make_uniform(0.5, 2.5);
+  farm.energy_offload = random::make_uniform(0.1, 1.0);
+  farm.capacity = 6.0;
+  farm.delay = core::make_reciprocal_delay(1.1);
+  farm.n_users = 1200;
+
+  random::Xoshiro256 rng(2026);
+  population::Population pop = population::sample_population(farm, rng);
+  std::vector<core::UserParams> herd = pop.users;
+
+  std::printf("farm fleet: %zu collars, E[A]=%.2f, E[S]=%.2f, c=%.1f\n\n",
+              herd.size(), pop.mean_arrival_rate(), pop.mean_service_rate(),
+              farm.capacity);
+
+  io::TextTable table("operational episodes (warm-started DTU)");
+  table.set_header({"event", "collars", "rounds", "gamma*", "gamma reached",
+                    "mean threshold"});
+
+  // Episode 0: initial convergence from factory defaults (threshold 0).
+  core::DtuResult state =
+      retune("initial rollout", herd, farm.capacity, farm.delay, {}, table);
+
+  // Episode 1: 400 camera collars join for the calving season.
+  for (int i = 0; i < 400; ++i) {
+    core::UserParams u;
+    u.arrival_rate = random::uniform(rng, 3.0, 6.0);
+    u.service_rate = random::uniform(rng, 1.0, 2.5);
+    u.offload_latency = random::uniform(rng, 0.2, 0.8);
+    u.energy_local = random::uniform(rng, 1.5, 2.5);
+    u.energy_offload = random::uniform(rng, 0.2, 0.8);
+    herd.push_back(u);
+  }
+  std::vector<double> warm = state.thresholds;
+  warm.resize(herd.size(), 0.0);  // newcomers start at factory default
+  state = retune("+400 camera collars", herd, farm.capacity, farm.delay,
+                 std::move(warm), table);
+
+  // Episode 2: a storm triples every collar's offload latency.
+  for (auto& u : herd) u.offload_latency *= 3.0;
+  state = retune("storm: 3x latency", herd, farm.capacity, farm.delay,
+                 state.thresholds, table);
+
+  // Episode 3: the storm passes and the edge box gets a hardware upgrade.
+  for (auto& u : herd) u.offload_latency /= 3.0;
+  state = retune("clear skies + edge upgrade", herd, 9.0, farm.delay,
+                 state.thresholds, table);
+
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nReading: after every event the warm-started DTU loop re-converges\n"
+      "in tens of rounds; the storm pushes work back onto the collars\n"
+      "(higher thresholds, lower edge utilization) and the capacity upgrade\n"
+      "pulls it back to the edge.\n");
+  return 0;
+}

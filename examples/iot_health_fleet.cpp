@@ -1,0 +1,116 @@
+// Example: an IoT health-monitoring fleet (the paper's opening motivation).
+//
+// A hospital campus runs 2000 wearable gateways that score ECG/vitals
+// windows with small on-device models.  Inference can run locally (slow,
+// battery-hungry) or be offloaded to the campus edge cluster over a mix of
+// WiFi and 5G links.  The fleet is heterogeneous in three ways: patient
+// acuity drives the task rate, device generation drives the service rate and
+// local energy, and the radio access drives the offload latency and energy.
+//
+// The example shows the full operational loop a deployment would run:
+//   1. describe the fleet as a ScenarioConfig (mixture distributions),
+//   2. let every gateway run the DTU algorithm against the edge's broadcast
+//      estimated utilization,
+//   3. validate the converged operating point in the discrete-event
+//      simulator and report per-segment latency/energy/cost figures.
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "mec/core/dtu.hpp"
+#include "mec/core/mfne.hpp"
+#include "mec/io/table.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+#include "mec/sim/mec_simulation.hpp"
+
+int main() {
+  using namespace mec;
+
+  // --- 1. Fleet description -------------------------------------------
+  population::ScenarioConfig fleet;
+  fleet.name = "iot-health-fleet";
+  // Task rate: general wards ~2 windows/s, telemetry ~5, ICU ~9.
+  fleet.arrival = random::make_mixture(
+      {random::make_uniform(1.0, 3.0), random::make_uniform(4.0, 6.0),
+       random::make_uniform(8.0, 10.0)},
+      {0.6, 0.3, 0.1});
+  // Device generations: legacy gateways vs current ones.
+  fleet.service = random::make_mixture(
+      {random::make_uniform(1.5, 2.5), random::make_uniform(4.0, 6.0)},
+      {0.4, 0.6});
+  // Radio: WiFi (fast, cheap) vs 5G fallback (slower uplink here).
+  fleet.latency = random::make_mixture(
+      {random::make_uniform(0.05, 0.25), random::make_uniform(0.4, 0.9)},
+      {0.7, 0.3});
+  fleet.energy_local = random::make_uniform(1.0, 3.0);
+  fleet.energy_offload = random::make_uniform(0.1, 0.8);
+  fleet.weight = 1.0;       // equal emphasis on delay and energy
+  fleet.capacity = 12.0;    // edge cores per gateway-equivalent
+  fleet.delay = core::make_reciprocal_delay(1.1);
+  fleet.n_users = 2000;
+
+  const population::Population pop = population::sample_population(fleet, 7);
+  std::printf("fleet: %zu gateways, E[A]=%.2f tasks/s, E[S]=%.2f tasks/s\n",
+              pop.size(), pop.mean_arrival_rate(), pop.mean_service_rate());
+
+  // --- 2. Distributed threshold tuning ---------------------------------
+  const core::MfneResult mfne =
+      core::solve_mfne(pop.users, fleet.delay, fleet.capacity);
+  core::AnalyticUtilization source(pop.users, fleet.capacity);
+  core::DtuOptions opt;
+  opt.update_gate = core::make_bernoulli_gate(0.9, 1);  // gateways nap
+  const core::DtuResult dtu = run_dtu(pop.users, fleet.delay, source, opt);
+  std::printf(
+      "DTU: converged=%s in %d rounds; edge utilization %.3f (MFNE %.3f)\n\n",
+      dtu.converged ? "yes" : "no", dtu.iterations, dtu.final_gamma,
+      mfne.gamma_star);
+
+  // --- 3. Validation run and per-segment report ------------------------
+  sim::SimulationOptions so;
+  so.fixed_gamma = dtu.final_gamma;
+  so.horizon = 300.0;
+  so.warmup = 30.0;
+  so.seed = 99;
+  sim::MecSimulation sim(pop.users, fleet.capacity, fleet.delay, so);
+  const sim::SimulationResult run = sim.run_tro(dtu.thresholds);
+  std::printf("%s", sim::summarize(run).c_str());
+
+  // Segment the fleet by acuity band and report what each band experiences.
+  io::TextTable table("per-acuity-band outcomes (simulated)");
+  table.set_header({"band", "gateways", "offload %", "local queue",
+                    "offload delay (s)", "energy/task", "cost"});
+  const struct {
+    const char* label;
+    double lo, hi;
+  } bands[] = {{"ward (a<3.5)", 0.0, 3.5},
+               {"telemetry (3.5-7)", 3.5, 7.0},
+               {"ICU (a>7)", 7.0, 100.0}};
+  for (const auto& band : bands) {
+    double n = 0, alpha = 0, q = 0, od = 0, e = 0, cost = 0;
+    for (std::size_t i = 0; i < pop.users.size(); ++i) {
+      if (pop.users[i].arrival_rate < band.lo ||
+          pop.users[i].arrival_rate >= band.hi)
+        continue;
+      const sim::DeviceStats& d = run.devices[i];
+      ++n;
+      alpha += d.offload_fraction;
+      q += d.mean_queue_length;
+      od += d.mean_offload_delay;
+      e += d.energy_per_task;
+      cost += d.empirical_cost;
+    }
+    if (n == 0) continue;
+    table.add_row({band.label, io::TextTable::fmt(n, 0),
+                   io::TextTable::fmt(100.0 * alpha / n, 1),
+                   io::TextTable::fmt(q / n, 2), io::TextTable::fmt(od / n, 3),
+                   io::TextTable::fmt(e / n, 2),
+                   io::TextTable::fmt(cost / n, 2)});
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf(
+      "\nReading: high-acuity gateways overload their local CPU, so the\n"
+      "threshold policy offloads most of their windows; ward devices keep\n"
+      "work local and spend almost nothing on the radio.\n");
+  return 0;
+}

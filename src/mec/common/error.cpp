@@ -1,0 +1,16 @@
+#include "mec/common/error.hpp"
+
+#include <sstream>
+
+namespace mec::detail {
+
+void contract_failure(std::string_view kind, std::string_view expr,
+                      std::string_view file, int line,
+                      std::string_view message) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace mec::detail

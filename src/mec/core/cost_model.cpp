@@ -1,0 +1,36 @@
+#include "mec/core/cost_model.hpp"
+
+#include "mec/queueing/threshold_queue.hpp"
+
+namespace mec::core {
+
+CostBreakdown tro_cost_breakdown(const UserParams& u, double x,
+                                 double edge_delay_value) {
+  u.check();
+  MEC_EXPECTS(x >= 0.0);
+  MEC_EXPECTS(edge_delay_value >= 0.0);
+  const queueing::TroMetrics m = queueing::tro_metrics(u.intensity(), x);
+  CostBreakdown c{};
+  c.alpha = m.offload_probability;
+  c.mean_queue = m.mean_queue_length;
+  c.local_energy = u.weight * u.energy_local * (1.0 - m.offload_probability);
+  c.queueing = m.mean_queue_length / u.arrival_rate;
+  c.offload = (u.weight * u.energy_offload + edge_delay_value +
+               u.offload_latency) *
+              m.offload_probability;
+  return c;
+}
+
+double tro_cost(const UserParams& u, double x, double edge_delay_value) {
+  return tro_cost_breakdown(u, x, edge_delay_value).total();
+}
+
+double offload_price(const UserParams& u, double edge_delay_value) {
+  u.check();
+  MEC_EXPECTS(edge_delay_value >= 0.0);
+  return u.arrival_rate *
+         (edge_delay_value + u.offload_latency +
+          u.weight * (u.energy_offload - u.energy_local));
+}
+
+}  // namespace mec::core

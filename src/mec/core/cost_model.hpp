@@ -1,0 +1,42 @@
+// The per-user average cost, Eq. (1) of the paper:
+//
+//   C(x; gamma) = w * p_L * (1 - alpha(x))
+//               + Q(x) / a
+//               + (w * p_E + g(gamma) + tau) * alpha(x)
+//
+// i.e. local energy weighted by the fraction of locally-processed tasks, the
+// time-average local backlog per unit arrival (by Little's law this is the
+// mean local delay scaled by the local fraction), and the offloading latency,
+// edge processing delay and offloading energy weighted by the offloaded
+// fraction.  Exact for exponential local service via the closed-form TRO
+// queue; the DES path measures the same functional empirically.
+#pragma once
+
+#include "mec/core/user.hpp"
+
+namespace mec::core {
+
+/// Decomposition of the Eq. (1) cost, useful for reporting.
+struct CostBreakdown {
+  double local_energy;    ///< w * p_L * (1 - alpha)
+  double queueing;        ///< Q(x) / a
+  double offload;         ///< (w * p_E + g + tau) * alpha
+  double alpha;           ///< offload probability at this threshold
+  double mean_queue;      ///< Q(x)
+
+  double total() const noexcept { return local_energy + queueing + offload; }
+};
+
+/// Cost of user `u` under threshold `x` when the edge delay value is
+/// `edge_delay_value` (= g(gamma)). Requires x >= 0, edge_delay_value >= 0.
+CostBreakdown tro_cost_breakdown(const UserParams& u, double x,
+                                 double edge_delay_value);
+
+/// Shorthand for tro_cost_breakdown(...).total().
+double tro_cost(const UserParams& u, double x, double edge_delay_value);
+
+/// The "offload price" beta = a * (g + tau + w*(p_E - p_L)) that Lemma 1
+/// compares against f(m|theta). May be negative (offloading saves energy).
+double offload_price(const UserParams& u, double edge_delay_value);
+
+}  // namespace mec::core

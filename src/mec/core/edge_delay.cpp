@@ -1,0 +1,81 @@
+#include "mec/core/edge_delay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "mec/queueing/erlang.hpp"
+
+namespace mec::core {
+
+EdgeDelay::EdgeDelay(std::function<double(double)> fn, std::string description)
+    : fn_(std::move(fn)), description_(std::move(description)) {
+  MEC_EXPECTS(static_cast<bool>(fn_));
+  MEC_EXPECTS_MSG(fn_(0.0) >= 0.0, "edge delay must be non-negative");
+  // Spot-check monotonicity on a coarse grid (full verification is the
+  // caller's contract; this catches obvious mistakes cheaply).
+  double prev = fn_(0.0);
+  for (int i = 1; i <= 10; ++i) {
+    const double v = fn_(i / 10.0);
+    MEC_EXPECTS_MSG(v >= prev, "edge delay must be non-decreasing");
+    prev = v;
+  }
+}
+
+double EdgeDelay::operator()(double gamma) const {
+  MEC_EXPECTS_MSG(valid(), "calling an empty EdgeDelay");
+  MEC_EXPECTS(gamma >= 0.0 && gamma <= 1.0);
+  return fn_(gamma);
+}
+
+EdgeDelay make_reciprocal_delay(double margin) {
+  MEC_EXPECTS_MSG(margin > 1.0, "reciprocal delay needs margin > 1");
+  std::ostringstream os;
+  os << "1/(" << margin << " - gamma)";
+  return EdgeDelay([margin](double g) { return 1.0 / (margin - g); },
+                   os.str());
+}
+
+EdgeDelay make_linear_delay(double g0, double slope) {
+  MEC_EXPECTS(g0 >= 0.0);
+  MEC_EXPECTS(slope >= 0.0);
+  std::ostringstream os;
+  os << g0 << " + " << slope << "*gamma";
+  return EdgeDelay([g0, slope](double g) { return g0 + slope * g; }, os.str());
+}
+
+EdgeDelay make_power_delay(double gmax, double p) {
+  MEC_EXPECTS(gmax >= 0.0);
+  MEC_EXPECTS(p > 0.0);
+  std::ostringstream os;
+  os << gmax << "*gamma^" << p;
+  return EdgeDelay(
+      [gmax, p](double g) { return gmax * std::pow(g, p); }, os.str());
+}
+
+EdgeDelay make_constant_delay(double value) {
+  MEC_EXPECTS(value >= 0.0);
+  std::ostringstream os;
+  os << "const " << value;
+  return EdgeDelay([value](double) { return value; }, os.str());
+}
+
+EdgeDelay make_erlang_c_delay(std::size_t servers, double server_rate,
+                              double gamma_cap) {
+  MEC_EXPECTS(servers >= 1);
+  MEC_EXPECTS(server_rate > 0.0);
+  MEC_EXPECTS(gamma_cap > 0.0 && gamma_cap < 1.0);
+  std::ostringstream os;
+  os << "ErlangC(N=" << servers << ", mu=" << server_rate
+     << ", cap=" << gamma_cap << ")";
+  return EdgeDelay(
+      [servers, server_rate, gamma_cap](double gamma) {
+        const double g = std::min(gamma, gamma_cap);
+        const double lambda =
+            g * static_cast<double>(servers) * server_rate;
+        return queueing::mmn_mean_sojourn(servers, server_rate, lambda);
+      },
+      os.str());
+}
+
+}  // namespace mec::core

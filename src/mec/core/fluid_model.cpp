@@ -1,0 +1,57 @@
+#include "mec/core/fluid_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mec/common/error.hpp"
+#include "mec/core/best_response.hpp"
+
+namespace mec::core {
+
+std::vector<OdePoint> integrate_rk4(
+    const std::function<double(double, double)>& f, double y0, double t0,
+    double t1, double dt) {
+  MEC_EXPECTS(static_cast<bool>(f));
+  MEC_EXPECTS(t1 > t0);
+  MEC_EXPECTS(dt > 0.0);
+
+  std::vector<OdePoint> trajectory;
+  trajectory.reserve(static_cast<std::size_t>((t1 - t0) / dt) + 2);
+  double t = t0, y = y0;
+  trajectory.push_back({t, y});
+  while (t < t1 - 1e-12) {
+    const double h = std::min(dt, t1 - t);
+    const double k1 = f(t, y);
+    const double k2 = f(t + h / 2.0, y + h / 2.0 * k1);
+    const double k3 = f(t + h / 2.0, y + h / 2.0 * k2);
+    const double k4 = f(t + h, y + h * k3);
+    y += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    t += h;
+    MEC_EXPECTS_MSG(std::isfinite(y), "RK4 trajectory diverged");
+    trajectory.push_back({t, y});
+  }
+  return trajectory;
+}
+
+std::vector<OdePoint> fluid_trajectory(std::span<const UserParams> users,
+                                       const EdgeDelay& delay, double capacity,
+                                       const FluidOptions& options) {
+  MEC_EXPECTS(!users.empty());
+  MEC_EXPECTS(capacity > 0.0);
+  MEC_EXPECTS(options.kappa > 0.0);
+  MEC_EXPECTS(options.gamma0 >= 0.0 && options.gamma0 <= 1.0);
+  MEC_EXPECTS(options.horizon > 0.0);
+  MEC_EXPECTS(options.dt > 0.0);
+
+  const auto drift = [&](double, double gamma) {
+    const double g = std::clamp(gamma, 0.0, 1.0);
+    return options.kappa *
+           (best_response(users, delay, capacity, g).utilization - g);
+  };
+  auto trajectory = integrate_rk4(drift, options.gamma0, 0.0, options.horizon,
+                                  options.dt);
+  for (OdePoint& p : trajectory) p.y = std::clamp(p.y, 0.0, 1.0);
+  return trajectory;
+}
+
+}  // namespace mec::core

@@ -1,0 +1,51 @@
+// Fluid (ODE) approximation of the utilization dynamics.
+//
+// On the fast time scale the paper treats gamma as quasi-stationary; the
+// natural continuous-time counterpart of repeated best-response play is the
+// smooth best-response dynamic
+//
+//     d(gamma)/dt = kappa * ( V(gamma) - gamma ),
+//
+// whose unique rest point is the MFNE (V is continuous and non-increasing,
+// so V(gamma) - gamma is strictly decreasing: trajectories approach gamma*
+// monotonically from either side — a continuous-time version of Theorem 2's
+// bisection picture).  This module provides a generic RK4 scalar integrator
+// and the fluid trajectory built on the population best response.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mec/core/edge_delay.hpp"
+#include "mec/core/user.hpp"
+
+namespace mec::core {
+
+/// One sample of an integrated scalar trajectory.
+struct OdePoint {
+  double t = 0.0;
+  double y = 0.0;
+};
+
+/// Classic fixed-step RK4 for dy/dt = f(t, y) from (t0, y0) to t1.
+/// Returns the trajectory including both endpoints. Requires t1 > t0,
+/// dt > 0, and f finite on the trajectory.
+std::vector<OdePoint> integrate_rk4(
+    const std::function<double(double, double)>& f, double y0, double t0,
+    double t1, double dt);
+
+struct FluidOptions {
+  double kappa = 1.0;      ///< adaptation rate, > 0
+  double gamma0 = 0.0;     ///< initial utilization in [0, 1]
+  double horizon = 30.0;   ///< integration time, > 0
+  double dt = 0.05;        ///< RK4 step, > 0
+};
+
+/// Integrates the smooth best-response dynamic for the given population.
+/// The returned trajectory is clipped to [0, 1] pointwise.
+std::vector<OdePoint> fluid_trajectory(std::span<const UserParams> users,
+                                       const EdgeDelay& delay, double capacity,
+                                       const FluidOptions& options = {});
+
+}  // namespace mec::core

@@ -1,0 +1,50 @@
+#include "mec/core/mfne.hpp"
+
+#include <cmath>
+
+#include "mec/common/error.hpp"
+
+namespace mec::core {
+
+MfneResult solve_mfne(std::span<const UserParams> users, const EdgeDelay& delay,
+                      double capacity, const MfneOptions& options) {
+  MEC_EXPECTS(!users.empty());
+  MEC_EXPECTS(capacity > 0.0);
+  MEC_EXPECTS(options.tolerance > 0.0);
+
+  const double v0 = best_response(users, delay, capacity, 0.0).utilization;
+  MEC_EXPECTS_MSG(v0 < 1.0,
+                  "V(0) >= 1: capacity too small (model requires A_max < c)");
+  if (v0 == 0.0) {
+    // Degenerate: nobody offloads even at zero edge delay penalty.
+    MfneResult r;
+    r.gamma_star = 0.0;
+    r.best_response_value = 0.0;
+    r.thresholds = best_response(users, delay, capacity, 0.0).thresholds;
+    return r;
+  }
+
+  // h(gamma) = V(gamma) - gamma: h(0) = v0 > 0, h(1) = V(1) - 1 < 0.
+  double lo = 0.0, hi = 1.0;
+  int iters = 0;
+  while (hi - lo > options.tolerance && iters < options.max_iterations) {
+    const double mid = 0.5 * (lo + hi);
+    const double v = best_response(users, delay, capacity, mid).utilization;
+    if (v > mid)
+      lo = mid;
+    else
+      hi = mid;
+    ++iters;
+  }
+
+  MfneResult r;
+  r.gamma_star = 0.5 * (lo + hi);
+  BestResponse br = best_response(users, delay, capacity, r.gamma_star);
+  r.best_response_value = br.utilization;
+  r.thresholds = std::move(br.thresholds);
+  r.iterations = iters;
+  MEC_ENSURES(r.gamma_star >= 0.0 && r.gamma_star <= 1.0);
+  return r;
+}
+
+}  // namespace mec::core

@@ -1,0 +1,39 @@
+// Mean-Field Nash Equilibrium solver (Theorem 1).
+//
+// V(gamma) is continuous and non-increasing with V(0) < 1 (because
+// A_max < c), so h(gamma) = V(gamma) - gamma is continuous and strictly
+// decreasing with h(1) < 0; the unique root gamma* = V(gamma*) is found by
+// bisection.  On a finite sampled population V is piecewise constant in
+// gamma (thresholds are integers), so the "root" is the unique crossing
+// point; bisection still brackets it to any tolerance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mec/core/best_response.hpp"
+#include "mec/core/edge_delay.hpp"
+#include "mec/core/user.hpp"
+
+namespace mec::core {
+
+struct MfneOptions {
+  double tolerance = 1e-10;   ///< bisection interval width at termination
+  int max_iterations = 200;   ///< bisection guard (2^-200 << any tolerance)
+};
+
+struct MfneResult {
+  double gamma_star = 0.0;                ///< the equilibrium utilization
+  double best_response_value = 0.0;       ///< V(gamma_star)
+  std::vector<std::int64_t> thresholds;   ///< equilibrium thresholds
+  int iterations = 0;                     ///< bisection iterations used
+};
+
+/// Finds gamma* with |V(gamma*) crossing| bracketed within
+/// options.tolerance. Requires valid delay, capacity > 0, non-empty users,
+/// and (checked) V(0) < 1.
+MfneResult solve_mfne(std::span<const UserParams> users, const EdgeDelay& delay,
+                      double capacity, const MfneOptions& options = {});
+
+}  // namespace mec::core

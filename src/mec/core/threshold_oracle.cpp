@@ -1,0 +1,81 @@
+#include "mec/core/threshold_oracle.hpp"
+
+#include <cmath>
+
+#include "mec/common/error.hpp"
+
+namespace mec::core {
+
+namespace {
+constexpr std::int64_t kMaxThreshold = 1'000'000;
+}
+
+double f_recursive(std::int64_t m, double theta) {
+  MEC_EXPECTS(theta > 0.0);
+  MEC_EXPECTS(m >= 0);
+  MEC_EXPECTS(m <= kMaxThreshold);
+  double f = 0.0;      // f(0)
+  double geo = 0.0;    // sum_{i=1..j} theta^i
+  double pw = 1.0;     // theta^j
+  for (std::int64_t j = 1; j <= m; ++j) {
+    pw *= theta;
+    geo += pw;
+    f += geo;  // f(j) = f(j-1) + sum_{i=1..j} theta^i
+  }
+  return f;
+}
+
+double f_closed_form(std::int64_t m, double theta) {
+  MEC_EXPECTS(theta > 0.0);
+  MEC_EXPECTS(m >= 0);
+  const auto md = static_cast<double>(m);
+  if (theta == 1.0) return md * (md + 1.0) / 2.0;
+  const double one_minus = 1.0 - theta;
+  return theta *
+         (std::pow(theta, md + 1.0) - (md + 1.0) * theta + md) /
+         (one_minus * one_minus);
+}
+
+std::int64_t best_threshold_for_price(double beta, double theta) {
+  MEC_EXPECTS(theta > 0.0);
+  if (beta < theta) return 0;  // f(1|theta) = theta; covers beta <= 0 too
+  // Walk f(m) upward until f(m) <= beta < f(m+1).
+  std::int64_t m = 1;
+  double f = theta;    // f(1)
+  double geo = theta;  // sum_{i=1..m} theta^i
+  double pw = theta;   // theta^m
+  for (;;) {
+    pw *= theta;
+    geo += pw;
+    const double f_next = f + geo;  // f(m+1)
+    if (beta < f_next) return m;
+    f = f_next;
+    ++m;
+    MEC_EXPECTS_MSG(m <= kMaxThreshold,
+                    "optimal threshold exceeds supported range; check that "
+                    "model parameters are bounded");
+  }
+}
+
+std::int64_t best_threshold(const UserParams& u, double edge_delay_value) {
+  return best_threshold_for_price(offload_price(u, edge_delay_value),
+                                  u.intensity());
+}
+
+double grid_search_threshold(const UserParams& u, double edge_delay_value,
+                             double x_max, double step) {
+  MEC_EXPECTS(x_max > 0.0);
+  MEC_EXPECTS(step > 0.0);
+  double best_x = 0.0;
+  double best_cost = tro_cost(u, 0.0, edge_delay_value);
+  for (double x = step; x <= x_max + step / 2.0; x += step) {
+    const double c = tro_cost(u, x, edge_delay_value);
+    if (c < best_cost) {
+      best_cost = c;
+      best_x = x;
+    }
+  }
+  return best_x;
+}
+
+}  // namespace mec::core

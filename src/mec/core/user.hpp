@@ -1,0 +1,38 @@
+// Per-user parameters of the heterogeneous MEC model (Section II).
+#pragma once
+
+#include "mec/common/error.hpp"
+
+namespace mec::core {
+
+/// One mobile device / user.  All members are the *means* of the underlying
+/// stochastic primitives: tasks arrive Poisson(arrival_rate), local service is
+/// (by default) exponential(service_rate), each offloaded task pays a wireless
+/// latency with mean offload_latency plus the edge processing delay g(gamma),
+/// and energies are per-task averages.
+struct UserParams {
+  double arrival_rate = 1.0;     ///< a_n > 0, tasks per second
+  double service_rate = 1.0;     ///< s_n > 0, local tasks per second
+  double offload_latency = 0.0;  ///< tau_n >= 0, seconds
+  double energy_local = 0.0;     ///< p_{n,L} >= 0, per-task local energy
+  double energy_offload = 0.0;   ///< p_{n,E} >= 0, per-task offload energy
+  double weight = 1.0;           ///< w_n > 0, energy-vs-delay trade-off
+
+  /// Arrival intensity theta = a/s.
+  double intensity() const {
+    MEC_EXPECTS(service_rate > 0.0);
+    return arrival_rate / service_rate;
+  }
+
+  /// Validates the model's positivity/boundedness assumptions.
+  void check() const {
+    MEC_EXPECTS_MSG(arrival_rate > 0.0, "arrival rate must be positive");
+    MEC_EXPECTS_MSG(service_rate > 0.0, "service rate must be positive");
+    MEC_EXPECTS(offload_latency >= 0.0);
+    MEC_EXPECTS(energy_local >= 0.0);
+    MEC_EXPECTS(energy_offload >= 0.0);
+    MEC_EXPECTS_MSG(weight > 0.0, "weight must be positive");
+  }
+};
+
+}  // namespace mec::core

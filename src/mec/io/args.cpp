@@ -1,0 +1,93 @@
+#include "mec/io/args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "mec/common/error.hpp"
+
+namespace mec::io {
+
+Args Args::parse(const std::vector<std::string>& argv) {
+  Args out;
+  std::size_t i = 0;
+  if (i < argv.size() && argv[i].rfind("--", 0) != 0) {
+    out.command_ = argv[i];
+    ++i;
+  }
+  for (; i < argv.size(); ++i) {
+    const std::string& token = argv[i];
+    if (token.rfind("--", 0) != 0)
+      throw RuntimeError("unexpected positional argument: " + token);
+    std::string name = token.substr(2);
+    std::string value = "true";
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    if (name.empty()) throw RuntimeError("empty flag name");
+    if (out.flags_.contains(name))
+      throw RuntimeError("duplicate flag: --" + name);
+    out.flags_[name] = value;
+  }
+  return out;
+}
+
+bool Args::has(const std::string& name) const {
+  return flags_.contains(name);
+}
+
+std::string Args::get_string(const std::string& name,
+                             const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw RuntimeError("flag --" + name + " expects a number, got '" +
+                       it->second + "'");
+  }
+}
+
+long Args::get_long(const std::string& name, long fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw RuntimeError("flag --" + name + " expects an integer, got '" +
+                       it->second + "'");
+  }
+}
+
+bool Args::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (it->second == "true" || it->second == "1" || it->second == "yes")
+    return true;
+  if (it->second == "false" || it->second == "0" || it->second == "no")
+    return false;
+  throw RuntimeError("flag --" + name + " expects a boolean, got '" +
+                     it->second + "'");
+}
+
+void Args::reject_unknown(const std::set<std::string>& known) const {
+  for (const auto& [name, value] : flags_)
+    if (!known.contains(name))
+      throw RuntimeError("unknown flag: --" + name);
+}
+
+}  // namespace mec::io

@@ -1,0 +1,43 @@
+// Minimal command-line argument parsing for the CLI tools.
+//
+// Grammar: <command> [--flag=value | --flag value | --switch] ...
+// Values are retrieved typed, with defaults; unknown flags are an error so
+// typos never silently fall back to defaults.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mec::io {
+
+/// Parsed command line: a leading positional command plus named flags.
+class Args {
+ public:
+  /// Parses argv (excluding argv[0]). Throws mec::RuntimeError on malformed
+  /// input (flag without name, duplicate flag).
+  static Args parse(const std::vector<std::string>& argv);
+
+  const std::string& command() const noexcept { return command_; }
+
+  bool has(const std::string& name) const;
+
+  /// Typed getters; throw mec::RuntimeError when the value does not parse.
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  long get_long(const std::string& name, long fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Throws mec::RuntimeError if any provided flag is not in `known`
+  /// (catches typos).
+  void reject_unknown(const std::set<std::string>& known) const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> flags_;  // switches map to "true"
+};
+
+}  // namespace mec::io

@@ -1,0 +1,111 @@
+#include "mec/io/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "mec/common/error.hpp"
+
+namespace mec::io {
+
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void cover(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  /// Widened so a degenerate range still maps to the grid.
+  void finalize() {
+    if (lo > hi) {
+      lo = 0.0;
+      hi = 1.0;
+    }
+    if (hi - lo < 1e-12) {
+      lo -= 0.5;
+      hi += 0.5;
+    }
+  }
+  double norm(double v) const { return (v - lo) / (hi - lo); }
+};
+
+std::string format_tick(double v) {
+  std::ostringstream os;
+  os << std::setprecision(4) << std::defaultfloat << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string line_plot(std::span<const Series> series,
+                      const PlotOptions& options) {
+  MEC_EXPECTS(!series.empty());
+  MEC_EXPECTS(options.width >= 10 && options.height >= 4);
+  Range xr, yr;
+  for (const auto& s : series) {
+    MEC_EXPECTS(!s.x.empty());
+    MEC_EXPECTS(s.x.size() == s.y.size());
+    for (const double v : s.x) xr.cover(v);
+    for (const double v : s.y) yr.cover(v);
+  }
+  xr.finalize();
+  yr.finalize();
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const int col = std::clamp(
+          static_cast<int>(std::lround(xr.norm(s.x[i]) * (w - 1))), 0, w - 1);
+      const int row = std::clamp(
+          static_cast<int>(std::lround((1.0 - yr.norm(s.y[i])) * (h - 1))), 0,
+          h - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  for (const auto& s : series)
+    os << "  [" << s.glyph << "] " << s.label << '\n';
+  os << format_tick(yr.hi) << '\n';
+  for (const auto& row : grid) os << '|' << row << '\n';
+  os << '+' << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  os << format_tick(yr.lo) << std::string(8, ' ') << options.x_label << ": "
+     << format_tick(xr.lo) << " .. " << format_tick(xr.hi);
+  if (!options.y_label.empty()) os << "   (y: " << options.y_label << ')';
+  os << '\n';
+  return os.str();
+}
+
+std::string bar_chart(std::span<const double> bin_edges,
+                      std::span<const double> mass,
+                      const PlotOptions& options) {
+  MEC_EXPECTS(!bin_edges.empty());
+  MEC_EXPECTS(bin_edges.size() == mass.size());
+  const double max_mass = *std::max_element(mass.begin(), mass.end());
+  const double scale =
+      max_mass > 0.0 ? static_cast<double>(options.width) / max_mass : 0.0;
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  for (std::size_t i = 0; i < bin_edges.size(); ++i) {
+    const auto bar_len = static_cast<std::size_t>(
+        std::lround(std::max(0.0, mass[i]) * scale));
+    os << std::setw(9) << std::fixed << std::setprecision(3) << bin_edges[i]
+       << " | " << std::string(bar_len, '#') << ' ' << std::setprecision(4)
+       << mass[i] << '\n';
+  }
+  if (!options.x_label.empty()) os << "(bins: " << options.x_label << ")\n";
+  return os.str();
+}
+
+}  // namespace mec::io

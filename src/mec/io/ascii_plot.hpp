@@ -1,0 +1,37 @@
+// Terminal line/bar plots for the paper's figures (Figs. 2, 3, 5-8).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mec::io {
+
+/// One named series to draw.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;  ///< same length as x
+  char glyph = '*';
+};
+
+struct PlotOptions {
+  int width = 72;    ///< plot area columns
+  int height = 20;   ///< plot area rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders the series into a character grid with axes and min/max tick
+/// labels. Requires at least one series with at least one point and matching
+/// x/y lengths.
+std::string line_plot(std::span<const Series> series,
+                      const PlotOptions& options);
+
+/// Horizontal-bar rendering of a normalized histogram (Fig. 6 style):
+/// one row per bin, bar length proportional to mass.
+std::string bar_chart(std::span<const double> bin_edges,
+                      std::span<const double> mass, const PlotOptions& options);
+
+}  // namespace mec::io

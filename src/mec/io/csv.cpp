@@ -1,0 +1,35 @@
+#include "mec/io/csv.hpp"
+
+#include <iomanip>
+
+#include "mec/common/error.hpp"
+
+namespace mec::io {
+
+void write_csv(const std::string& path,
+               const std::vector<std::string>& column_names,
+               const std::vector<std::vector<double>>& columns) {
+  MEC_EXPECTS(!columns.empty());
+  MEC_EXPECTS(column_names.size() == columns.size());
+  const std::size_t rows = columns.front().size();
+  for (const auto& col : columns) MEC_EXPECTS(col.size() == rows);
+
+  std::ofstream out(path);
+  if (!out) throw RuntimeError("cannot open CSV output file: " + path);
+  out << std::setprecision(12);
+  for (std::size_t c = 0; c < column_names.size(); ++c) {
+    if (c) out << ',';
+    out << column_names[c];
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c) out << ',';
+      out << columns[c][r];
+    }
+    out << '\n';
+  }
+  if (!out) throw RuntimeError("failed writing CSV output file: " + path);
+}
+
+}  // namespace mec::io

@@ -1,0 +1,19 @@
+// Minimal CSV writer so every bench can dump its series for external
+// plotting alongside the stdout rendering.
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mec::io {
+
+/// Writes named columns of equal length to `path` as RFC-4180-ish CSV
+/// (values are numeric; no quoting needed). Throws mec::RuntimeError on I/O
+/// failure; requires equal column lengths and names.size() == columns.size().
+void write_csv(const std::string& path,
+               const std::vector<std::string>& column_names,
+               const std::vector<std::vector<double>>& columns);
+
+}  // namespace mec::io

@@ -1,0 +1,71 @@
+#include "mec/io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "mec/common/error.hpp"
+
+namespace mec::io {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  MEC_EXPECTS(!header.empty());
+  MEC_EXPECTS_MSG(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  MEC_EXPECTS_MSG(!header_.empty(), "set_header before add_row");
+  MEC_EXPECTS(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  MEC_EXPECTS(!header_.empty());
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto rule = [&os, &widths](char sep) {
+    os << '+';
+    for (const std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << sep;
+      os << '+';
+    }
+    os << '\n';
+  };
+  const auto emit = [&os, &widths](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule('-');
+  emit(header_);
+  rule('=');
+  for (const auto& row : rows_) emit(row);
+  rule('-');
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace mec::io

@@ -1,0 +1,36 @@
+// Aligned plain-text tables for reproducing the paper's Tables I-III on
+// stdout.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mec::io {
+
+/// A simple column-aligned text table with a title and a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title);
+
+  /// Sets the header; must be called before add_row. Requires >= 1 column.
+  void set_header(std::vector<std::string> header);
+
+  /// Adds a row; size must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 4);
+
+  /// Renders with box-drawing rules.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mec::io

@@ -1,0 +1,56 @@
+#include "mec/population/population.hpp"
+
+#include "mec/common/error.hpp"
+
+namespace mec::population {
+
+double Population::mean_arrival_rate() const {
+  MEC_EXPECTS(!users.empty());
+  double acc = 0.0;
+  for (const auto& u : users) acc += u.arrival_rate;
+  return acc / static_cast<double>(users.size());
+}
+
+double Population::mean_service_rate() const {
+  MEC_EXPECTS(!users.empty());
+  double acc = 0.0;
+  for (const auto& u : users) acc += u.service_rate;
+  return acc / static_cast<double>(users.size());
+}
+
+Population sample_population(const ScenarioConfig& config,
+                             random::Xoshiro256& rng) {
+  config.check();
+  Population pop;
+  pop.config = config;
+  pop.users.reserve(config.n_users);
+  for (std::size_t n = 0; n < config.n_users; ++n) {
+    core::UserParams u;
+    do {
+      u.arrival_rate = config.arrival.sample(rng);
+    } while (u.arrival_rate <= 0.0);
+    do {
+      u.service_rate = config.service.sample(rng);
+    } while (u.service_rate <= 0.0);
+    u.offload_latency = config.latency.sample(rng);
+    u.energy_local = config.energy_local.sample(rng);
+    u.energy_offload = config.energy_offload.sample(rng);
+    if (config.weight_dist.valid()) {
+      do {
+        u.weight = config.weight_dist.sample(rng);
+      } while (u.weight <= 0.0);
+    } else {
+      u.weight = config.weight;
+    }
+    u.check();
+    pop.users.push_back(u);
+  }
+  return pop;
+}
+
+Population sample_population(const ScenarioConfig& config, std::uint64_t seed) {
+  random::Xoshiro256 rng(seed);
+  return sample_population(config, rng);
+}
+
+}  // namespace mec::population

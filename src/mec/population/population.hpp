@@ -1,0 +1,33 @@
+// Sampling a concrete heterogeneous user population from a ScenarioConfig.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mec/core/user.hpp"
+#include "mec/population/scenario.hpp"
+#include "mec/random/rng.hpp"
+
+namespace mec::population {
+
+/// A sampled population plus the config it came from.
+struct Population {
+  std::vector<core::UserParams> users;
+  ScenarioConfig config;
+
+  std::size_t size() const noexcept { return users.size(); }
+  double mean_arrival_rate() const;
+  double mean_service_rate() const;
+};
+
+/// Draws config.n_users users i.i.d. from the scenario's marginals.
+/// Arrival draws of exactly zero (probability-zero boundary of U(0, a_max))
+/// are redrawn so every user satisfies the model's A > 0 assumption.
+Population sample_population(const ScenarioConfig& config,
+                             random::Xoshiro256& rng);
+
+/// Convenience overload seeding a fresh engine.
+Population sample_population(const ScenarioConfig& config,
+                             std::uint64_t seed = 42);
+
+}  // namespace mec::population

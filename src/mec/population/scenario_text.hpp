@@ -1,0 +1,40 @@
+// Text-format scenario definitions.
+//
+// Lets users describe a heterogeneous MEC system in a small config file and
+// run any tool/bench against it without recompiling:
+//
+//     # my-fleet.mec
+//     name      = my-fleet
+//     n_users   = 2000
+//     capacity  = 10
+//     weight    = 1
+//     delay     = reciprocal 1.1
+//     arrival   = uniform 0 4
+//     service   = uniform 1 5
+//     latency   = lognormal -1.2 0.5 3.0
+//     energy_local   = uniform 0 3
+//     energy_offload = uniform 0 1
+//
+// Distributions:  uniform <lo> <hi> | constant <v> |
+//                 exponential <mean> <cap> | normal <mu> <sigma> <lo> <hi> |
+//                 lognormal <mu> <sigma> <cap> | gamma <shape> <scale> <cap>
+// Delays:         reciprocal <margin> | linear <g0> <slope> |
+//                 power <gmax> <p> | constant <v> | erlangc <N> <mu> [<cap>]
+// Lines starting with '#' and blank lines are ignored.  Every key above is
+// required except name (defaults to the file's stem or "scenario").
+#pragma once
+
+#include <string>
+
+#include "mec/population/scenario.hpp"
+
+namespace mec::population {
+
+/// Parses a scenario from config text. Throws mec::RuntimeError with a
+/// line-numbered message on any syntax or semantic problem.
+ScenarioConfig parse_scenario_text(const std::string& text);
+
+/// Reads and parses a scenario file.
+ScenarioConfig load_scenario_file(const std::string& path);
+
+}  // namespace mec::population

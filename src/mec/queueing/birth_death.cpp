@@ -1,0 +1,62 @@
+#include "mec/queueing/birth_death.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "mec/common/error.hpp"
+
+namespace mec::queueing {
+
+std::vector<double> stationary_distribution(std::span<const double> births,
+                                            std::span<const double> deaths) {
+  MEC_EXPECTS(!births.empty());
+  MEC_EXPECTS(births.size() == deaths.size());
+  MEC_EXPECTS(std::all_of(births.begin(), births.end(),
+                          [](double b) { return b >= 0.0; }));
+  MEC_EXPECTS(std::all_of(deaths.begin(), deaths.end(),
+                          [](double d) { return d > 0.0; }));
+
+  const std::size_t n_states = births.size() + 1;
+  std::vector<double> pi(n_states, 0.0);
+
+  // Unnormalized weights with periodic rescaling for numerical stability.
+  pi[0] = 1.0;
+  double scale_log = 0.0;  // we only need relative weights, so track none
+  (void)scale_log;
+  double total = 1.0;
+  double w = 1.0;
+  for (std::size_t i = 0; i + 1 < n_states; ++i) {
+    if (births[i] == 0.0) break;  // states beyond i are unreachable
+    w *= births[i] / deaths[i];
+    pi[i + 1] = w;
+    total += w;
+    if (total > 1e300) {  // rescale everything computed so far
+      for (std::size_t j = 0; j <= i + 1; ++j) pi[j] /= total;
+      w = pi[i + 1];
+      total = 0.0;
+      for (std::size_t j = 0; j <= i + 1; ++j) total += pi[j];
+    }
+  }
+  for (double& p : pi) p /= total;
+
+  MEC_ENSURES(std::abs(std::accumulate(pi.begin(), pi.end(), 0.0) - 1.0) <
+              1e-9);
+  return pi;
+}
+
+double expectation(std::span<const double> pi, std::span<const double> values) {
+  MEC_EXPECTS(pi.size() == values.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) acc += pi[i] * values[i];
+  return acc;
+}
+
+double mean_state(std::span<const double> pi) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i)
+    acc += static_cast<double>(i) * pi[i];
+  return acc;
+}
+
+}  // namespace mec::queueing

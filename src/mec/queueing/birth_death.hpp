@@ -1,0 +1,35 @@
+// Generic finite birth–death chain solver.
+//
+// The TRO local queue, the M/M/1/K queue, and several test fixtures are all
+// finite birth–death chains; this module computes their stationary
+// distributions directly from the detailed-balance recursion
+//   pi_{i+1} = pi_i * birth_i / death_{i+1},
+// normalized in a numerically stable way (running rescale to avoid overflow
+// when birth/death ratios exceed 1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mec::queueing {
+
+/// Stationary distribution of a finite birth–death chain on states
+/// 0..births.size() (one more state than birth rates).
+///
+/// `births[i]` is the transition rate i -> i+1 (must be >= 0),
+/// `deaths[i]` is the transition rate i+1 -> i (must be > 0),
+/// and the two spans must have equal, non-zero length.
+///
+/// States unreachable because of an interior zero birth rate get probability
+/// zero (the chain restricted to the reachable prefix is solved).
+std::vector<double> stationary_distribution(std::span<const double> births,
+                                            std::span<const double> deaths);
+
+/// Mean of `values[i]` under distribution `pi`; sizes must match.
+double expectation(std::span<const double> pi, std::span<const double> values);
+
+/// Mean state index under `pi` (i.e. average queue length).
+double mean_state(std::span<const double> pi);
+
+}  // namespace mec::queueing

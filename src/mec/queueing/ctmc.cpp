@@ -1,0 +1,100 @@
+#include "mec/queueing/ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mec/common/error.hpp"
+
+namespace mec::queueing {
+
+GeneratorMatrix::GeneratorMatrix(std::size_t n) : n_(n), q_(n * n, 0.0) {
+  MEC_EXPECTS(n >= 1);
+}
+
+void GeneratorMatrix::add_rate(std::size_t from, std::size_t to, double rate) {
+  MEC_EXPECTS(from < n_);
+  MEC_EXPECTS(to < n_);
+  MEC_EXPECTS(from != to);
+  MEC_EXPECTS(rate > 0.0);
+  q_[from * n_ + to] += rate;
+  q_[from * n_ + from] -= rate;
+}
+
+double GeneratorMatrix::at(std::size_t row, std::size_t col) const {
+  MEC_EXPECTS(row < n_);
+  MEC_EXPECTS(col < n_);
+  return q_[row * n_ + col];
+}
+
+bool GeneratorMatrix::is_valid_generator(double tolerance) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double v = q_[i * n_ + j];
+      if (i != j && v < 0.0) return false;
+      row_sum += v;
+    }
+    if (std::abs(row_sum) > tolerance) return false;
+  }
+  return true;
+}
+
+std::vector<double> stationary_distribution(const GeneratorMatrix& q) {
+  MEC_EXPECTS_MSG(q.is_valid_generator(), "not a valid CTMC generator");
+  const std::size_t n = q.n_;
+
+  // Solve x * Q = 0 with sum(x) = 1  <=>  Q^T x = 0; replace the last
+  // equation by the normalization.  Build the (column-major transposed)
+  // augmented system A x = b.
+  std::vector<double> a(n * n);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a[i * n + j] = q.q_[j * n + i];  // A = Q^T
+  for (std::size_t j = 0; j < n; ++j) a[(n - 1) * n + j] = 1.0;
+  b[n - 1] = 1.0;
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row)
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col]))
+        pivot = row;
+    if (std::abs(a[pivot * n + col]) < 1e-13)
+      throw RuntimeError("CTMC stationary solve: singular system (chain not "
+                         "irreducible?)");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(a[pivot * n + j], a[col * n + j]);
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j)
+        a[row * n + j] -= factor * a[col * n + j];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t row_plus1 = n; row_plus1 > 0; --row_plus1) {
+    const std::size_t row = row_plus1 - 1;
+    double acc = b[row];
+    for (std::size_t j = row + 1; j < n; ++j) acc -= a[row * n + j] * x[j];
+    x[row] = acc / a[row * n + row];
+  }
+
+  // Clean tiny negative round-off and renormalize.
+  double total = 0.0;
+  for (double& v : x) {
+    if (v < 0.0 && v > -1e-9) v = 0.0;
+    MEC_ENSURES(v >= 0.0);
+    total += v;
+  }
+  MEC_ENSURES(total > 0.0);
+  for (double& v : x) v /= total;
+  return x;
+}
+
+}  // namespace mec::queueing

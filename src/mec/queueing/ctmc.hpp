@@ -1,0 +1,44 @@
+// Dense continuous-time Markov chain stationary solver.
+//
+// Solves pi * Q = 0, sum(pi) = 1 for an irreducible finite-state CTMC by
+// Gaussian elimination with partial pivoting (one balance equation replaced
+// by the normalization).  Intended for the moderate state spaces produced by
+// the phase-type threshold-queue models (hundreds of states); the dedicated
+// birth-death solver remains the fast path for the exponential case.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mec::queueing {
+
+/// Dense row-major rate-matrix builder with invariant-preserving access.
+class GeneratorMatrix {
+ public:
+  /// Creates an n x n all-zero generator. Requires n >= 1.
+  explicit GeneratorMatrix(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Adds a transition `from` -> `to` at `rate` (> 0, from != to), keeping
+  /// the row sum at zero by decrementing the diagonal.
+  void add_rate(std::size_t from, std::size_t to, double rate);
+
+  double at(std::size_t row, std::size_t col) const;
+
+  /// Verifies every off-diagonal is >= 0 and each row sums to ~0.
+  bool is_valid_generator(double tolerance = 1e-9) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> q_;  // row-major
+  friend std::vector<double> stationary_distribution(const GeneratorMatrix&);
+};
+
+/// Stationary distribution of the CTMC with generator `q`.
+/// Requires a valid generator whose chain has a single closed communicating
+/// class reachable from every state (throws mec::RuntimeError if the linear
+/// system is numerically singular).
+std::vector<double> stationary_distribution(const GeneratorMatrix& q);
+
+}  // namespace mec::queueing

@@ -1,0 +1,40 @@
+#include "mec/queueing/erlang.hpp"
+
+#include "mec/common/error.hpp"
+
+namespace mec::queueing {
+
+double erlang_b(std::size_t servers, double erlangs) {
+  MEC_EXPECTS(servers >= 1);
+  MEC_EXPECTS(erlangs >= 0.0);
+  double b = 1.0;
+  for (std::size_t n = 1; n <= servers; ++n)
+    b = erlangs * b / (static_cast<double>(n) + erlangs * b);
+  return b;
+}
+
+double erlang_c(std::size_t servers, double erlangs) {
+  MEC_EXPECTS(servers >= 1);
+  MEC_EXPECTS_MSG(erlangs < static_cast<double>(servers),
+                  "Erlang-C requires offered load below server count");
+  const double b = erlang_b(servers, erlangs);
+  const double rho = erlangs / static_cast<double>(servers);
+  return b / (1.0 - rho + rho * b);
+}
+
+double mmn_mean_wait(std::size_t servers, double mu, double lambda) {
+  MEC_EXPECTS(mu > 0.0);
+  MEC_EXPECTS(lambda >= 0.0);
+  MEC_EXPECTS_MSG(lambda < static_cast<double>(servers) * mu,
+                  "M/M/N requires lambda < N*mu");
+  if (lambda == 0.0) return 0.0;
+  const double erlangs = lambda / mu;
+  const double c = erlang_c(servers, erlangs);
+  return c / (static_cast<double>(servers) * mu - lambda);
+}
+
+double mmn_mean_sojourn(std::size_t servers, double mu, double lambda) {
+  return mmn_mean_wait(servers, mu, lambda) + 1.0 / mu;
+}
+
+}  // namespace mec::queueing

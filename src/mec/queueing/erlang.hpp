@@ -1,0 +1,31 @@
+// Erlang-B / Erlang-C formulas for multi-server queues.
+//
+// The paper abstracts the edge cluster as an increasing delay g(gamma); this
+// module provides a queueing-theoretic instantiation: an M/M/N cluster whose
+// mean waiting time at offered utilization gamma follows Erlang-C.  Used by
+// core::make_erlang_c_delay and the edge-delay ablation.
+#pragma once
+
+#include <cstddef>
+
+namespace mec::queueing {
+
+/// Erlang-B blocking probability for `servers` servers at offered load
+/// `erlangs` (= lambda/mu). Computed with the standard stable recurrence
+/// B(0) = 1, B(n) = a*B(n-1) / (n + a*B(n-1)).
+/// Requires servers >= 1, erlangs >= 0.
+double erlang_b(std::size_t servers, double erlangs);
+
+/// Erlang-C probability of waiting (all servers busy) for an M/M/N queue.
+/// Requires servers >= 1 and erlangs < servers (stability).
+double erlang_c(std::size_t servers, double erlangs);
+
+/// Mean waiting time in an M/M/N queue with `servers` servers, per-server
+/// rate `mu`, and arrival rate `lambda`. Requires stability
+/// (lambda < servers*mu).
+double mmn_mean_wait(std::size_t servers, double mu, double lambda);
+
+/// Mean sojourn (wait + service) in the same queue.
+double mmn_mean_sojourn(std::size_t servers, double mu, double lambda);
+
+}  // namespace mec::queueing

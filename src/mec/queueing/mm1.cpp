@@ -1,0 +1,31 @@
+#include "mec/queueing/mm1.hpp"
+
+#include <cmath>
+
+#include "mec/common/error.hpp"
+
+namespace mec::queueing {
+
+Mm1Metrics mm1_metrics(double lambda, double mu) {
+  MEC_EXPECTS(mu > 0.0);
+  MEC_EXPECTS(lambda >= 0.0);
+  MEC_EXPECTS_MSG(lambda < mu, "M/M/1 requires lambda < mu for stability");
+  const double rho = lambda / mu;
+  Mm1Metrics m{};
+  m.utilization = rho;
+  m.mean_in_system = rho / (1.0 - rho);
+  m.mean_in_queue = rho * rho / (1.0 - rho);
+  m.mean_sojourn = 1.0 / (mu - lambda);
+  m.mean_wait = rho / (mu - lambda);
+  return m;
+}
+
+double mm1_state_probability(double lambda, double mu, unsigned n) {
+  MEC_EXPECTS(mu > 0.0);
+  MEC_EXPECTS(lambda >= 0.0);
+  MEC_EXPECTS(lambda < mu);
+  const double rho = lambda / mu;
+  return (1.0 - rho) * std::pow(rho, static_cast<double>(n));
+}
+
+}  // namespace mec::queueing

@@ -1,0 +1,23 @@
+// Classic M/M/1 quantities, used by the DPO baseline (a user offloading each
+// task with probability rho leaves an M/M/1 local queue with thinned arrivals)
+// and as a sanity anchor for the DES.
+#pragma once
+
+namespace mec::queueing {
+
+/// Steady-state M/M/1 metrics for arrival rate `lambda` and service rate `mu`.
+struct Mm1Metrics {
+  double utilization;      ///< rho = lambda/mu
+  double mean_in_system;   ///< L = rho/(1-rho)
+  double mean_in_queue;    ///< Lq = rho^2/(1-rho)
+  double mean_sojourn;     ///< W = 1/(mu-lambda)
+  double mean_wait;        ///< Wq = rho/(mu-lambda)
+};
+
+/// Requires 0 <= lambda < mu (stability) and mu > 0.
+Mm1Metrics mm1_metrics(double lambda, double mu);
+
+/// P(N = n) for the M/M/1 queue. Requires 0 <= lambda < mu.
+double mm1_state_probability(double lambda, double mu, unsigned n);
+
+}  // namespace mec::queueing

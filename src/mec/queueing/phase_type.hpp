@@ -1,0 +1,72 @@
+// Phase-type service distributions and the TRO threshold queue under them.
+//
+// Theorem 1's closed forms assume exponential local service.  The paper
+// argues by simulation that its conclusions persist for general (measured)
+// service times; this module makes that claim *analytic* for the dense class
+// of phase-type laws: the TRO local queue with Poisson arrivals and
+// phase-type service is a finite CTMC over (queue length, service phase)
+// whose stationary distribution we solve exactly (mec/queueing/ctmc.hpp).
+//
+// Supported constructions: exponential (1 phase), Erlang-k (low variability,
+// SCV = 1/k), hyperexponential (high variability, SCV >= 1), and a standard
+// two-phase balanced-means fit to a target (mean, SCV).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mec/queueing/threshold_queue.hpp"
+
+namespace mec::queueing {
+
+/// A phase-type distribution: the absorption time of a transient CTMC with
+/// `phases()` states, entered via `initial`, moving between phases at
+/// `phase_change[i][j]` and absorbing (completing) from phase i at
+/// `completion[i]`.
+struct PhaseType {
+  std::vector<double> initial;                     ///< entry probabilities
+  std::vector<std::vector<double>> phase_change;   ///< off-diagonal rates
+  std::vector<double> completion;                  ///< absorption rates
+
+  std::size_t phases() const noexcept { return initial.size(); }
+
+  /// Validates shapes, non-negativity, initial sums to 1, and that every
+  /// phase eventually absorbs. Throws ContractViolation otherwise.
+  void check() const;
+
+  /// First moment alpha * (-S)^{-1} * 1.
+  double mean() const;
+
+  /// Squared coefficient of variation Var/Mean^2 (1 for exponential,
+  /// 1/k for Erlang-k, >= 1 for hyperexponential).
+  double scv() const;
+
+  /// Same shape, all rates scaled so the mean becomes `new_mean` (> 0).
+  PhaseType scaled_to_mean(double new_mean) const;
+};
+
+/// Exponential(rate) as a single phase. Requires rate > 0.
+PhaseType exponential_phase(double rate);
+
+/// Erlang with `stages` sequential phases and the given overall mean.
+/// Requires stages >= 1, mean > 0.
+PhaseType erlang_phase(std::size_t stages, double mean);
+
+/// Hyperexponential: phase i with probability probs[i], rate rates[i].
+/// Requires matching non-empty sizes, probs summing to 1, rates > 0.
+PhaseType hyperexponential_phase(std::vector<double> probs,
+                                 std::vector<double> rates);
+
+/// Two-phase balanced-means hyperexponential with the given mean and SCV.
+/// Requires mean > 0 and scv >= 1 (use erlang_phase for scv < 1).
+PhaseType hyperexponential_from_scv(double mean, double scv);
+
+/// Exact steady-state TRO metrics when local service follows `service`
+/// (arbitrary mean) and tasks arrive Poisson(arrival_rate), under real
+/// threshold x.  For exponential `service` this agrees with tro_metrics.
+/// Requires arrival_rate > 0, valid service, 0 <= x <= 500 (the CTMC has
+/// (floor(x)+1) * phases + 1 states).
+TroMetrics tro_metrics_phase_type(double arrival_rate,
+                                  const PhaseType& service, double x);
+
+}  // namespace mec::queueing

@@ -1,0 +1,105 @@
+#include "mec/queueing/threshold_queue.hpp"
+
+#include <cmath>
+
+#include "mec/common/error.hpp"
+
+namespace mec::queueing {
+
+namespace {
+
+struct Decomposed {
+  long long k;   // floor(x)
+  double frac;   // x - floor(x)
+};
+
+Decomposed decompose(double theta, double x) {
+  MEC_EXPECTS(theta > 0.0);
+  MEC_EXPECTS(x >= 0.0);
+  MEC_EXPECTS_MSG(x <= 1e6, "threshold beyond supported range");
+  const double fl = std::floor(x);
+  return {static_cast<long long>(fl), x - fl};
+}
+
+/// Accumulated unnormalized chain weights, rescaled to avoid overflow.
+/// All members share the same (unknown) scale factor, so any ratio is exact.
+struct ChainSums {
+  double s0;      // sum_{i=0..k} theta^i
+  double s1;      // sum_{i=0..k} i * theta^i
+  double w0;      // weight of state 0 (rescaled 1.0)
+  double wk;      // weight of state k, theta^k
+  double wtop;    // weight of state k+1, frac * theta^{k+1}
+};
+
+ChainSums accumulate(double theta, long long k, double frac) {
+  ChainSums c{1.0, 0.0, 1.0, 1.0, 0.0};
+  double w = 1.0;
+  for (long long i = 1; i <= k; ++i) {
+    w *= theta;
+    c.s0 += w;
+    c.s1 += static_cast<double>(i) * w;
+    if (c.s0 > 1e280 || c.s1 > 1e280) {
+      constexpr double kRescale = 1e-280;
+      c.s0 *= kRescale;
+      c.s1 *= kRescale;
+      c.w0 *= kRescale;
+      w *= kRescale;
+    }
+  }
+  c.wk = w;
+  c.wtop = frac * w * theta;
+  return c;
+}
+
+}  // namespace
+
+TroMetrics tro_metrics(double theta, double x) {
+  const auto [k, frac] = decompose(theta, x);
+  const ChainSums c = accumulate(theta, k, frac);
+  const double total = c.s0 + c.wtop;
+  TroMetrics m{};
+  m.mean_queue_length =
+      (c.s1 + static_cast<double>(k + 1) * c.wtop) / total;
+  // PASTA: an arrival is offloaded iff it sees state k and loses the coin
+  // flip (prob 1-frac), or sees state k+1.
+  m.offload_probability = ((1.0 - frac) * c.wk + c.wtop) / total;
+  m.p_empty = c.w0 / total;
+  MEC_ENSURES(m.offload_probability >= 0.0 && m.offload_probability <= 1.0);
+  MEC_ENSURES(m.mean_queue_length >= 0.0);
+  return m;
+}
+
+double tro_mean_queue_length(double theta, double x) {
+  return tro_metrics(theta, x).mean_queue_length;
+}
+
+double tro_offload_probability(double theta, double x) {
+  return tro_metrics(theta, x).offload_probability;
+}
+
+std::vector<double> tro_stationary_distribution(double theta, double x) {
+  const auto [k, frac] = decompose(theta, x);
+  const std::size_t n = static_cast<std::size_t>(k) + 2;
+  std::vector<double> pi(n, 0.0);
+  // Build weights with rescaling, then normalize.
+  pi[0] = 1.0;
+  double total = 1.0;
+  double w = 1.0;
+  for (std::size_t i = 1; i <= static_cast<std::size_t>(k); ++i) {
+    w *= theta;
+    pi[i] = w;
+    total += w;
+    if (total > 1e280) {
+      constexpr double kRescale = 1e-280;
+      for (std::size_t j = 0; j <= i; ++j) pi[j] *= kRescale;
+      w *= kRescale;
+      total *= kRescale;
+    }
+  }
+  pi[n - 1] = frac * w * theta;
+  total += pi[n - 1];
+  for (double& p : pi) p /= total;
+  return pi;
+}
+
+}  // namespace mec::queueing

@@ -1,0 +1,73 @@
+#include "mec/random/empirical_data.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "mec/common/error.hpp"
+#include "mec/random/rng.hpp"
+
+namespace mec::random {
+
+namespace {
+
+double lognormal(Xoshiro256& rng, double mu, double sigma) {
+  return std::exp(mu + sigma * standard_normal(rng));
+}
+
+}  // namespace
+
+EmpiricalDataset synthetic_yolo_processing_times(std::uint64_t seed,
+                                                 std::size_t n) {
+  MEC_EXPECTS(n >= 1);
+  Xoshiro256 rng(seed);
+  std::vector<double> times;
+  times.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Body: typical detection ~0.10 s; stragglers (thermal throttling, large
+    // scenes) ~2.5x slower with more spread.
+    const bool straggler = bernoulli(rng, 0.07);
+    const double t = straggler ? lognormal(rng, std::log(0.25), 0.30)
+                               : lognormal(rng, std::log(0.10), 0.35);
+    times.push_back(t);
+  }
+  return EmpiricalDataset(std::move(times), "yolo_rpi4_processing_time_s");
+}
+
+EmpiricalDataset service_rates_from_times(const EmpiricalDataset& times,
+                                          double target_mean_rate) {
+  MEC_EXPECTS(target_mean_rate > 0.0);
+  MEC_EXPECTS_MSG(times.min() > 0.0, "processing times must be positive");
+  std::vector<double> rates;
+  rates.reserve(times.size());
+  for (const double t : times.samples()) rates.push_back(1.0 / t);
+  const double mean =
+      std::accumulate(rates.begin(), rates.end(), 0.0) /
+      static_cast<double>(rates.size());
+  for (double& r : rates) r *= target_mean_rate / mean;
+  return EmpiricalDataset(std::move(rates), "yolo_rpi4_service_rate");
+}
+
+EmpiricalDataset synthetic_wifi_offload_latencies(std::uint64_t seed,
+                                                  std::size_t n,
+                                                  double target_mean) {
+  MEC_EXPECTS(n >= 1);
+  MEC_EXPECTS(target_mean > 0.0);
+  Xoshiro256 rng(seed);
+  std::vector<double> latencies;
+  latencies.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Body: typical upload; spikes: transient WiFi congestion / retransmits.
+    const bool spike = bernoulli(rng, 0.05);
+    const double l = spike ? lognormal(rng, std::log(3.0), 0.40)
+                           : lognormal(rng, std::log(0.9), 0.45);
+    latencies.push_back(l);
+  }
+  const double mean =
+      std::accumulate(latencies.begin(), latencies.end(), 0.0) /
+      static_cast<double>(latencies.size());
+  for (double& l : latencies) l *= target_mean / mean;
+  return EmpiricalDataset(std::move(latencies), "wifi_upload_latency_s");
+}
+
+}  // namespace mec::random

@@ -1,0 +1,45 @@
+// Synthetic stand-ins for the paper's measured datasets (Fig. 6).
+//
+// The authors measured (a) per-image YOLOv3 object-detection times on a
+// Raspberry Pi 4 and (b) per-image WiFi upload latencies to Google Drive, for
+// 1000 VOC2012 images, then sampled each user's mean service rate S and mean
+// offloading latency T from those measurements (practical settings,
+// E[S] = 8.9437).  The raw traces are not published, so we synthesize
+// datasets with the same qualitative shape (unimodal, right-skewed, a small
+// congestion/straggler mode — cf. the Fig. 6 histograms) and the same mean
+// service rate.  See DESIGN.md §5 for the substitution argument.
+#pragma once
+
+#include <cstdint>
+
+#include "mec/random/empirical.hpp"
+
+namespace mec::random {
+
+/// Mean service rate of the practical settings in the paper (Section IV-B).
+inline constexpr double kPaperMeanServiceRate = 8.9437;
+
+/// Default seed used by the reproduction benches; fixed for determinism.
+inline constexpr std::uint64_t kDatasetSeed = 0xDA7A5EEDULL;
+
+/// 1000 synthetic per-image local processing times (seconds): lognormal body
+/// with a 7% straggler mode, emulating Fig. 6a.
+EmpiricalDataset synthetic_yolo_processing_times(
+    std::uint64_t seed = kDatasetSeed, std::size_t n = 1000);
+
+/// Converts measured processing times into a per-user mean *service rate*
+/// dataset (rate = 1/time), rescaled so its mean equals `target_mean_rate`.
+/// This is the dataset practical scenarios draw S from. Requires all
+/// processing times > 0 and target_mean_rate > 0.
+EmpiricalDataset service_rates_from_times(const EmpiricalDataset& times,
+                                          double target_mean_rate =
+                                              kPaperMeanServiceRate);
+
+/// 1000 synthetic per-image WiFi upload latencies (seconds): lognormal body
+/// with a 5% congestion-spike mode, rescaled to `target_mean`, emulating
+/// Fig. 6b. Requires target_mean > 0.
+EmpiricalDataset synthetic_wifi_offload_latencies(
+    std::uint64_t seed = kDatasetSeed + 1, std::size_t n = 1000,
+    double target_mean = 2.0);
+
+}  // namespace mec::random

@@ -1,0 +1,28 @@
+#include "mec/sim/des.hpp"
+
+#include <cmath>
+
+#include "mec/common/error.hpp"
+
+namespace mec::sim {
+
+void EventQueue::push(double time, EventKind kind, std::uint32_t device,
+                      double payload) {
+  MEC_EXPECTS(std::isfinite(time));
+  MEC_EXPECTS(time >= 0.0);
+  heap_.push(Event{time, next_seq_++, kind, device, payload});
+}
+
+double EventQueue::next_time() const {
+  MEC_EXPECTS(!heap_.empty());
+  return heap_.top().time;
+}
+
+Event EventQueue::pop() {
+  MEC_EXPECTS(!heap_.empty());
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace mec::sim

@@ -1,0 +1,59 @@
+// Discrete-event core: a deterministic future-event list.
+//
+// Events are ordered by (time, insertion sequence) so simultaneous events are
+// processed in FIFO order, making every run bit-reproducible for a given
+// seed regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace mec::sim {
+
+/// What happened, dispatched by MecSimulation.
+enum class EventKind : std::uint8_t {
+  kArrival,          ///< a new task arrives at `device`
+  kLocalDeparture,   ///< `device` finishes its in-service local task
+  kOffloadDelivery,  ///< an offloaded task of `device` completes at the edge
+};
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;   ///< tie-break: earlier-scheduled first
+  EventKind kind = EventKind::kArrival;
+  std::uint32_t device = 0;
+  double payload = 0.0;    ///< kind-specific (e.g. offload start time)
+};
+
+/// Min-heap future event list with deterministic tie-breaking.
+class EventQueue {
+ public:
+  /// Schedules an event; `time` must be finite and >= 0.
+  void push(double time, EventKind kind, std::uint32_t device,
+            double payload = 0.0);
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the next event. Requires non-empty queue.
+  double next_time() const;
+
+  /// Removes and returns the next event. Requires non-empty queue.
+  Event pop();
+
+  /// Total events ever scheduled (diagnostics).
+  std::uint64_t scheduled_count() const noexcept { return next_seq_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mec::sim

@@ -1,0 +1,405 @@
+#include "mec/sim/mec_simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <utility>
+
+#include "mec/common/error.hpp"
+#include "mec/sim/des.hpp"
+
+namespace mec::sim {
+
+ServiceSampler exponential_service() {
+  return [](random::Xoshiro256& rng, const core::UserParams& u) {
+    return random::exponential(rng, u.service_rate);
+  };
+}
+
+ServiceSampler deterministic_service() {
+  return [](random::Xoshiro256&, const core::UserParams& u) {
+    return 1.0 / u.service_rate;
+  };
+}
+
+ServiceSampler empirical_service(random::EmpiricalDataset times) {
+  MEC_EXPECTS(times.mean() > 0.0);
+  const double dataset_mean = times.mean();
+  return [times = std::move(times), dataset_mean](
+             random::Xoshiro256& rng, const core::UserParams& u) {
+    return times.resample(rng) / (dataset_mean * u.service_rate);
+  };
+}
+
+ServiceSampler erlang_service(std::size_t stages) {
+  MEC_EXPECTS(stages >= 1);
+  return [stages](random::Xoshiro256& rng, const core::UserParams& u) {
+    const double stage_rate =
+        static_cast<double>(stages) * u.service_rate;
+    double total = 0.0;
+    for (std::size_t i = 0; i < stages; ++i)
+      total += random::exponential(rng, stage_rate);
+    return total;
+  };
+}
+
+ServiceSampler hyperexponential_service(double scv) {
+  MEC_EXPECTS(scv >= 1.0);
+  // Balanced-means H2 fit (cf. queueing::hyperexponential_from_scv): branch
+  // probability p with rates 2p*s and 2(1-p)*s for mean 1/s.
+  const double p = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+  return [p](random::Xoshiro256& rng, const core::UserParams& u) {
+    const bool first = random::bernoulli(rng, p);
+    const double rate =
+        first ? 2.0 * p * u.service_rate : 2.0 * (1.0 - p) * u.service_rate;
+    return random::exponential(rng, rate);
+  };
+}
+
+LatencySampler exponential_latency() {
+  return [](random::Xoshiro256& rng, const core::UserParams& u) {
+    if (u.offload_latency <= 0.0) return 0.0;
+    return random::exponential(rng, 1.0 / u.offload_latency);
+  };
+}
+
+LatencySampler deterministic_latency() {
+  return [](random::Xoshiro256&, const core::UserParams& u) {
+    return u.offload_latency;
+  };
+}
+
+LatencySampler empirical_latency(random::EmpiricalDataset latencies) {
+  MEC_EXPECTS(latencies.mean() > 0.0);
+  const double dataset_mean = latencies.mean();
+  return [latencies = std::move(latencies), dataset_mean](
+             random::Xoshiro256& rng, const core::UserParams& u) {
+    return latencies.resample(rng) * (u.offload_latency / dataset_mean);
+  };
+}
+
+namespace {
+
+/// Exponentially-weighted estimator of the aggregate offload task rate.
+class EwmaRate {
+ public:
+  EwmaRate(double time_constant, double initial_rate)
+      : tau_(time_constant), rate_(initial_rate) {
+    MEC_EXPECTS(tau_ > 0.0);
+    MEC_EXPECTS(initial_rate >= 0.0);
+  }
+
+  void record_event(double now) {
+    decay_to(now);
+    rate_ += 1.0 / tau_;
+  }
+
+  double rate_at(double now) {
+    decay_to(now);
+    return rate_;
+  }
+
+ private:
+  void decay_to(double now) {
+    if (now > last_) {
+      rate_ *= std::exp(-(now - last_) / tau_);
+      last_ = now;
+    }
+  }
+  double tau_;
+  double rate_;
+  double last_ = 0.0;
+};
+
+/// Mutable per-device simulation state.
+struct DeviceState {
+  random::Xoshiro256 rng{0};
+  std::deque<double> local_queue;  ///< arrival times of tasks in system
+  // Measurement accumulators (reset at end of warm-up):
+  double queue_integral = 0.0;
+  double last_change = 0.0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t offloaded = 0;
+  std::uint64_t local_completed = 0;
+  double local_sojourn_sum = 0.0;
+  double offload_delay_sum = 0.0;
+  double energy_sum = 0.0;
+
+  void integrate_to(double now) {
+    queue_integral +=
+        static_cast<double>(local_queue.size()) * (now - last_change);
+    last_change = now;
+  }
+  void reset_measurements(double now) {
+    queue_integral = 0.0;
+    last_change = now;
+    arrivals = offloaded = local_completed = 0;
+    local_sojourn_sum = offload_delay_sum = energy_sum = 0.0;
+  }
+};
+
+}  // namespace
+
+MecSimulation::MecSimulation(std::span<const core::UserParams> users,
+                             double capacity, core::EdgeDelay delay,
+                             SimulationOptions options)
+    : users_(users.begin(), users.end()),
+      capacity_(capacity),
+      delay_(std::move(delay)),
+      options_(std::move(options)) {
+  MEC_EXPECTS(!users_.empty());
+  MEC_EXPECTS(capacity_ > 0.0);
+  MEC_EXPECTS(delay_.valid());
+  MEC_EXPECTS(options_.warmup >= 0.0);
+  MEC_EXPECTS(options_.horizon > 0.0);
+  MEC_EXPECTS(options_.utilization_ewma_tau > 0.0);
+  MEC_EXPECTS(options_.initial_gamma >= 0.0 && options_.initial_gamma <= 1.0);
+  MEC_EXPECTS(options_.sample_interval >= 0.0);
+  MEC_EXPECTS(options_.epoch_period >= 0.0);
+  MEC_EXPECTS_MSG(options_.epoch_period == 0.0 ||
+                      static_cast<bool>(options_.on_epoch),
+                  "epoch_period needs an on_epoch callback");
+  if (options_.fixed_gamma)
+    MEC_EXPECTS(*options_.fixed_gamma >= 0.0 && *options_.fixed_gamma <= 1.0);
+  if (!options_.service) options_.service = exponential_service();
+  if (!options_.latency) options_.latency = exponential_latency();
+  for (const auto& u : users_) u.check();
+}
+
+SimulationResult MecSimulation::run(
+    std::span<const std::unique_ptr<OffloadPolicy>> policies) const {
+  MEC_EXPECTS(policies.size() == users_.size());
+  for (const auto& p : policies) MEC_EXPECTS(p != nullptr);
+
+  const auto n_devices = static_cast<std::uint32_t>(users_.size());
+  const double edge_capacity = static_cast<double>(n_devices) * capacity_;
+  const double t_end = options_.warmup + options_.horizon;
+
+  random::Xoshiro256 master(options_.seed);
+  std::vector<DeviceState> devices(n_devices);
+  EventQueue queue;
+  for (std::uint32_t n = 0; n < n_devices; ++n) {
+    devices[n].rng = master.split();
+    queue.push(random::exponential(devices[n].rng, users_[n].arrival_rate),
+               EventKind::kArrival, n);
+  }
+
+  EwmaRate offload_rate(options_.utilization_ewma_tau,
+                        options_.initial_gamma * edge_capacity);
+  const auto current_gamma = [&](double now) {
+    if (options_.fixed_gamma) return *options_.fixed_gamma;
+    return std::clamp(offload_rate.rate_at(now) / edge_capacity, 0.0, 1.0);
+  };
+
+  bool measuring = options_.warmup == 0.0;
+  std::uint64_t offloads_in_window = 0;
+  std::uint64_t events = 0;
+  stats::LatencyPercentiles local_sojourns;
+  stats::LatencyPercentiles offload_delays;
+
+  std::vector<TimelinePoint> timeline;
+  double next_sample = options_.sample_interval > 0.0
+                           ? options_.sample_interval
+                           : std::numeric_limits<double>::infinity();
+  const auto record_sample = [&](double at) {
+    TimelinePoint p;
+    p.time = at;
+    p.utilization_estimate = current_gamma(at);
+    double total_q = 0.0;
+    for (const auto& d : devices)
+      total_q += static_cast<double>(d.local_queue.size());
+    p.mean_queue_length = total_q / static_cast<double>(n_devices);
+    p.offloads_so_far = offloads_in_window;
+    timeline.push_back(p);
+  };
+
+  double next_epoch = options_.epoch_period > 0.0
+                          ? options_.epoch_period
+                          : std::numeric_limits<double>::infinity();
+
+  while (!queue.empty() && queue.next_time() <= t_end) {
+    const Event e = queue.pop();
+    ++events;
+    const double now = e.time;
+    while (next_sample <= now && next_sample <= t_end) {
+      record_sample(next_sample);
+      next_sample += options_.sample_interval;
+    }
+    while (next_epoch <= now && next_epoch <= t_end) {
+      options_.on_epoch(next_epoch, current_gamma(next_epoch));
+      next_epoch += options_.epoch_period;
+    }
+
+    if (!measuring && now >= options_.warmup) {
+      measuring = true;
+      for (auto& d : devices) d.reset_measurements(options_.warmup);
+    }
+
+    DeviceState& dev = devices[e.device];
+    const core::UserParams& u = users_[e.device];
+
+    switch (e.kind) {
+      case EventKind::kArrival: {
+        dev.integrate_to(now);
+        if (measuring) ++dev.arrivals;
+        const bool offload =
+            policies[e.device]->offload(dev.local_queue.size(), dev.rng);
+        if (offload) {
+          const double gamma = current_gamma(now);
+          const double delay_value = delay_(gamma);
+          const double latency = options_.latency(dev.rng, u);
+          if (!options_.fixed_gamma) offload_rate.record_event(now);
+          if (measuring) {
+            ++dev.offloaded;
+            ++offloads_in_window;
+            dev.offload_delay_sum += latency + delay_value;
+            dev.energy_sum += u.energy_offload;
+            offload_delays.add(latency + delay_value);
+          }
+          queue.push(now + latency + delay_value, EventKind::kOffloadDelivery,
+                     e.device, now);
+        } else {
+          dev.local_queue.push_back(now);
+          if (measuring) dev.energy_sum += u.energy_local;
+          if (dev.local_queue.size() == 1)  // idle server: start service
+            queue.push(now + options_.service(dev.rng, u),
+                       EventKind::kLocalDeparture, e.device);
+        }
+        queue.push(now + random::exponential(dev.rng, u.arrival_rate),
+                   EventKind::kArrival, e.device);
+        break;
+      }
+      case EventKind::kLocalDeparture: {
+        dev.integrate_to(now);
+        MEC_ASSERT(!dev.local_queue.empty());
+        const double arrived_at = dev.local_queue.front();
+        dev.local_queue.pop_front();
+        if (measuring) {
+          ++dev.local_completed;
+          // Sojourn clipped to the window start for tasks arriving in warm-up.
+          const double sojourn = now - std::max(arrived_at, 0.0);
+          dev.local_sojourn_sum += sojourn;
+          local_sojourns.add(sojourn);
+        }
+        if (!dev.local_queue.empty())
+          queue.push(now + options_.service(dev.rng, u),
+                     EventKind::kLocalDeparture, e.device);
+        break;
+      }
+      case EventKind::kOffloadDelivery:
+        // Task completed at the edge; all accounting happened at decision
+        // time (the delay is known then). Kept as an explicit event so
+        // in-flight work is visible to future extensions.
+        break;
+    }
+  }
+
+  // Flush trailing samples, then close the queue-length integrals.
+  while (next_sample <= t_end) {
+    record_sample(next_sample);
+    next_sample += options_.sample_interval;
+  }
+  for (auto& d : devices) d.integrate_to(t_end);
+
+  SimulationResult result;
+  result.horizon = options_.horizon;
+  result.total_events = events;
+  result.local_sojourn_percentiles = local_sojourns;
+  result.offload_delay_percentiles = offload_delays;
+  result.timeline = std::move(timeline);
+  result.devices.reserve(n_devices);
+  const double window = options_.horizon;
+
+  double cost_acc = 0.0, q_acc = 0.0, alpha_acc = 0.0;
+  const double gamma_measured =
+      static_cast<double>(offloads_in_window) / (window * edge_capacity);
+  for (std::uint32_t n = 0; n < n_devices; ++n) {
+    const DeviceState& dev = devices[n];
+    const core::UserParams& u = users_[n];
+    DeviceStats s;
+    s.arrivals = dev.arrivals;
+    s.offloaded = dev.offloaded;
+    s.local_completed = dev.local_completed;
+    s.mean_queue_length = dev.queue_integral / window;
+    s.offload_fraction =
+        dev.arrivals > 0
+            ? static_cast<double>(dev.offloaded) /
+                  static_cast<double>(dev.arrivals)
+            : 0.0;
+    s.mean_local_sojourn =
+        dev.local_completed > 0
+            ? dev.local_sojourn_sum / static_cast<double>(dev.local_completed)
+            : 0.0;
+    s.mean_offload_delay =
+        dev.offloaded > 0
+            ? dev.offload_delay_sum / static_cast<double>(dev.offloaded)
+            : 0.0;
+    s.energy_per_task =
+        dev.arrivals > 0
+            ? dev.energy_sum / static_cast<double>(dev.arrivals)
+            : 0.0;
+    // Empirical Eq.-(1) cost: measured alpha, measured mean queue, measured
+    // per-offload delay (latency + edge processing).
+    s.empirical_cost =
+        u.weight * u.energy_local * (1.0 - s.offload_fraction) +
+        s.mean_queue_length / u.arrival_rate +
+        (u.weight * u.energy_offload + s.mean_offload_delay) *
+            s.offload_fraction;
+    cost_acc += s.empirical_cost;
+    q_acc += s.mean_queue_length;
+    alpha_acc += s.offload_fraction;
+    result.devices.push_back(s);
+  }
+  result.measured_utilization = gamma_measured;
+  result.mean_cost = cost_acc / static_cast<double>(n_devices);
+  result.mean_queue_length = q_acc / static_cast<double>(n_devices);
+  result.mean_offload_fraction = alpha_acc / static_cast<double>(n_devices);
+  return result;
+}
+
+SimulationResult MecSimulation::run_tro(
+    std::span<const double> thresholds) const {
+  MEC_EXPECTS(thresholds.size() == users_.size());
+  std::vector<std::unique_ptr<OffloadPolicy>> policies;
+  policies.reserve(thresholds.size());
+  for (const double x : thresholds) policies.push_back(make_tro_policy(x));
+  return run(policies);
+}
+
+SimulationResult MecSimulation::run_dpo(std::span<const double> rhos) const {
+  MEC_EXPECTS(rhos.size() == users_.size());
+  std::vector<std::unique_ptr<OffloadPolicy>> policies;
+  policies.reserve(rhos.size());
+  for (const double rho : rhos) policies.push_back(make_dpo_policy(rho));
+  return run(policies);
+}
+
+DesUtilizationSource::DesUtilizationSource(
+    std::span<const core::UserParams> users, double capacity,
+    core::EdgeDelay delay, SimulationOptions options)
+    : users_(users.begin(), users.end()),
+      capacity_(capacity),
+      delay_(std::move(delay)),
+      options_(std::move(options)) {
+  MEC_EXPECTS(!users_.empty());
+  MEC_EXPECTS(capacity_ > 0.0);
+  MEC_EXPECTS(delay_.valid());
+}
+
+double DesUtilizationSource::utilization(std::span<const double> thresholds) {
+  SimulationOptions run_options = options_;
+  // Decorrelate successive DTU iterations while staying deterministic.
+  run_options.seed = options_.seed + 0x9E3779B97F4A7C15ULL * ++call_count_;
+  MecSimulation simulation(users_, capacity_, delay_, std::move(run_options));
+  last_ = simulation.run_tro(thresholds);
+  return last_->measured_utilization;
+}
+
+const SimulationResult& DesUtilizationSource::last_result() const {
+  MEC_EXPECTS_MSG(last_.has_value(),
+                  "last_result() before any utilization() call");
+  return *last_;
+}
+
+}  // namespace mec::sim

@@ -1,0 +1,135 @@
+// Full-system discrete-event simulator of the heterogeneous MEC model.
+//
+// N devices receive Poisson task streams; an admission policy (TRO, DPO, ...)
+// routes each arrival to the local FCFS queue or to the edge.  Local service
+// times come from a pluggable sampler (exponential by default; resampled
+// measured datasets for the practical settings).  Offloaded tasks pay a
+// wireless latency sample plus the edge processing delay g(gamma), where
+// gamma is either held fixed (quasi-stationary evaluation, mirroring the
+// theory) or tracked online with an exponentially-weighted rate estimator.
+//
+// The simulator is the library's ground truth: tests validate the closed
+// forms (Eq. 7-8) against it, and the practical-settings experiments use it
+// to measure utilization and cost under non-exponential service.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mec/core/dtu.hpp"
+#include "mec/core/edge_delay.hpp"
+#include "mec/core/user.hpp"
+#include "mec/random/empirical.hpp"
+#include "mec/random/rng.hpp"
+#include "mec/sim/metrics.hpp"
+#include "mec/sim/policies.hpp"
+
+namespace mec::sim {
+
+/// Draws one local service time for a device. Must have mean 1/s_n.
+using ServiceSampler =
+    std::function<double(random::Xoshiro256&, const core::UserParams&)>;
+
+/// Draws one wireless offload latency for a device. Must have mean tau_n.
+using LatencySampler =
+    std::function<double(random::Xoshiro256&, const core::UserParams&)>;
+
+/// Exponential(s_n) service — the theoretical model.
+ServiceSampler exponential_service();
+/// Deterministic 1/s_n service.
+ServiceSampler deterministic_service();
+/// Resamples `times` rescaled so each device's mean service time is 1/s_n.
+ServiceSampler empirical_service(random::EmpiricalDataset times);
+/// Erlang-k service with mean 1/s_n (SCV = 1/k). Requires stages >= 1.
+ServiceSampler erlang_service(std::size_t stages);
+/// Two-phase balanced-means hyperexponential service with mean 1/s_n and
+/// the given squared coefficient of variation. Requires scv >= 1.
+ServiceSampler hyperexponential_service(double scv);
+
+/// Exponential(mean tau_n) latency.
+LatencySampler exponential_latency();
+/// Deterministic tau_n latency.
+LatencySampler deterministic_latency();
+/// Resamples `latencies` rescaled so each device's mean latency is tau_n.
+LatencySampler empirical_latency(random::EmpiricalDataset latencies);
+
+struct SimulationOptions {
+  double warmup = 20.0;    ///< discarded transient, in simulated seconds
+  double horizon = 200.0;  ///< measurement window length
+  std::uint64_t seed = 1;
+  ServiceSampler service;  ///< null => exponential_service()
+  LatencySampler latency;  ///< null => exponential_latency()
+  /// If set, the edge delay uses this constant utilization (quasi-stationary
+  /// evaluation); otherwise an online EWMA estimate with time constant
+  /// `utilization_ewma_tau` is used, seeded from `initial_gamma`.
+  std::optional<double> fixed_gamma;
+  double utilization_ewma_tau = 10.0;
+  double initial_gamma = 0.0;
+  /// When > 0, the run records a TimelinePoint every `sample_interval`
+  /// simulated seconds (from time 0 through warm-up and measurement).
+  double sample_interval = 0.0;
+  /// When > 0 and on_epoch is set, the engine invokes on_epoch(now, gamma)
+  /// every `epoch_period` simulated seconds, where gamma is the engine's
+  /// current utilization estimate.  The callback may retune
+  /// MutableTroPolicy thresholds — this is how the closed-loop DTU runs
+  /// *inside* the simulator (see mec/sim/closed_loop.hpp).
+  double epoch_period = 0.0;
+  std::function<void(double now, double gamma_estimate)> on_epoch;
+};
+
+/// One reusable simulator bound to a population and an edge configuration.
+class MecSimulation {
+ public:
+  /// Copies the population. Requires non-empty users, capacity > 0, valid
+  /// delay, warmup >= 0, horizon > 0.
+  MecSimulation(std::span<const core::UserParams> users, double capacity,
+                core::EdgeDelay delay, SimulationOptions options = {});
+
+  /// Runs with per-device policies (size must match the population).
+  SimulationResult run(
+      std::span<const std::unique_ptr<OffloadPolicy>> policies) const;
+
+  /// Runs the TRO policy with per-device thresholds (x_n >= 0).
+  SimulationResult run_tro(std::span<const double> thresholds) const;
+
+  /// Runs the DPO policy with per-device offload probabilities.
+  SimulationResult run_dpo(std::span<const double> rhos) const;
+
+  std::size_t population_size() const noexcept { return users_.size(); }
+
+ private:
+  std::vector<core::UserParams> users_;
+  double capacity_;
+  core::EdgeDelay delay_;
+  SimulationOptions options_;
+};
+
+/// Adapts the simulator to Algorithm 1's gamma_t oracle: each call runs one
+/// simulation with the supplied thresholds and returns the measured
+/// utilization.  Successive calls use decorrelated seeds.
+class DesUtilizationSource final : public core::UtilizationSource {
+ public:
+  DesUtilizationSource(std::span<const core::UserParams> users,
+                       double capacity, core::EdgeDelay delay,
+                       SimulationOptions options = {});
+
+  double utilization(std::span<const double> thresholds) override;
+
+  /// Result of the most recent run (for cost reporting). Requires at least
+  /// one utilization() call.
+  const SimulationResult& last_result() const;
+
+ private:
+  std::vector<core::UserParams> users_;
+  double capacity_;
+  core::EdgeDelay delay_;
+  SimulationOptions options_;
+  std::optional<SimulationResult> last_;
+  std::uint64_t call_count_ = 0;
+};
+
+}  // namespace mec::sim

@@ -1,0 +1,31 @@
+#include "mec/sim/metrics.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace mec::sim {
+
+std::string summarize(const SimulationResult& result) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4);
+  os << "devices=" << result.devices.size()
+     << "  window=" << result.horizon << "s"
+     << "  events=" << result.total_events << "\n"
+     << "  utilization gamma = " << result.measured_utilization << "\n"
+     << "  mean cost (Eq. 1) = " << result.mean_cost << "\n"
+     << "  mean local queue  = " << result.mean_queue_length << "\n"
+     << "  mean offload frac = " << result.mean_offload_fraction << "\n";
+  if (result.local_sojourn_percentiles.count() > 0)
+    os << "  local sojourn p50/p95/p99 = "
+       << result.local_sojourn_percentiles.p50() << " / "
+       << result.local_sojourn_percentiles.p95() << " / "
+       << result.local_sojourn_percentiles.p99() << "\n";
+  if (result.offload_delay_percentiles.count() > 0)
+    os << "  offload delay p50/p95/p99 = "
+       << result.offload_delay_percentiles.p50() << " / "
+       << result.offload_delay_percentiles.p95() << " / "
+       << result.offload_delay_percentiles.p99() << "\n";
+  return os.str();
+}
+
+}  // namespace mec::sim

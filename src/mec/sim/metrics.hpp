@@ -1,0 +1,62 @@
+// Measurement containers produced by the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mec/stats/quantile.hpp"
+
+namespace mec::sim {
+
+/// Steady-state estimates for one device over the measurement window.
+struct DeviceStats {
+  std::uint64_t arrivals = 0;          ///< tasks arrived in the window
+  std::uint64_t offloaded = 0;         ///< of which offloaded
+  std::uint64_t local_completed = 0;   ///< local service completions
+  double mean_queue_length = 0.0;      ///< time-average local queue length
+  double offload_fraction = 0.0;       ///< offloaded / arrivals (0 if none)
+  double mean_local_sojourn = 0.0;     ///< mean local task time-in-system
+  double mean_offload_delay = 0.0;     ///< mean tau + g(gamma) per offload
+  double energy_per_task = 0.0;        ///< mean energy across all arrivals
+  double empirical_cost = 0.0;         ///< Eq.-(1) functional from measurements
+};
+
+/// One sampled point of the system's trajectory (telemetry; see
+/// SimulationOptions::sample_interval).
+struct TimelinePoint {
+  double time = 0.0;                 ///< simulated seconds (absolute)
+  double utilization_estimate = 0.0; ///< EWMA (or fixed) gamma at this time
+  double mean_queue_length = 0.0;    ///< instantaneous mean local queue
+  std::uint64_t offloads_so_far = 0; ///< cumulative offloads since warm-up
+};
+
+/// Whole-system result of one simulation run.
+struct SimulationResult {
+  std::vector<DeviceStats> devices;
+  /// Population-level per-task latency percentiles over the measurement
+  /// window (P-square estimators; empty when no tasks of the kind occurred).
+  stats::LatencyPercentiles local_sojourn_percentiles;
+  stats::LatencyPercentiles offload_delay_percentiles;
+  /// Sampled system trajectory; empty unless sampling was enabled.
+  std::vector<TimelinePoint> timeline;
+  double measured_utilization = 0.0;  ///< offload task rate / (N*c)
+  double mean_cost = 0.0;             ///< population mean of empirical_cost
+  double mean_queue_length = 0.0;     ///< population mean
+  double mean_offload_fraction = 0.0; ///< population mean (per-device alpha)
+  double horizon = 0.0;               ///< measurement window length
+  std::uint64_t total_events = 0;     ///< events processed (incl. warm-up)
+
+  /// Population mean of a DeviceStats field; requires non-empty devices.
+  template <typename Getter>
+  double device_mean(Getter&& get) const {
+    double acc = 0.0;
+    for (const auto& d : devices) acc += get(d);
+    return acc / static_cast<double>(devices.size());
+  }
+};
+
+/// One-paragraph human-readable summary (used by the examples).
+std::string summarize(const SimulationResult& result);
+
+}  // namespace mec::sim

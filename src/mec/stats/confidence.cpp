@@ -1,0 +1,78 @@
+#include "mec/stats/confidence.hpp"
+
+#include <cmath>
+
+#include "mec/common/error.hpp"
+
+namespace mec::stats {
+
+double normal_quantile(double p) {
+  MEC_EXPECTS(p > 0.0 && p < 1.0);
+  // Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One Halley refinement step using the normal CDF via erfc.
+  const double e =
+      0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+  const double u = e * std::sqrt(2.0 * std::acos(-1.0)) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double student_t_quantile(double p, std::size_t dof) {
+  MEC_EXPECTS(p > 0.0 && p < 1.0);
+  MEC_EXPECTS(dof >= 1);
+  const double z = normal_quantile(p);
+  const auto v = static_cast<double>(dof);
+  // Cornish–Fisher expansion of the t quantile in powers of 1/v.
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  const double g1 = (z3 + z) / 4.0;
+  const double g2 = (5.0 * z5 + 16.0 * z3 + 3.0 * z) / 96.0;
+  const double g3 = (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / 384.0;
+  return z + g1 / v + g2 / (v * v) + g3 / (v * v * v);
+}
+
+ConfidenceInterval mean_confidence_interval(const RunningSummary& summary,
+                                            double confidence) {
+  MEC_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  MEC_EXPECTS(summary.count() >= 2);
+  const double tail = 0.5 * (1.0 + confidence);
+  const double q = summary.count() < 100
+                       ? student_t_quantile(tail, summary.count() - 1)
+                       : normal_quantile(tail);
+  return ConfidenceInterval{summary.mean(), q * summary.standard_error(),
+                            confidence};
+}
+
+}  // namespace mec::stats

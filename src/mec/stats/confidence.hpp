@@ -1,0 +1,44 @@
+// Confidence intervals for simulation output analysis.
+//
+// Table III reports the DPO baseline's mean cost with a 98% confidence
+// interval over 5000 repetitions; this module provides the normal and
+// Student-t interval machinery (own quantile implementations — no external
+// math library).
+#pragma once
+
+#include <cstddef>
+
+#include "mec/stats/summary.hpp"
+
+namespace mec::stats {
+
+/// A symmetric two-sided confidence interval: mean +/- half_width.
+struct ConfidenceInterval {
+  double mean;
+  double half_width;
+  double confidence;  ///< e.g. 0.98
+
+  double lower() const noexcept { return mean - half_width; }
+  double upper() const noexcept { return mean + half_width; }
+  bool contains(double v) const noexcept {
+    return v >= lower() && v <= upper();
+  }
+};
+
+/// Standard normal quantile Phi^{-1}(p) (Acklam's rational approximation,
+/// |relative error| < 1.2e-9). Requires 0 < p < 1.
+double normal_quantile(double p);
+
+/// Student-t quantile with `dof` degrees of freedom (Cornish–Fisher style
+/// expansion around the normal quantile; exact enough for dof >= 3, and the
+/// library only uses it for interval construction). Requires dof >= 1,
+/// 0 < p < 1.
+double student_t_quantile(double p, std::size_t dof);
+
+/// Two-sided CI for the mean of i.i.d. replications; uses Student-t for
+/// n < 100 and the normal quantile otherwise. Requires n >= 2 and
+/// 0 < confidence < 1.
+ConfidenceInterval mean_confidence_interval(const RunningSummary& summary,
+                                            double confidence);
+
+}  // namespace mec::stats

@@ -1,0 +1,47 @@
+#include "mec/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mec/common/error.hpp"
+
+namespace mec::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  MEC_EXPECTS(lo < hi);
+  MEC_EXPECTS(bins >= 1);
+}
+
+void Histogram::add(double value) noexcept {
+  const double offset = (value - lo_) / width_;
+  std::size_t idx = 0;
+  if (offset > 0.0)
+    idx = std::min(static_cast<std::size_t>(offset), counts_.size() - 1);
+  ++counts_[idx];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& values) noexcept {
+  for (const double v : values) add(v);
+}
+
+double Histogram::bin_left_edge(std::size_t i) const {
+  MEC_EXPECTS(i < counts_.size());
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+std::size_t Histogram::count(std::size_t i) const {
+  MEC_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::mass(std::size_t i) const {
+  MEC_EXPECTS(i < counts_.size());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+double Histogram::density(std::size_t i) const { return mass(i) / width_; }
+
+}  // namespace mec::stats

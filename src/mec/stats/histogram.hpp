@@ -1,0 +1,37 @@
+// Fixed-range histogram used for the Fig. 6 dataset plots and DES output
+// distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mec::stats {
+
+/// Equal-width histogram over [lo, hi); values outside the range are clamped
+/// into the first/last bin so mass is never silently dropped.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+  void add_all(const std::vector<double>& values) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total_count() const noexcept { return total_; }
+  double bin_left_edge(std::size_t i) const;
+  double bin_width() const noexcept { return width_; }
+  std::size_t count(std::size_t i) const;
+  /// Fraction of all samples in bin i; 0 if empty histogram.
+  double mass(std::size_t i) const;
+  /// Density estimate: mass(i) / bin_width.
+  double density(std::size_t i) const;
+
+ private:
+  double lo_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mec::stats

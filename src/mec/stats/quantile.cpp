@@ -1,0 +1,106 @@
+#include "mec/stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mec/common/error.hpp"
+
+namespace mec::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  MEC_EXPECTS(q > 0.0 && q < 1.0);
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double value) noexcept {
+  if (count_ < 5) {
+    heights_[count_++] = value;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+    }
+    return;
+  }
+
+  // Locate the cell containing the observation and update extremes.
+  int k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], value);
+    k = 3;
+  } else {
+    k = 3;
+    for (int i = 1; i < 4; ++i) {
+      if (value < heights_[i]) {
+        k = i - 1;
+        break;
+      }
+    }
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++count_;
+
+  // Adjust the three interior markers with the parabolic (P2) formula,
+  // falling back to linear interpolation when the parabola would cross a
+  // neighbour.
+  for (int i = 1; i < 4; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double right_gap = positions_[i + 1] - positions_[i];
+    const double left_gap = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0)) {
+      const double sign = d >= 1.0 ? 1.0 : -1.0;
+      const double span = positions_[i + 1] - positions_[i - 1];
+      const double parabolic =
+          heights_[i] +
+          sign / span *
+              ((positions_[i] - positions_[i - 1] + sign) *
+                   (heights_[i + 1] - heights_[i]) / right_gap +
+               (positions_[i + 1] - positions_[i] - sign) *
+                   (heights_[i] - heights_[i - 1]) / (-left_gap));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {  // linear fallback towards the sign direction
+        const int j = i + static_cast<int>(sign);
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  MEC_EXPECTS(count_ >= 1);
+  if (count_ < 5) {
+    // Exact small-sample quantile on the sorted prefix.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+    const double pos = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = std::min(lo + 1, count_ - 1);
+    const double frac = pos - std::floor(pos);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+  return heights_[2];
+}
+
+LatencyPercentiles::LatencyPercentiles()
+    : p50_(0.5), p95_(0.95), p99_(0.99) {}
+
+void LatencyPercentiles::add(double value) noexcept {
+  p50_.add(value);
+  p95_.add(value);
+  p99_.add(value);
+}
+
+std::size_t LatencyPercentiles::count() const noexcept { return p50_.count(); }
+double LatencyPercentiles::p50() const { return p50_.value(); }
+double LatencyPercentiles::p95() const { return p95_.value(); }
+double LatencyPercentiles::p99() const { return p99_.value(); }
+
+}  // namespace mec::stats

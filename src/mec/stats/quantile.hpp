@@ -1,0 +1,51 @@
+// Online quantile estimation with the P-square algorithm
+// (Jain & Chlamtac, CACM 1985).
+//
+// The simulator tracks per-task latency percentiles (p50/p95/p99) over
+// millions of observations without storing them; P-square keeps five markers
+// per tracked quantile and adjusts them with piecewise-parabolic
+// interpolation, giving O(1) memory and typically <1% relative error on
+// smooth distributions.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace mec::stats {
+
+/// Streaming estimator of a single q-quantile.
+class P2Quantile {
+ public:
+  /// Requires 0 < q < 1.
+  explicit P2Quantile(double q);
+
+  void add(double value) noexcept;
+  std::size_t count() const noexcept { return count_; }
+
+  /// Current estimate. Requires count() >= 1 (exact for count() <= 5).
+  double value() const;
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights
+  std::array<double, 5> positions_{};  // actual marker positions (1-based)
+  std::array<double, 5> desired_{};    // desired positions
+  std::array<double, 5> increments_{};
+};
+
+/// Convenience bundle of the latency percentiles the library reports.
+class LatencyPercentiles {
+ public:
+  LatencyPercentiles();
+  void add(double value) noexcept;
+  std::size_t count() const noexcept;
+  double p50() const;
+  double p95() const;
+  double p99() const;
+
+ private:
+  P2Quantile p50_, p95_, p99_;
+};
+
+}  // namespace mec::stats

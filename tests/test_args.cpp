@@ -1,0 +1,74 @@
+#include "mec/io/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mec/common/error.hpp"
+
+namespace mec::io {
+namespace {
+
+TEST(ArgsParse, CommandAndFlagsInBothStyles) {
+  const Args a = Args::parse({"mfne", "--n=500", "--seed", "7", "--trace"});
+  EXPECT_EQ(a.command(), "mfne");
+  EXPECT_EQ(a.get_long("n", 0), 500);
+  EXPECT_EQ(a.get_long("seed", 0), 7);
+  EXPECT_TRUE(a.get_bool("trace", false));
+  EXPECT_TRUE(a.has("n"));
+  EXPECT_FALSE(a.has("missing"));
+}
+
+TEST(ArgsParse, EmptyInputGivesEmptyCommand) {
+  const Args a = Args::parse({});
+  EXPECT_TRUE(a.command().empty());
+}
+
+TEST(ArgsParse, FlagsOnlyWithoutCommand) {
+  const Args a = Args::parse({"--help"});
+  EXPECT_TRUE(a.command().empty());
+  EXPECT_TRUE(a.get_bool("help", false));
+}
+
+TEST(ArgsParse, RejectsMalformedInput) {
+  EXPECT_THROW(Args::parse({"cmd", "stray-positional"}), RuntimeError);
+  EXPECT_THROW(Args::parse({"cmd", "--dup=1", "--dup=2"}), RuntimeError);
+  EXPECT_THROW(Args::parse({"cmd", "--=v"}), RuntimeError);
+}
+
+TEST(ArgsTyped, DefaultsApplyWhenAbsent) {
+  const Args a = Args::parse({"cmd"});
+  EXPECT_EQ(a.get_string("s", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(a.get_double("d", 2.5), 2.5);
+  EXPECT_EQ(a.get_long("l", -3), -3);
+  EXPECT_FALSE(a.get_bool("b", false));
+}
+
+TEST(ArgsTyped, ParsesNumbersStrictly) {
+  const Args a = Args::parse({"cmd", "--x=1.5", "--k=12", "--bad=1.5zz"});
+  EXPECT_DOUBLE_EQ(a.get_double("x", 0.0), 1.5);
+  EXPECT_EQ(a.get_long("k", 0), 12);
+  EXPECT_THROW(a.get_double("bad", 0.0), RuntimeError);
+  EXPECT_THROW(a.get_long("x", 0), RuntimeError);  // 1.5 is not an integer
+}
+
+TEST(ArgsTyped, ParsesBooleansStrictly) {
+  const Args a =
+      Args::parse({"cmd", "--yes=true", "--no=0", "--odd=maybe"});
+  EXPECT_TRUE(a.get_bool("yes", false));
+  EXPECT_FALSE(a.get_bool("no", true));
+  EXPECT_THROW(a.get_bool("odd", false), RuntimeError);
+}
+
+TEST(ArgsValidation, RejectUnknownCatchesTypos) {
+  const Args a = Args::parse({"cmd", "--seed=1", "--sedd=2"});
+  EXPECT_THROW(a.reject_unknown({"seed"}), RuntimeError);
+  EXPECT_NO_THROW(a.reject_unknown({"seed", "sedd"}));
+}
+
+TEST(ArgsParse, SpaceSeparatedValueStopsAtNextFlag) {
+  const Args a = Args::parse({"cmd", "--flag", "--other=1"});
+  EXPECT_EQ(a.get_string("flag", ""), "true");  // switch, not "--other=1"
+  EXPECT_EQ(a.get_long("other", 0), 1);
+}
+
+}  // namespace
+}  // namespace mec::io

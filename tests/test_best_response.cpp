@@ -1,0 +1,119 @@
+#include "mec/core/best_response.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mec/common/error.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+#include "mec/queueing/threshold_queue.hpp"
+
+namespace mec::core {
+namespace {
+
+std::vector<UserParams> small_population(std::size_t n = 500) {
+  auto cfg = population::theoretical_scenario(
+      population::LoadRegime::kAtService, n);
+  return population::sample_population(cfg, 31).users;
+}
+
+TEST(BestResponseTest, UtilizationIsNonIncreasingInGamma) {
+  // Lemma 2 / Theorem 1: V(gamma) is non-increasing.
+  const auto users = small_population();
+  const EdgeDelay delay = make_reciprocal_delay();
+  double prev = 2.0;
+  for (double gamma = 0.0; gamma <= 1.0; gamma += 0.05) {
+    const double v = best_response(users, delay, 10.0, gamma).utilization;
+    EXPECT_LE(v, prev + 1e-12) << "gamma=" << gamma;
+    prev = v;
+  }
+}
+
+TEST(BestResponseTest, ThresholdsAreNonDecreasingInGamma) {
+  const auto users = small_population(100);
+  const EdgeDelay delay = make_reciprocal_delay();
+  auto prev = best_response(users, delay, 10.0, 0.0).thresholds;
+  for (double gamma = 0.1; gamma <= 1.0; gamma += 0.1) {
+    const auto cur = best_response(users, delay, 10.0, gamma).thresholds;
+    for (std::size_t n = 0; n < cur.size(); ++n)
+      EXPECT_GE(cur[n], prev[n]) << "user " << n << " gamma=" << gamma;
+    prev = cur;
+  }
+}
+
+TEST(BestResponseTest, VAtZeroIsBelowOneWithPaperCapacity) {
+  const auto users = small_population();
+  EXPECT_LT(best_response(users, make_reciprocal_delay(), 10.0, 0.0)
+                .utilization,
+            1.0);
+}
+
+TEST(BestResponseTest, UtilizationOfThresholdsMatchesBestResponse) {
+  const auto users = small_population(200);
+  const EdgeDelay delay = make_reciprocal_delay();
+  const BestResponse br = best_response(users, delay, 10.0, 0.3);
+  std::vector<double> as_double(br.thresholds.begin(), br.thresholds.end());
+  EXPECT_NEAR(utilization_of_thresholds(users, as_double, 10.0),
+              br.utilization, 1e-12);
+}
+
+TEST(BestResponseTest, AllZeroThresholdsGiveMeanArrivalOverCapacity) {
+  const auto users = small_population(200);
+  const std::vector<double> zeros(users.size(), 0.0);
+  double mean_a = 0.0;
+  for (const auto& u : users) mean_a += u.arrival_rate;
+  mean_a /= static_cast<double>(users.size());
+  EXPECT_NEAR(utilization_of_thresholds(users, zeros, 10.0), mean_a / 10.0,
+              1e-12);
+}
+
+TEST(BestResponseTest, HugeThresholdsForLightUsersGiveResidualUtilization) {
+  // With overloaded users (theta > 1) even infinite thresholds leave
+  // alpha >= 1 - 1/theta, so utilization cannot drop to zero.
+  std::vector<UserParams> users(10);
+  for (auto& u : users) {
+    u.arrival_rate = 4.0;
+    u.service_rate = 2.0;  // theta = 2
+  }
+  const std::vector<double> big(users.size(), 500.0);
+  const double v = utilization_of_thresholds(users, big, 10.0);
+  EXPECT_NEAR(v, 4.0 * 0.5 / 10.0, 1e-6);  // alpha -> 1 - 1/2
+}
+
+TEST(BestResponseTest, AverageCostDropsWhenUsersPlayBestResponse) {
+  const auto users = small_population(300);
+  const EdgeDelay delay = make_reciprocal_delay();
+  const double gamma = 0.3;
+  const BestResponse br = best_response(users, delay, 10.0, gamma);
+  std::vector<double> best(br.thresholds.begin(), br.thresholds.end());
+  const std::vector<double> zeros(users.size(), 0.0);
+  const std::vector<double> fives(users.size(), 5.0);
+  const double cost_best = average_cost(users, best, delay, gamma);
+  EXPECT_LE(cost_best, average_cost(users, zeros, delay, gamma) + 1e-9);
+  EXPECT_LE(cost_best, average_cost(users, fives, delay, gamma) + 1e-9);
+}
+
+TEST(BestResponseTest, CapacityOnlyScalesUtilization) {
+  const auto users = small_population(100);
+  const EdgeDelay delay = make_reciprocal_delay();
+  const BestResponse br = best_response(users, delay, 10.0, 0.2);
+  std::vector<double> xs(br.thresholds.begin(), br.thresholds.end());
+  const double v10 = utilization_of_thresholds(users, xs, 10.0);
+  const double v20 = utilization_of_thresholds(users, xs, 20.0);
+  EXPECT_NEAR(v10, 2.0 * v20, 1e-12);
+}
+
+TEST(BestResponseTest, RejectsInvalidInput) {
+  const auto users = small_population(10);
+  const EdgeDelay delay = make_reciprocal_delay();
+  EXPECT_THROW(best_response({}, delay, 10.0, 0.5), ContractViolation);
+  EXPECT_THROW(best_response(users, delay, 0.0, 0.5), ContractViolation);
+  EXPECT_THROW(best_response(users, delay, 10.0, 1.5), ContractViolation);
+  const std::vector<double> wrong_size(3, 0.0);
+  EXPECT_THROW(utilization_of_thresholds(users, wrong_size, 10.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace mec::core

@@ -1,0 +1,111 @@
+#include "mec/queueing/birth_death.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "mec/common/error.hpp"
+
+namespace mec::queueing {
+namespace {
+
+TEST(BirthDeath, TwoStateChainMatchesDetailedBalance) {
+  // 0 <-> 1 with birth 2, death 3: pi_1/pi_0 = 2/3.
+  const std::vector<double> births{2.0};
+  const std::vector<double> deaths{3.0};
+  const auto pi = stationary_distribution(births, deaths);
+  ASSERT_EQ(pi.size(), 2u);
+  EXPECT_NEAR(pi[0], 0.6, 1e-12);
+  EXPECT_NEAR(pi[1], 0.4, 1e-12);
+}
+
+TEST(BirthDeath, MatchesMm1kClosedForm) {
+  // M/M/1/K: pi_i = rho^i (1-rho)/(1-rho^{K+1}).
+  const double lambda = 2.0, mu = 3.0;
+  const int k = 6;
+  const std::vector<double> births(k, lambda);
+  const std::vector<double> deaths(k, mu);
+  const auto pi = stationary_distribution(births, deaths);
+  const double rho = lambda / mu;
+  const double norm = (1.0 - std::pow(rho, k + 1)) / (1.0 - rho);
+  for (int i = 0; i <= k; ++i)
+    EXPECT_NEAR(pi[static_cast<std::size_t>(i)], std::pow(rho, i) / norm,
+                1e-12);
+}
+
+TEST(BirthDeath, NormalizesToOne) {
+  const std::vector<double> births{1.0, 5.0, 0.3, 2.0};
+  const std::vector<double> deaths{2.0, 1.0, 4.0, 0.5};
+  const auto pi = stationary_distribution(births, deaths);
+  EXPECT_NEAR(std::accumulate(pi.begin(), pi.end(), 0.0), 1.0, 1e-12);
+  for (const double p : pi) EXPECT_GE(p, 0.0);
+}
+
+TEST(BirthDeath, InteriorZeroBirthCutsOffUpperStates) {
+  const std::vector<double> births{1.0, 0.0, 1.0};
+  const std::vector<double> deaths{1.0, 1.0, 1.0};
+  const auto pi = stationary_distribution(births, deaths);
+  ASSERT_EQ(pi.size(), 4u);
+  EXPECT_NEAR(pi[0], 0.5, 1e-12);
+  EXPECT_NEAR(pi[1], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(pi[2], 0.0);
+  EXPECT_DOUBLE_EQ(pi[3], 0.0);
+}
+
+TEST(BirthDeath, SurvivesHugeBirthToDeathRatios) {
+  // theta = 50 over 200 states: naive products overflow; rescaling must not.
+  const std::vector<double> births(200, 50.0);
+  const std::vector<double> deaths(200, 1.0);
+  const auto pi = stationary_distribution(births, deaths);
+  EXPECT_NEAR(std::accumulate(pi.begin(), pi.end(), 0.0), 1.0, 1e-9);
+  // Mass concentrates at the top state: pi_top ~ 1 - 1/50.
+  EXPECT_NEAR(pi.back(), 1.0 - 1.0 / 50.0, 1e-3);
+}
+
+TEST(BirthDeath, RejectsBadInput) {
+  EXPECT_THROW(
+      stationary_distribution(std::vector<double>{}, std::vector<double>{}),
+      ContractViolation);
+  EXPECT_THROW(stationary_distribution(std::vector<double>{1.0},
+                                       std::vector<double>{1.0, 2.0}),
+               ContractViolation);
+  EXPECT_THROW(stationary_distribution(std::vector<double>{-1.0},
+                                       std::vector<double>{1.0}),
+               ContractViolation);
+  EXPECT_THROW(stationary_distribution(std::vector<double>{1.0},
+                                       std::vector<double>{0.0}),
+               ContractViolation);
+}
+
+TEST(BirthDeath, ExpectationAndMeanState) {
+  const std::vector<double> pi{0.5, 0.25, 0.25};
+  const std::vector<double> values{0.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(expectation(pi, values), 1.5);
+  EXPECT_DOUBLE_EQ(mean_state(pi), 0.75);
+  EXPECT_THROW(expectation(pi, std::vector<double>{1.0}), ContractViolation);
+}
+
+// Property sweep: for any load, mean state of M/M/1/K is between 0 and K and
+// increases with the arrival rate.
+class Mm1kLoadTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Mm1kLoadTest, MeanStateIsMonotoneInLoad) {
+  const double lambda = GetParam();
+  const int k = 10;
+  const std::vector<double> deaths(k, 1.0);
+  const auto pi_lo = stationary_distribution(std::vector<double>(k, lambda),
+                                             deaths);
+  const auto pi_hi = stationary_distribution(
+      std::vector<double>(k, lambda * 1.2), deaths);
+  EXPECT_LE(mean_state(pi_lo), mean_state(pi_hi) + 1e-12);
+  EXPECT_GE(mean_state(pi_lo), 0.0);
+  EXPECT_LE(mean_state(pi_hi), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, Mm1kLoadTest,
+                         ::testing::Values(0.1, 0.5, 0.9, 1.0, 1.5, 3.0));
+
+}  // namespace
+}  // namespace mec::queueing

@@ -1,0 +1,142 @@
+// Closed-loop operation: Algorithm 1 driven by live EWMA measurements
+// inside one continuous simulation.
+#include "mec/sim/closed_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mec/common/error.hpp"
+#include "mec/core/mfne.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+#include "mec/random/empirical_data.hpp"
+
+namespace mec::sim {
+namespace {
+
+population::Population sampled(std::size_t n, std::uint64_t seed = 91) {
+  return population::sample_population(
+      population::theoretical_scenario(population::LoadRegime::kAtService, n),
+      seed);
+}
+
+TEST(ClosedLoop, ConvergesToTheMfneUnderMeasurementNoise) {
+  const auto pop = sampled(500);
+  const auto& cfg = pop.config;
+  const double star =
+      core::solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star;
+
+  ClosedLoopOptions opt;
+  opt.horizon = 600.0;
+  opt.update_period = 5.0;
+  const ClosedLoopResult r =
+      run_closed_loop(pop.users, cfg.capacity, cfg.delay, opt);
+  EXPECT_TRUE(r.estimate_settled);
+  EXPECT_NEAR(r.final_gamma_hat, star, 0.05);
+  // The realized offload rate over the run's tail should be near gamma*;
+  // the run-wide measurement includes the transient, so allow more slack.
+  EXPECT_NEAR(r.run.measured_utilization, star, 0.1);
+}
+
+TEST(ClosedLoop, EpochTraceFollowsAlgorithmOneStructure) {
+  const auto pop = sampled(300);
+  const auto& cfg = pop.config;
+  ClosedLoopOptions opt;
+  opt.horizon = 300.0;
+  opt.update_period = 4.0;
+  opt.eta0 = 0.2;
+  const ClosedLoopResult r =
+      run_closed_loop(pop.users, cfg.capacity, cfg.delay, opt);
+  ASSERT_GE(r.epochs.size(), 10u);
+  // Epochs land on the broadcast grid.
+  EXPECT_DOUBLE_EQ(r.epochs[0].time, 4.0);
+  EXPECT_DOUBLE_EQ(r.epochs[1].time, 8.0);
+  // Step sizes never grow, and estimates move by at most the current step.
+  double prev_eta = opt.eta0;
+  double prev_hat = 0.0;
+  for (const ClosedLoopEpoch& e : r.epochs) {
+    EXPECT_LE(e.eta, prev_eta + 1e-15);
+    EXPECT_LE(std::abs(e.gamma_hat - prev_hat), prev_eta + 1e-12);
+    EXPECT_GE(e.gamma_measured, 0.0);
+    EXPECT_LE(e.gamma_measured, 1.0);
+    prev_eta = e.eta;
+    prev_hat = e.gamma_hat;
+  }
+}
+
+TEST(ClosedLoop, AsynchronousGateStillSettles) {
+  const auto pop = sampled(400, 92);
+  const auto& cfg = pop.config;
+  const double star =
+      core::solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star;
+  ClosedLoopOptions opt;
+  opt.horizon = 600.0;
+  opt.update_gate = core::make_bernoulli_gate(0.8, 3);
+  const ClosedLoopResult r =
+      run_closed_loop(pop.users, cfg.capacity, cfg.delay, opt);
+  EXPECT_TRUE(r.estimate_settled);
+  EXPECT_NEAR(r.final_gamma_hat, star, 0.06);
+}
+
+TEST(ClosedLoop, WorksWithEmpiricalServiceTimes) {
+  // The practical story: measured (non-exponential) service, live loop.
+  auto pop = population::sample_population(
+      population::practical_scenario(population::LoadRegime::kBelowService,
+                                     300),
+      93);
+  const auto& cfg = pop.config;
+  ClosedLoopOptions opt;
+  opt.horizon = 400.0;
+  opt.service = empirical_service(random::synthetic_yolo_processing_times());
+  opt.latency = empirical_latency(random::synthetic_wifi_offload_latencies());
+  const ClosedLoopResult r =
+      run_closed_loop(pop.users, cfg.capacity, cfg.delay, opt);
+  EXPECT_TRUE(r.estimate_settled);
+  EXPECT_GT(r.final_gamma_hat, 0.2);
+  EXPECT_LT(r.final_gamma_hat, 0.8);
+}
+
+TEST(ClosedLoop, ThresholdsFreezeOnceSettled) {
+  const auto pop = sampled(200, 94);
+  const auto& cfg = pop.config;
+  ClosedLoopOptions opt;
+  opt.horizon = 800.0;
+  const ClosedLoopResult r =
+      run_closed_loop(pop.users, cfg.capacity, cfg.delay, opt);
+  ASSERT_TRUE(r.estimate_settled);
+  // Once the estimate settles, devices stop retuning: the tail of the epoch
+  // trace must show a constant mean threshold (the horizon is long enough
+  // that settling happens well before the end).
+  ASSERT_GE(r.epochs.size(), 10u);
+  const double settled_mean = r.epochs.back().mean_threshold;
+  for (std::size_t i = r.epochs.size() - 5; i < r.epochs.size(); ++i)
+    EXPECT_DOUBLE_EQ(r.epochs[i].mean_threshold, settled_mean);
+}
+
+TEST(ClosedLoop, RejectsBadOptions) {
+  const auto pop = sampled(10, 95);
+  ClosedLoopOptions opt;
+  opt.update_period = 0.0;
+  EXPECT_THROW(run_closed_loop(pop.users, 10.0, pop.config.delay, opt),
+               ContractViolation);
+  opt = {};
+  opt.horizon = 1.0;  // below the update period
+  EXPECT_THROW(run_closed_loop(pop.users, 10.0, pop.config.delay, opt),
+               ContractViolation);
+}
+
+TEST(MutableTroPolicyTest, RetuningChangesDecisions) {
+  random::Xoshiro256 rng(7);
+  MutableTroPolicy policy(0.0);
+  EXPECT_TRUE(policy.offload(0, rng));
+  policy.set_threshold(3.0);
+  EXPECT_FALSE(policy.offload(2, rng));
+  EXPECT_TRUE(policy.offload(3, rng));
+  EXPECT_DOUBLE_EQ(policy.threshold(), 3.0);
+  EXPECT_THROW(policy.set_threshold(-1.0), ContractViolation);
+  EXPECT_NE(policy.describe().find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mec::sim

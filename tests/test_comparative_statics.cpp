@@ -1,0 +1,101 @@
+// Comparative statics of the equilibrium: how gamma* responds to shifts in
+// each model primitive.  These are the qualitative predictions a reviewer
+// would sanity-check the theory against; each one follows from Lemma 1 plus
+// monotonicity of the best response, and each is verified on sampled
+// populations by shifting one primitive at a time.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mec/core/mfne.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+
+namespace mec::core {
+namespace {
+
+std::vector<UserParams> base_population(std::size_t n = 2000) {
+  return population::sample_population(
+             population::theoretical_scenario(
+                 population::LoadRegime::kAtService, n),
+             777)
+      .users;
+}
+
+double mfne_of(const std::vector<UserParams>& users, double capacity = 10.0) {
+  return solve_mfne(users, make_reciprocal_delay(), capacity).gamma_star;
+}
+
+TEST(ComparativeStatics, HigherOffloadLatencyLowersEquilibriumUtilization) {
+  auto users = base_population();
+  const double base = mfne_of(users);
+  for (auto& u : users) u.offload_latency += 1.0;
+  EXPECT_LT(mfne_of(users), base);
+}
+
+TEST(ComparativeStatics, HigherOffloadEnergyLowersEquilibriumUtilization) {
+  auto users = base_population();
+  const double base = mfne_of(users);
+  for (auto& u : users) u.energy_offload += 1.0;
+  EXPECT_LT(mfne_of(users), base);
+}
+
+TEST(ComparativeStatics, HigherLocalEnergyRaisesEquilibriumUtilization) {
+  auto users = base_population();
+  const double base = mfne_of(users);
+  for (auto& u : users) u.energy_local += 1.0;
+  EXPECT_GT(mfne_of(users), base);
+}
+
+TEST(ComparativeStatics, FasterLocalCpusLowerEquilibriumUtilization) {
+  auto users = base_population();
+  const double base = mfne_of(users);
+  for (auto& u : users) u.service_rate *= 1.5;
+  EXPECT_LT(mfne_of(users), base);
+}
+
+TEST(ComparativeStatics, HeavierLoadRaisesEquilibriumUtilization) {
+  auto users = base_population();
+  const double base = mfne_of(users);
+  for (auto& u : users) u.arrival_rate *= 1.2;
+  EXPECT_GT(mfne_of(users), base);
+}
+
+TEST(ComparativeStatics, LargerEnergyWeightMovesTowardsCheaperSide) {
+  // With p_L drawn from U(0,3) and p_E from U(0,1), local processing is on
+  // average the energy-expensive side, so emphasizing energy (larger w)
+  // pushes work to the edge.
+  auto users = base_population();
+  const double base = mfne_of(users);
+  for (auto& u : users) u.weight *= 3.0;
+  EXPECT_GT(mfne_of(users), base);
+}
+
+TEST(ComparativeStatics, UtilizationIsMonotoneInCapacityBothWays) {
+  // gamma* (a fraction of capacity) falls as c grows, but the *absolute*
+  // edge throughput gamma* x c rises (cheaper edge attracts more work).
+  const auto users = base_population();
+  const double g8 = mfne_of(users, 8.0);
+  const double g12 = mfne_of(users, 12.0);
+  const double g16 = mfne_of(users, 16.0);
+  EXPECT_GT(g8, g12);
+  EXPECT_GT(g12, g16);
+  EXPECT_LT(g8 * 8.0, g12 * 12.0 + 1e-9);
+  EXPECT_LT(g12 * 12.0, g16 * 16.0 + 1e-9);
+}
+
+TEST(ComparativeStatics, EquilibriumThresholdsShiftWithLatency) {
+  // Individual-level check: raising one user's latency can only raise that
+  // user's own equilibrium threshold (everyone else's stays put because a
+  // single user is negligible at N=2000 -- gamma* moves by O(1/N)).
+  auto users = base_population();
+  const EdgeDelay delay = make_reciprocal_delay();
+  const MfneResult before = solve_mfne(users, delay, 10.0);
+  users[17].offload_latency += 5.0;
+  const MfneResult after = solve_mfne(users, delay, 10.0);
+  EXPECT_GE(after.thresholds[17], before.thresholds[17]);
+  EXPECT_NEAR(after.gamma_star, before.gamma_star, 1e-3);
+}
+
+}  // namespace
+}  // namespace mec::core

@@ -1,0 +1,167 @@
+// The Eq.-(1) cost functional: decomposition, continuity (the paper stresses
+// it is continuous in x but non-differentiable at integers), and the Fig. 8
+// shapes.
+#include "mec/core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mec/common/error.hpp"
+#include "mec/core/threshold_oracle.hpp"
+
+namespace mec::core {
+namespace {
+
+UserParams fig8_user(double theta) {
+  // Fig. 8: tau = 1, p_L = 3, p_E = 1, w = 1, gamma with g-value such that
+  // the user sees edge delay g(sqrt(3)/10-ish); the exact g-value only
+  // shifts beta, so any positive constant exercises the same code.
+  UserParams u;
+  u.arrival_rate = 2.0;
+  u.service_rate = 2.0 / theta;
+  u.offload_latency = 1.0;
+  u.energy_local = 3.0;
+  u.energy_offload = 1.0;
+  u.weight = 1.0;
+  return u;
+}
+
+TEST(CostModel, BreakdownSumsToTotal) {
+  const UserParams u = fig8_user(2.0);
+  const CostBreakdown b = tro_cost_breakdown(u, 2.5, 0.7);
+  EXPECT_NEAR(b.total(), b.local_energy + b.queueing + b.offload, 1e-12);
+  EXPECT_NEAR(tro_cost(u, 2.5, 0.7), b.total(), 1e-12);
+}
+
+TEST(CostModel, ZeroThresholdCostIsPureOffloadPrice) {
+  // x = 0 => alpha = 1, Q = 0: cost = w*p_E + g + tau.
+  const UserParams u = fig8_user(4.0);
+  const double g = 0.9;
+  EXPECT_NEAR(tro_cost(u, 0.0, g),
+              u.weight * u.energy_offload + g + u.offload_latency, 1e-12);
+}
+
+TEST(CostModel, InfiniteThresholdCostApproachesPureLocal) {
+  // Light load, huge threshold => alpha ~ 0: cost ~ w*p_L + Q/a with
+  // Q = theta/(1-theta).
+  UserParams u = fig8_user(0.5);  // theta = 0.5
+  const double expected = u.weight * u.energy_local +
+                          (0.5 / 0.5) / u.arrival_rate;
+  EXPECT_NEAR(tro_cost(u, 200.0, 1.0), expected, 1e-9);
+}
+
+TEST(CostModel, IsContinuousAtIntegerThresholds) {
+  const UserParams u = fig8_user(2.0);
+  for (const double x : {1.0, 2.0, 3.0, 5.0}) {
+    const double left = tro_cost(u, x - 1e-9, 0.6);
+    const double at = tro_cost(u, x, 0.6);
+    const double right = tro_cost(u, x + 1e-9, 0.6);
+    EXPECT_NEAR(left, at, 1e-6);
+    EXPECT_NEAR(right, at, 1e-6);
+  }
+}
+
+TEST(CostModel, HasKinksAtIntegers) {
+  // Non-differentiability at integers (paper Fig. 8): one-sided slopes
+  // differ where the optimal interior structure changes.  Use theta = 4,
+  // x = 1 with a small edge price so the kink is pronounced.
+  const UserParams u = fig8_user(4.0);
+  const double g = 0.1;
+  const double h = 1e-5;
+  const double slope_left = (tro_cost(u, 1.0, g) - tro_cost(u, 1.0 - h, g)) / h;
+  const double slope_right =
+      (tro_cost(u, 1.0 + h, g) - tro_cost(u, 1.0, g)) / h;
+  EXPECT_GT(std::abs(slope_left - slope_right), 1e-3);
+}
+
+TEST(CostModel, Fig8ShapeDipsToInteriorValleyThenRises) {
+  // Fig. 8a shape: when the offload price beta lands in (f(1), f(2)) the
+  // cost dips to an interior valley around x = 1 and then increases.  With
+  // theta = 2 and a = 2: beta = 2*(g + 1 - 2), so g = 2.5 gives beta = 3 in
+  // (f(1|2), f(2|2)) = (2, 8).
+  const UserParams u = fig8_user(2.0);
+  const double g = 2.5;
+  const double c0 = tro_cost(u, 0.0, g);
+  const double c1 = tro_cost(u, 1.0, g);
+  const double c5 = tro_cost(u, 5.0, g);
+  const double c9 = tro_cost(u, 9.0, g);
+  EXPECT_LT(c1, c0);   // dipping
+  EXPECT_GT(c5, c1);   // rising after the valley
+  EXPECT_GT(c9, c5);   // keeps rising
+}
+
+TEST(CostModel, Fig8NegativePriceMakesCostIncreasing) {
+  // With the literal Fig. 8 energies (p_L = 3, p_E = 1) and a *small* edge
+  // delay, beta < 0: offloading dominates and the cost increases from x = 0
+  // (the optimal threshold is 0).
+  const UserParams u = fig8_user(2.0);
+  const double g = std::sqrt(3.0) / 10.0;  // g + tau + (p_E - p_L) < 0
+  double prev = tro_cost(u, 0.0, g);
+  for (double x = 0.5; x <= 6.0; x += 0.5) {
+    const double c = tro_cost(u, x, g);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+  EXPECT_EQ(best_threshold(u, g), 0);
+}
+
+TEST(CostModel, Fig8ShapeThetaFour) {
+  // Fig. 8b: theta = 4 with the same parameters: minimum at an integer >= 1.
+  const UserParams u = fig8_user(4.0);
+  const double g = std::sqrt(3.0) / 10.0;
+  const auto m = best_threshold(u, g);
+  const double at_opt = tro_cost(u, static_cast<double>(m), g);
+  for (const double x : {0.0, 0.5, 2.0, 3.5, 6.0, 10.0})
+    EXPECT_LE(at_opt, tro_cost(u, x, g) + 1e-9) << "x=" << x;
+}
+
+TEST(CostModel, MonotoneInEdgeDelayForFixedThreshold) {
+  // A larger edge delay can only increase the cost (alpha-weighted term).
+  const UserParams u = fig8_user(1.5);
+  EXPECT_LE(tro_cost(u, 2.0, 0.2), tro_cost(u, 2.0, 0.8) + 1e-12);
+}
+
+TEST(CostModel, WeightScalesEnergyTermsOnly) {
+  UserParams u = fig8_user(2.0);
+  const CostBreakdown b1 = tro_cost_breakdown(u, 2.0, 0.5);
+  u.weight = 2.0;
+  const CostBreakdown b2 = tro_cost_breakdown(u, 2.0, 0.5);
+  EXPECT_NEAR(b2.local_energy, 2.0 * b1.local_energy, 1e-12);
+  EXPECT_NEAR(b2.queueing, b1.queueing, 1e-12);
+  // Offload term: only the energy part doubles.
+  const double delta = b2.offload - b1.offload;
+  EXPECT_NEAR(delta, u.energy_offload * b1.alpha, 1e-12);
+}
+
+TEST(OffloadPrice, SignReflectsEnergyTradeoff) {
+  UserParams u = fig8_user(1.0);
+  // p_E - p_L = -2; price is positive only once g + tau exceeds 2.
+  EXPECT_LT(offload_price(u, 0.5), 0.0);   // 0.5 + 1 - 2 < 0
+  EXPECT_GT(offload_price(u, 1.5), 0.0);   // 1.5 + 1 - 2 > 0
+  // Make local processing extremely expensive: price can go negative only
+  // if g + tau + w(pE - pL) < 0.
+  u.energy_local = 10.0;
+  u.offload_latency = 0.1;
+  EXPECT_LT(offload_price(u, 0.5), 0.0);
+}
+
+TEST(OffloadPrice, ScalesLinearlyWithArrivalRate) {
+  UserParams u = fig8_user(2.0);
+  const double p1 = offload_price(u, 0.4);
+  u.arrival_rate *= 3.0;
+  u.service_rate *= 3.0;  // keep theta fixed
+  EXPECT_NEAR(offload_price(u, 0.4), 3.0 * p1, 1e-12);
+}
+
+TEST(CostModel, RejectsInvalidArguments) {
+  const UserParams u = fig8_user(1.0);
+  EXPECT_THROW(tro_cost(u, -1.0, 0.5), ContractViolation);
+  EXPECT_THROW(tro_cost(u, 1.0, -0.5), ContractViolation);
+  UserParams bad = u;
+  bad.arrival_rate = 0.0;
+  EXPECT_THROW(tro_cost(bad, 1.0, 0.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mec::core

@@ -1,0 +1,101 @@
+// Cross-module consistency: the four independent routes to the equilibrium
+// (population bisection, QMC mean-field integral, DTU iteration, fluid ODE)
+// must agree on every scenario x seed cell, and the analytic, CTMC, and DES
+// layers must tell the same story about any threshold vector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "mec/core/dtu.hpp"
+#include "mec/core/fluid_model.hpp"
+#include "mec/core/mfne.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+#include "mec/queueing/phase_type.hpp"
+#include "mec/queueing/threshold_queue.hpp"
+
+namespace mec {
+namespace {
+
+using Cell = std::tuple<population::LoadRegime, std::uint64_t>;
+
+class EquilibriumRoutesTest : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(EquilibriumRoutesTest, AllFourRoutesAgree) {
+  const auto [regime, seed] = GetParam();
+  const auto pop = population::sample_population(
+      population::theoretical_scenario(regime, 1500), seed);
+  const auto& cfg = pop.config;
+
+  // Route 1: bisection on the sampled population.
+  const double bisect =
+      core::solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star;
+
+  // Route 2: the distributed algorithm.
+  core::AnalyticUtilization source(pop.users, cfg.capacity);
+  core::DtuOptions opt;
+  opt.epsilon = 0.005;
+  const core::DtuResult dtu = run_dtu(pop.users, cfg.delay, source, opt);
+  ASSERT_TRUE(dtu.converged);
+
+  // Route 3: the fluid ODE.
+  core::FluidOptions fopt;
+  fopt.horizon = 60.0;
+  fopt.dt = 0.2;
+  const double fluid =
+      core::fluid_trajectory(pop.users, cfg.delay, cfg.capacity, fopt)
+          .back()
+          .y;
+
+  EXPECT_NEAR(dtu.final_gamma, bisect, 0.02);
+  EXPECT_NEAR(fluid, bisect, 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, EquilibriumRoutesTest,
+    ::testing::Combine(
+        ::testing::Values(population::LoadRegime::kBelowService,
+                          population::LoadRegime::kAtService,
+                          population::LoadRegime::kAboveService),
+        ::testing::Values(1u, 2u)));
+
+class AnalyticCtmcConsistencyTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(AnalyticCtmcConsistencyTest, GeometricAndCtmcSolversAgree) {
+  const auto [a, s, x] = GetParam();
+  const queueing::TroMetrics geo = queueing::tro_metrics(a / s, x);
+  const queueing::TroMetrics ctmc = queueing::tro_metrics_phase_type(
+      a, queueing::exponential_phase(s), x);
+  EXPECT_NEAR(geo.mean_queue_length, ctmc.mean_queue_length, 1e-8);
+  EXPECT_NEAR(geo.offload_probability, ctmc.offload_probability, 1e-9);
+  EXPECT_NEAR(geo.p_empty, ctmc.p_empty, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AnalyticCtmcConsistencyTest,
+    ::testing::Combine(::testing::Values(0.5, 2.0, 5.0),
+                       ::testing::Values(1.0, 3.0),
+                       ::testing::Values(0.75, 2.0, 4.5)));
+
+TEST(CrossConsistency, PracticalScenarioRoutesAgreeToo) {
+  const auto pop = population::sample_population(
+      population::practical_scenario(population::LoadRegime::kAtService, 800),
+      9);
+  const auto& cfg = pop.config;
+  const double bisect =
+      core::solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star;
+  core::FluidOptions fopt;
+  fopt.horizon = 60.0;
+  fopt.dt = 0.2;
+  const double fluid =
+      core::fluid_trajectory(pop.users, cfg.delay, cfg.capacity, fopt)
+          .back()
+          .y;
+  EXPECT_NEAR(fluid, bisect, 0.005);
+}
+
+}  // namespace
+}  // namespace mec

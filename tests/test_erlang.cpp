@@ -1,0 +1,97 @@
+#include "mec/queueing/erlang.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mec/common/error.hpp"
+#include "mec/core/edge_delay.hpp"
+#include "mec/queueing/mm1.hpp"
+
+namespace mec::queueing {
+namespace {
+
+TEST(ErlangB, MatchesHandComputedSmallCases) {
+  // B(1, a) = a/(1+a).
+  EXPECT_NEAR(erlang_b(1, 2.0), 2.0 / 3.0, 1e-12);
+  // B(2, a) = (a*B1)/(2 + a*B1) with B1 = a/(1+a); for a=2: B1=2/3,
+  // B2 = (4/3)/(2+4/3) = 0.4.
+  EXPECT_NEAR(erlang_b(2, 2.0), 0.4, 1e-12);
+  // Classic table value: B(5, 3) ~ 0.1101.
+  EXPECT_NEAR(erlang_b(5, 3.0), 0.110054, 1e-5);
+}
+
+TEST(ErlangB, ZeroLoadNeverBlocks) {
+  for (const std::size_t n : {1u, 4u, 32u})
+    EXPECT_DOUBLE_EQ(erlang_b(n, 0.0), 0.0);
+}
+
+TEST(ErlangB, IsMonotone) {
+  // Increasing in load, decreasing in servers.
+  EXPECT_LT(erlang_b(4, 1.0), erlang_b(4, 3.0));
+  EXPECT_GT(erlang_b(2, 2.0), erlang_b(8, 2.0));
+}
+
+TEST(ErlangC, SingleServerReducesToMm1WaitProbability) {
+  // For N=1, P(wait) = rho.
+  for (const double rho : {0.1, 0.5, 0.9})
+    EXPECT_NEAR(erlang_c(1, rho), rho, 1e-12);
+}
+
+TEST(ErlangC, KnownTableValue) {
+  // C(5, 3) ~ 0.23624.
+  EXPECT_NEAR(erlang_c(5, 3.0), 0.23624, 1e-4);
+}
+
+TEST(ErlangC, RejectsOverload) {
+  EXPECT_THROW(erlang_c(2, 2.0), ContractViolation);
+  EXPECT_THROW(erlang_c(2, 2.5), ContractViolation);
+}
+
+TEST(MmnWait, SingleServerMatchesMm1) {
+  const double mu = 2.0, lambda = 1.3;
+  EXPECT_NEAR(mmn_mean_wait(1, mu, lambda),
+              mm1_metrics(lambda, mu).mean_wait, 1e-12);
+  EXPECT_NEAR(mmn_mean_sojourn(1, mu, lambda),
+              mm1_metrics(lambda, mu).mean_sojourn, 1e-12);
+}
+
+TEST(MmnWait, PoolingBeatsSplitServers) {
+  // A pooled M/M/2 must wait less than two separate M/M/1 at half load...
+  // i.e. W(M/M/2 at lambda) < W(M/M/1 at lambda/2) for equal total capacity.
+  const double mu = 1.0, lambda = 1.4;
+  EXPECT_LT(mmn_mean_wait(2, mu, lambda),
+            mm1_metrics(lambda / 2.0, mu).mean_wait);
+}
+
+TEST(MmnWait, ZeroArrivalsWaitNothing) {
+  EXPECT_DOUBLE_EQ(mmn_mean_wait(4, 2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(mmn_mean_sojourn(4, 2.0, 0.0), 0.5);
+}
+
+TEST(ErlangCDelay, IsAdmissibleAndSaturates) {
+  const core::EdgeDelay delay = core::make_erlang_c_delay(16, 5.0, 0.9);
+  // Increasing (spot-checked by the EdgeDelay constructor) and bounded.
+  EXPECT_GT(delay(0.5), delay(0.1));
+  // Past the cap the delay stays flat, keeping g bounded on [0, 1].
+  EXPECT_DOUBLE_EQ(delay(0.95), delay(0.9));
+  EXPECT_DOUBLE_EQ(delay(1.0), delay(0.9));
+  // At gamma -> 0 the sojourn reduces to the bare service time.
+  EXPECT_NEAR(delay(0.0), 1.0 / 5.0, 1e-9);
+}
+
+TEST(ErlangCDelay, MoreServersSmoothTheKnee) {
+  // At the same utilization, a bigger pool with the same per-server rate
+  // waits less (statistical multiplexing), so its delay curve lies below.
+  const core::EdgeDelay small = core::make_erlang_c_delay(2, 5.0);
+  const core::EdgeDelay big = core::make_erlang_c_delay(64, 5.0);
+  for (const double gamma : {0.3, 0.6, 0.85})
+    EXPECT_LT(big(gamma), small(gamma)) << "gamma=" << gamma;
+}
+
+TEST(ErlangCDelay, RejectsBadParameters) {
+  EXPECT_THROW(core::make_erlang_c_delay(0, 1.0), ContractViolation);
+  EXPECT_THROW(core::make_erlang_c_delay(4, 0.0), ContractViolation);
+  EXPECT_THROW(core::make_erlang_c_delay(4, 1.0, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mec::queueing

@@ -1,0 +1,106 @@
+#include "mec/core/fluid_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mec/common/error.hpp"
+#include "mec/core/mfne.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+
+namespace mec::core {
+namespace {
+
+TEST(Rk4, SolvesExponentialDecayToHighOrder) {
+  // dy/dt = -y, y(0) = 1 => y(t) = e^{-t}; RK4 global error is O(dt^4).
+  const auto trajectory = integrate_rk4(
+      [](double, double y) { return -y; }, 1.0, 0.0, 5.0, 0.01);
+  EXPECT_NEAR(trajectory.back().y, std::exp(-5.0), 1e-9);
+  EXPECT_DOUBLE_EQ(trajectory.front().t, 0.0);
+  EXPECT_NEAR(trajectory.back().t, 5.0, 1e-12);
+}
+
+TEST(Rk4, SolvesDrivenOscillatorComponent) {
+  // dy/dt = cos(t), y(0) = 0 => y(t) = sin(t).
+  const auto trajectory = integrate_rk4(
+      [](double t, double) { return std::cos(t); }, 0.0, 0.0, 3.0, 0.01);
+  for (const OdePoint& p : trajectory)
+    EXPECT_NEAR(p.y, std::sin(p.t), 1e-8);
+}
+
+TEST(Rk4, HonorsPartialFinalStep) {
+  // t1 not a multiple of dt: last point must land exactly on t1.
+  const auto trajectory = integrate_rk4(
+      [](double, double) { return 1.0; }, 0.0, 0.0, 1.05, 0.1);
+  EXPECT_NEAR(trajectory.back().t, 1.05, 1e-12);
+  EXPECT_NEAR(trajectory.back().y, 1.05, 1e-12);
+}
+
+TEST(Rk4, RejectsBadArguments) {
+  const auto f = [](double, double y) { return y; };
+  EXPECT_THROW(integrate_rk4(f, 0.0, 1.0, 0.5, 0.1), ContractViolation);
+  EXPECT_THROW(integrate_rk4(f, 0.0, 0.0, 1.0, 0.0), ContractViolation);
+  EXPECT_THROW(integrate_rk4(nullptr, 0.0, 0.0, 1.0, 0.1), ContractViolation);
+}
+
+TEST(FluidModel, ConvergesToTheMfneFromBelowAndAbove) {
+  const auto pop = population::sample_population(
+      population::theoretical_scenario(population::LoadRegime::kAtService,
+                                       800),
+      55);
+  const auto& cfg = pop.config;
+  const double star =
+      solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star;
+
+  for (const double gamma0 : {0.0, 0.9}) {
+    FluidOptions opt;
+    opt.gamma0 = gamma0;
+    opt.horizon = 40.0;
+    const auto trajectory =
+        fluid_trajectory(pop.users, cfg.delay, cfg.capacity, opt);
+    EXPECT_NEAR(trajectory.back().y, star, 2e-3) << "gamma0=" << gamma0;
+  }
+}
+
+TEST(FluidModel, ApproachesTheEquilibriumMonotonically) {
+  // Continuous-time analogue of Theorem 2's bisection property: the drift
+  // V(gamma)-gamma is strictly decreasing, so no overshoot-and-return.
+  const auto pop = population::sample_population(
+      population::theoretical_scenario(population::LoadRegime::kAboveService,
+                                       500),
+      56);
+  const auto& cfg = pop.config;
+  const double star =
+      solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star;
+  FluidOptions opt;
+  opt.gamma0 = 0.0;
+  const auto trajectory =
+      fluid_trajectory(pop.users, cfg.delay, cfg.capacity, opt);
+  double prev = 0.0;
+  for (const OdePoint& p : trajectory) {
+    EXPECT_GE(p.y, prev - 1e-9);      // non-decreasing from below
+    EXPECT_LE(p.y, star + 1e-3);      // never overshoots past gamma*
+    prev = p.y;
+  }
+}
+
+TEST(FluidModel, KappaOnlyRescalesTime) {
+  const auto pop = population::sample_population(
+      population::theoretical_scenario(population::LoadRegime::kBelowService,
+                                       300),
+      57);
+  const auto& cfg = pop.config;
+  FluidOptions slow;
+  slow.kappa = 1.0;
+  slow.horizon = 20.0;
+  FluidOptions fast;
+  fast.kappa = 4.0;
+  fast.horizon = 5.0;
+  const auto a = fluid_trajectory(pop.users, cfg.delay, cfg.capacity, slow);
+  const auto b = fluid_trajectory(pop.users, cfg.delay, cfg.capacity, fast);
+  EXPECT_NEAR(a.back().y, b.back().y, 1e-4);
+}
+
+}  // namespace
+}  // namespace mec::core

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "mec/common/error.hpp"
+#include "mec/io/ascii_plot.hpp"
+#include "mec/io/csv.hpp"
+#include "mec/io/table.hpp"
+
+namespace mec::io {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRowsAligned) {
+  TextTable t("TABLE I: MFNE");
+  t.set_header({"System Setup", "NE"});
+  t.add_row({"E[A] < E[S]", "0.13"});
+  t.add_row({"E[A] = E[S]", "0.21"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("TABLE I: MFNE"), std::string::npos);
+  EXPECT_NE(out.find("System Setup"), std::string::npos);
+  EXPECT_NE(out.find("0.21"), std::string::npos);
+  // All body lines share the same width.
+  std::istringstream is(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'T') continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(TextTableTest, EnforcesProtocol) {
+  TextTable t("x");
+  EXPECT_THROW(t.add_row({"a"}), ContractViolation);
+  t.set_header({"c1", "c2"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(t.set_header({}), ContractViolation);
+}
+
+TEST(TextTableTest, FormatsDoubles) {
+  EXPECT_EQ(TextTable::fmt(0.12345, 2), "0.12");
+  EXPECT_EQ(TextTable::fmt(3.0, 4), "3.0000");
+}
+
+TEST(CsvTest, RoundTripsColumns) {
+  const std::string path = "/tmp/mec_test_io.csv";
+  write_csv(path, {"x", "y"}, {{1.0, 2.0, 3.0}, {10.0, 20.0, 30.0}});
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,10");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,20");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ValidatesShapeAndPath) {
+  EXPECT_THROW(write_csv("/tmp/x.csv", {"a"}, {{1.0}, {2.0}}),
+               ContractViolation);
+  EXPECT_THROW(write_csv("/tmp/x.csv", {"a", "b"}, {{1.0}, {2.0, 3.0}}),
+               ContractViolation);
+  EXPECT_THROW(
+      write_csv("/nonexistent-dir/x.csv", {"a"}, {{1.0}}), RuntimeError);
+}
+
+TEST(LinePlotTest, ContainsGlyphsAndLabels) {
+  Series s1{"alpha(x)", {0.0, 1.0, 2.0}, {1.0, 0.5, 0.2}, '*'};
+  Series s2{"Q(x)", {0.0, 1.0, 2.0}, {0.0, 0.7, 1.4}, 'o'};
+  PlotOptions opt;
+  opt.title = "Fig. 2";
+  opt.x_label = "x";
+  const std::string out =
+      line_plot(std::vector<Series>{s1, s2}, opt);
+  EXPECT_NE(out.find("Fig. 2"), std::string::npos);
+  EXPECT_NE(out.find("alpha(x)"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(LinePlotTest, HandlesDegenerateRanges) {
+  Series flat{"const", {1.0, 2.0}, {5.0, 5.0}, '#'};
+  const std::string out =
+      line_plot(std::vector<Series>{flat}, PlotOptions{});
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(LinePlotTest, ValidatesInput) {
+  EXPECT_THROW(line_plot(std::vector<Series>{}, PlotOptions{}),
+               ContractViolation);
+  Series bad{"b", {1.0}, {1.0, 2.0}, '*'};
+  EXPECT_THROW(line_plot(std::vector<Series>{bad}, PlotOptions{}),
+               ContractViolation);
+}
+
+TEST(BarChartTest, DrawsProportionalBars) {
+  const std::vector<double> edges{0.0, 1.0, 2.0};
+  const std::vector<double> mass{0.2, 0.6, 0.2};
+  PlotOptions opt;
+  opt.width = 30;
+  const std::string out = bar_chart(edges, mass, opt);
+  // The 0.6 bin must have the longest bar (30 hashes).
+  EXPECT_NE(out.find(std::string(30, '#')), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(BarChartTest, ValidatesShape) {
+  EXPECT_THROW(
+      bar_chart(std::vector<double>{1.0}, std::vector<double>{0.1, 0.9},
+                PlotOptions{}),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace mec::io

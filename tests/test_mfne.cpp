@@ -1,0 +1,158 @@
+// Theorem 1: existence and uniqueness of the Mean-Field Nash Equilibrium.
+#include "mec/core/mfne.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mec/common/error.hpp"
+#include "mec/core/cost_model.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+
+namespace mec::core {
+namespace {
+
+std::vector<UserParams> sampled(population::LoadRegime regime, std::size_t n,
+                                std::uint64_t seed) {
+  return population::sample_population(
+             population::theoretical_scenario(regime, n), seed)
+      .users;
+}
+
+TEST(Mfne, FixedPointPropertyHolds) {
+  const auto users = sampled(population::LoadRegime::kAtService, 2000, 5);
+  const EdgeDelay delay = make_reciprocal_delay();
+  const MfneResult r = solve_mfne(users, delay, 10.0);
+  // gamma* = V(gamma*) up to the finite-population step granularity plus the
+  // bisection tolerance.
+  EXPECT_NEAR(r.best_response_value, r.gamma_star, 2e-3);
+  EXPECT_GT(r.gamma_star, 0.0);
+  EXPECT_LT(r.gamma_star, 1.0);
+}
+
+TEST(Mfne, EquilibriumLiesInThePaperBandForAllThreeRegimes) {
+  // Table I reports 0.13 / 0.21 / 0.28; a 2000-user draw should land within
+  // a few hundredths.
+  const EdgeDelay delay = make_reciprocal_delay();
+  const double lo = solve_mfne(sampled(population::LoadRegime::kBelowService,
+                                       2000, 6),
+                               delay, 10.0)
+                        .gamma_star;
+  const double mid = solve_mfne(sampled(population::LoadRegime::kAtService,
+                                        2000, 6),
+                                delay, 10.0)
+                         .gamma_star;
+  const double hi = solve_mfne(sampled(population::LoadRegime::kAboveService,
+                                       2000, 6),
+                               delay, 10.0)
+                        .gamma_star;
+  EXPECT_NEAR(lo, 0.13, 0.03);
+  EXPECT_NEAR(mid, 0.21, 0.03);
+  EXPECT_NEAR(hi, 0.28, 0.03);
+  EXPECT_LT(lo, mid);
+  EXPECT_LT(mid, hi);
+}
+
+TEST(Mfne, NoOtherCrossingExists) {
+  // Uniqueness: V(gamma) - gamma changes sign exactly once on a scan.
+  const auto users = sampled(population::LoadRegime::kBelowService, 1000, 7);
+  const EdgeDelay delay = make_reciprocal_delay();
+  int sign_changes = 0;
+  double prev = best_response(users, delay, 10.0, 0.0).utilization - 0.0;
+  for (double gamma = 0.01; gamma <= 1.0; gamma += 0.01) {
+    const double h =
+        best_response(users, delay, 10.0, gamma).utilization - gamma;
+    if ((h > 0) != (prev > 0)) ++sign_changes;
+    prev = h;
+  }
+  EXPECT_EQ(sign_changes, 1);
+}
+
+TEST(Mfne, EquilibriumThresholdsReproduceTheEquilibriumUtilization) {
+  const auto users = sampled(population::LoadRegime::kAtService, 1500, 8);
+  const EdgeDelay delay = make_reciprocal_delay();
+  const MfneResult r = solve_mfne(users, delay, 10.0);
+  std::vector<double> xs(r.thresholds.begin(), r.thresholds.end());
+  EXPECT_NEAR(utilization_of_thresholds(users, xs, 10.0), r.gamma_star, 2e-3);
+}
+
+TEST(Mfne, NoUserBenefitsFromUnilateralDeviation) {
+  // The Nash property, checked directly on a sample of users: at gamma*,
+  // deviating from the Lemma-1 threshold cannot lower a user's own cost.
+  const auto users = sampled(population::LoadRegime::kAboveService, 400, 9);
+  const EdgeDelay delay = make_reciprocal_delay();
+  const MfneResult r = solve_mfne(users, delay, 10.0);
+  const double g = delay(r.gamma_star);
+  for (std::size_t n = 0; n < users.size(); n += 37) {
+    const double own = tro_cost(users[n],
+                                static_cast<double>(r.thresholds[n]), g);
+    for (const double dev : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+      EXPECT_LE(own, tro_cost(users[n], dev, g) + 1e-9)
+          << "user " << n << " deviation " << dev;
+    }
+  }
+}
+
+TEST(Mfne, HigherCapacityLowersEquilibriumUtilization) {
+  const auto users = sampled(population::LoadRegime::kAtService, 1000, 10);
+  const EdgeDelay delay = make_reciprocal_delay();
+  const double g10 = solve_mfne(users, delay, 10.0).gamma_star;
+  const double g20 = solve_mfne(users, delay, 20.0).gamma_star;
+  EXPECT_GT(g10, g20);
+}
+
+TEST(Mfne, SteeperEdgeDelayLowersEquilibriumUtilization) {
+  const auto users = sampled(population::LoadRegime::kAtService, 1000, 11);
+  const double flat =
+      solve_mfne(users, make_linear_delay(0.5, 0.1), 10.0).gamma_star;
+  const double steep =
+      solve_mfne(users, make_linear_delay(0.5, 20.0), 10.0).gamma_star;
+  EXPECT_GE(flat, steep);
+}
+
+TEST(Mfne, DegeneratePopulationThatNeverOffloadsYieldsZero) {
+  // Offloading is strictly dominated: enormous latency, tiny arrival rate.
+  std::vector<UserParams> users(50);
+  for (auto& u : users) {
+    u.arrival_rate = 0.05;
+    u.service_rate = 5.0;  // theta = 0.01
+    u.offload_latency = 1000.0;
+    u.energy_local = 0.0;
+    u.energy_offload = 1.0;
+  }
+  const MfneResult r =
+      solve_mfne(users, make_constant_delay(0.0), 10.0);
+  // f(1|theta) = 0.01 > beta is false here (beta = 0.05*1001 = 50), so the
+  // threshold is large but alpha is *tiny*; gamma* ~ 0.
+  EXPECT_LT(r.gamma_star, 1e-3);
+}
+
+TEST(Mfne, ThrowsWhenCapacityCannotAbsorbTheLoad) {
+  std::vector<UserParams> users(10);
+  for (auto& u : users) {
+    u.arrival_rate = 5.0;
+    u.service_rate = 1.0;
+    u.offload_latency = 0.0;
+    u.energy_local = 3.0;
+    u.energy_offload = 0.0;
+  }
+  // V(0) = mean(a)/c = 5/2 > 1.
+  EXPECT_THROW(solve_mfne(users, make_constant_delay(0.0), 2.0),
+               ContractViolation);
+}
+
+TEST(Mfne, RespectsToleranceOption) {
+  const auto users = sampled(population::LoadRegime::kBelowService, 500, 12);
+  const EdgeDelay delay = make_reciprocal_delay();
+  MfneOptions opt;
+  opt.tolerance = 1e-4;
+  const MfneResult coarse = solve_mfne(users, delay, 10.0, opt);
+  opt.tolerance = 1e-12;
+  const MfneResult fine = solve_mfne(users, delay, 10.0, opt);
+  EXPECT_NEAR(coarse.gamma_star, fine.gamma_star, 2e-4);
+  EXPECT_LT(coarse.iterations, fine.iterations);
+}
+
+}  // namespace
+}  // namespace mec::core

@@ -1,0 +1,65 @@
+#include "mec/queueing/mm1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mec/common/error.hpp"
+
+namespace mec::queueing {
+namespace {
+
+TEST(Mm1, ClassicHalfLoadValues) {
+  const Mm1Metrics m = mm1_metrics(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(m.utilization, 0.5);
+  EXPECT_DOUBLE_EQ(m.mean_in_system, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_in_queue, 0.5);
+  EXPECT_DOUBLE_EQ(m.mean_sojourn, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_wait, 0.5);
+}
+
+TEST(Mm1, SatisfiesLittlesLaw) {
+  for (const double lambda : {0.1, 0.5, 1.7, 2.9}) {
+    const Mm1Metrics m = mm1_metrics(lambda, 3.0);
+    EXPECT_NEAR(m.mean_in_system, lambda * m.mean_sojourn, 1e-12);
+    EXPECT_NEAR(m.mean_in_queue, lambda * m.mean_wait, 1e-12);
+  }
+}
+
+TEST(Mm1, QueueDecompositionHolds) {
+  // L = Lq + rho.
+  const Mm1Metrics m = mm1_metrics(2.0, 2.5);
+  EXPECT_NEAR(m.mean_in_system, m.mean_in_queue + m.utilization, 1e-12);
+}
+
+TEST(Mm1, ZeroArrivalGivesEmptySystem) {
+  const Mm1Metrics m = mm1_metrics(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_in_system, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_wait, 0.0);
+}
+
+TEST(Mm1, RejectsUnstableOrInvalidInput) {
+  EXPECT_THROW(mm1_metrics(2.0, 2.0), ContractViolation);
+  EXPECT_THROW(mm1_metrics(3.0, 2.0), ContractViolation);
+  EXPECT_THROW(mm1_metrics(-1.0, 2.0), ContractViolation);
+  EXPECT_THROW(mm1_metrics(1.0, 0.0), ContractViolation);
+}
+
+TEST(Mm1, StateProbabilitiesAreGeometricAndSumToOne) {
+  const double lambda = 1.2, mu = 2.0;
+  double total = 0.0;
+  for (unsigned n = 0; n < 200; ++n)
+    total += mm1_state_probability(lambda, mu, n);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(mm1_state_probability(lambda, mu, 0), 1.0 - lambda / mu, 1e-12);
+}
+
+TEST(Mm1, MeanInSystemMatchesStateProbabilitySum) {
+  const double lambda = 1.5, mu = 2.0;
+  const Mm1Metrics m = mm1_metrics(lambda, mu);
+  double mean = 0.0;
+  for (unsigned n = 0; n < 500; ++n)
+    mean += n * mm1_state_probability(lambda, mu, n);
+  EXPECT_NEAR(mean, m.mean_in_system, 1e-9);
+}
+
+}  // namespace
+}  // namespace mec::queueing

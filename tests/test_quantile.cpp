@@ -1,0 +1,97 @@
+#include "mec/stats/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mec/common/error.hpp"
+#include "mec/random/rng.hpp"
+
+namespace mec::stats {
+namespace {
+
+double exact_quantile(std::vector<double> data, double q) {
+  std::sort(data.begin(), data.end());
+  const double pos = q * static_cast<double>(data.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, data.size() - 1);
+  const double frac = pos - std::floor(pos);
+  return data[lo] * (1.0 - frac) + data[hi] * frac;
+}
+
+TEST(P2QuantileTest, RejectsDegenerateQuantiles) {
+  EXPECT_THROW(P2Quantile(0.0), ContractViolation);
+  EXPECT_THROW(P2Quantile(1.0), ContractViolation);
+  P2Quantile q(0.5);
+  EXPECT_THROW(q.value(), ContractViolation);
+}
+
+TEST(P2QuantileTest, ExactForSmallSamples) {
+  P2Quantile med(0.5);
+  med.add(3.0);
+  EXPECT_DOUBLE_EQ(med.value(), 3.0);
+  med.add(1.0);
+  EXPECT_DOUBLE_EQ(med.value(), 2.0);  // interpolated median of {1,3}
+  med.add(2.0);
+  EXPECT_DOUBLE_EQ(med.value(), 2.0);
+}
+
+TEST(P2QuantileTest, TracksUniformQuantilesClosely) {
+  random::Xoshiro256 rng(1);
+  P2Quantile p50(0.5), p95(0.95), p99(0.99);
+  std::vector<double> data;
+  for (int i = 0; i < 200000; ++i) {
+    const double v = random::uniform(rng, 0.0, 10.0);
+    data.push_back(v);
+    p50.add(v);
+    p95.add(v);
+    p99.add(v);
+  }
+  EXPECT_NEAR(p50.value(), exact_quantile(data, 0.50), 0.05);
+  EXPECT_NEAR(p95.value(), exact_quantile(data, 0.95), 0.05);
+  EXPECT_NEAR(p99.value(), exact_quantile(data, 0.99), 0.05);
+}
+
+TEST(P2QuantileTest, TracksHeavyTailedQuantiles) {
+  // Exponential data: p99 is ~4.6 means out; relative error matters here.
+  random::Xoshiro256 rng(2);
+  P2Quantile p99(0.99);
+  std::vector<double> data;
+  for (int i = 0; i < 300000; ++i) {
+    const double v = random::exponential(rng, 1.0);
+    data.push_back(v);
+    p99.add(v);
+  }
+  const double exact = exact_quantile(data, 0.99);
+  EXPECT_NEAR(p99.value() / exact, 1.0, 0.05);
+}
+
+TEST(P2QuantileTest, MonotoneAcrossQuantileLevels) {
+  random::Xoshiro256 rng(3);
+  LatencyPercentiles lat;
+  for (int i = 0; i < 100000; ++i)
+    lat.add(random::exponential(rng, 2.0));
+  EXPECT_LT(lat.p50(), lat.p95());
+  EXPECT_LT(lat.p95(), lat.p99());
+  EXPECT_EQ(lat.count(), 100000u);
+}
+
+TEST(P2QuantileTest, HandlesConstantStreams) {
+  P2Quantile q(0.9);
+  for (int i = 0; i < 1000; ++i) q.add(7.0);
+  EXPECT_DOUBLE_EQ(q.value(), 7.0);
+}
+
+TEST(P2QuantileTest, HandlesSortedAndReversedStreams) {
+  for (const bool reversed : {false, true}) {
+    P2Quantile q(0.5);
+    for (int i = 0; i < 10001; ++i)
+      q.add(reversed ? 10000.0 - i : static_cast<double>(i));
+    EXPECT_NEAR(q.value(), 5000.0, 150.0);
+  }
+}
+
+}  // namespace
+}  // namespace mec::stats

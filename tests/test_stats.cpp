@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mec/common/error.hpp"
+#include "mec/random/rng.hpp"
+#include "mec/stats/confidence.hpp"
+#include "mec/stats/histogram.hpp"
+#include "mec/stats/summary.hpp"
+
+namespace mec::stats {
+namespace {
+
+TEST(RunningSummary, MatchesBatchFormulas) {
+  const std::vector<double> data{1.0, 4.0, 2.0, 8.0, 5.0};
+  RunningSummary s;
+  for (const double v : data) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), mean(data));
+  EXPECT_NEAR(s.variance(), variance(data), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+TEST(RunningSummary, ContractsOnInsufficientData) {
+  RunningSummary s;
+  EXPECT_THROW(s.mean(), ContractViolation);
+  s.add(1.0);
+  EXPECT_NO_THROW(s.mean());
+  EXPECT_THROW(s.variance(), ContractViolation);
+}
+
+TEST(RunningSummary, MergeEqualsSequentialAccumulation) {
+  random::Xoshiro256 rng(1);
+  RunningSummary all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = random::uniform(rng, -2.0, 7.0);
+    all.add(v);
+    (i < 400 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningSummary, MergeWithEmptyIsIdentity) {
+  RunningSummary a, empty;
+  a.add(3.0);
+  a.add(5.0);
+  const double m = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), m);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), m);
+}
+
+TEST(RunningSummary, IsStableForLargeOffsets) {
+  // Welford must not lose the variance of tiny fluctuations on a huge mean.
+  RunningSummary s;
+  for (int i = 0; i < 1000; ++i)
+    s.add(1e12 + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.variance(), 1.0, 1e-2);
+}
+
+TEST(TimeAverage, WeighsByDuration) {
+  const std::vector<double> values{2.0, 10.0};
+  const std::vector<double> durations{3.0, 1.0};
+  EXPECT_DOUBLE_EQ(time_average(values, durations), 4.0);
+  EXPECT_THROW(time_average(values, std::vector<double>{1.0}),
+               ContractViolation);
+  EXPECT_THROW(time_average(values, std::vector<double>{0.0, 0.0}),
+               ContractViolation);
+}
+
+TEST(HistogramTest, BinsAndClampsCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps into bin 0
+  h.add(0.5);
+  h.add(3.0);
+  h.add(9.99);
+  h.add(42.0);   // clamps into last bin
+  EXPECT_EQ(h.total_count(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.mass(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.bin_left_edge(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.density(0), 0.2);
+  EXPECT_THROW(h.count(5), ContractViolation);
+}
+
+TEST(HistogramTest, MassSumsToOne) {
+  Histogram h(0.0, 1.0, 7);
+  random::Xoshiro256 rng(2);
+  for (int i = 0; i < 10000; ++i) h.add(random::uniform01(rng));
+  double total = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i) total += h.mass(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(NormalQuantile, MatchesKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.99), 2.326347874, 1e-6);   // 98% two-sided
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829304, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963985, 1e-6);
+  EXPECT_THROW(normal_quantile(0.0), ContractViolation);
+  EXPECT_THROW(normal_quantile(1.0), ContractViolation);
+}
+
+TEST(NormalQuantile, IsSymmetricAndMonotone) {
+  for (const double p : {0.6, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-9);
+  }
+  double prev = normal_quantile(0.01);
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    const double q = normal_quantile(p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(StudentTQuantile, MatchesTableValues) {
+  // Standard t-table: t_{0.975} at various dof.
+  EXPECT_NEAR(student_t_quantile(0.975, 10), 2.228, 6e-3);
+  EXPECT_NEAR(student_t_quantile(0.975, 30), 2.042, 3e-3);
+  EXPECT_NEAR(student_t_quantile(0.99, 20), 2.528, 8e-3);
+  EXPECT_NEAR(student_t_quantile(0.95, 5), 2.015, 2e-2);
+}
+
+TEST(StudentTQuantile, ApproachesNormalForLargeDof) {
+  EXPECT_NEAR(student_t_quantile(0.975, 100000), normal_quantile(0.975),
+              1e-4);
+}
+
+TEST(StudentTQuantile, ExceedsNormalForSmallDof) {
+  EXPECT_GT(student_t_quantile(0.975, 5), normal_quantile(0.975));
+}
+
+TEST(MeanConfidenceInterval, BasicGeometry) {
+  RunningSummary s;
+  for (int i = 0; i < 1000; ++i) s.add(i % 2 == 0 ? 9.0 : 11.0);
+  const ConfidenceInterval ci = mean_confidence_interval(s, 0.98);
+  EXPECT_NEAR(ci.mean, 10.0, 1e-12);
+  EXPECT_GT(ci.half_width, 0.0);
+  EXPECT_TRUE(ci.contains(10.0));
+  EXPECT_FALSE(ci.contains(11.0));
+  EXPECT_NEAR(ci.upper() - ci.lower(), 2.0 * ci.half_width, 1e-12);
+}
+
+TEST(MeanConfidenceInterval, CoversTheTrueMeanAtNominalRate) {
+  // 500 experiments, each a 98% CI over 200 uniform samples: coverage should
+  // be near 0.98.
+  random::Xoshiro256 rng(3);
+  int covered = 0;
+  const int experiments = 500;
+  for (int e = 0; e < experiments; ++e) {
+    RunningSummary s;
+    for (int i = 0; i < 200; ++i) s.add(random::uniform(rng, 0.0, 2.0));
+    covered += mean_confidence_interval(s, 0.98).contains(1.0);
+  }
+  EXPECT_NEAR(static_cast<double>(covered) / experiments, 0.98, 0.03);
+}
+
+TEST(MeanConfidenceInterval, WiderAtHigherConfidence) {
+  RunningSummary s;
+  random::Xoshiro256 rng(4);
+  for (int i = 0; i < 50; ++i) s.add(random::uniform01(rng));
+  EXPECT_LT(mean_confidence_interval(s, 0.90).half_width,
+            mean_confidence_interval(s, 0.99).half_width);
+}
+
+}  // namespace
+}  // namespace mec::stats

@@ -1,0 +1,159 @@
+// Lemma 1: the closed-form best threshold.  Validated three ways: against
+// the f(m|theta) closed form, against the defining inequalities, and against
+// an independent brute-force grid search over the actual Eq.-(1) cost.
+#include "mec/core/threshold_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "mec/common/error.hpp"
+#include "mec/random/rng.hpp"
+
+namespace mec::core {
+namespace {
+
+TEST(FFunction, BaseCases) {
+  for (const double theta : {0.3, 1.0, 2.7}) {
+    EXPECT_DOUBLE_EQ(f_recursive(0, theta), 0.0);
+    EXPECT_NEAR(f_recursive(1, theta), theta, 1e-12);
+    // f(2) = 2*theta + theta^2.
+    EXPECT_NEAR(f_recursive(2, theta), 2.0 * theta + theta * theta, 1e-12);
+  }
+}
+
+TEST(FFunction, RecursiveMatchesClosedForm) {
+  for (const double theta : {0.2, 0.5, 0.9, 1.0, 1.2, 3.0, 6.0}) {
+    for (const std::int64_t m : {0, 1, 2, 5, 10, 25}) {
+      const double fr = f_recursive(m, theta);
+      const double fc = f_closed_form(m, theta);
+      EXPECT_NEAR(fr, fc, 1e-8 * std::max(1.0, std::abs(fc)))
+          << "theta=" << theta << " m=" << m;
+    }
+  }
+}
+
+TEST(FFunction, IsStrictlyIncreasingInM) {
+  for (const double theta : {0.1, 1.0, 4.0}) {
+    double prev = f_recursive(0, theta);
+    for (std::int64_t m = 1; m <= 30; ++m) {
+      const double f = f_recursive(m, theta);
+      EXPECT_GT(f, prev) << "theta=" << theta << " m=" << m;
+      prev = f;
+    }
+  }
+}
+
+TEST(FFunction, DominatesLinearLowerBound) {
+  // f(m|theta) >= m * theta (each of the m terms is >= theta... the smallest
+  // term is theta^1 with coefficient 1; actually sum >= m*theta when theta>=1
+  // and >= theta otherwise; the paper uses f(m) >= m*theta for theta >= 1).
+  for (const double theta : {1.0, 1.5, 3.0}) {
+    for (const std::int64_t m : {1, 5, 20}) {
+      EXPECT_GE(f_recursive(m, theta),
+                static_cast<double>(m) * theta - 1e-12);
+    }
+  }
+}
+
+TEST(FFunction, RejectsInvalidArguments) {
+  EXPECT_THROW(f_recursive(-1, 1.0), ContractViolation);
+  EXPECT_THROW(f_recursive(1, 0.0), ContractViolation);
+  EXPECT_THROW(f_recursive(2'000'000, 1.0), ContractViolation);
+}
+
+TEST(BestThresholdForPrice, ZeroForNegativeOrSmallPrice) {
+  EXPECT_EQ(best_threshold_for_price(-5.0, 1.0), 0);
+  EXPECT_EQ(best_threshold_for_price(0.0, 1.0), 0);
+  EXPECT_EQ(best_threshold_for_price(0.99, 1.0), 0);  // f(1|1) = 1
+}
+
+TEST(BestThresholdForPrice, SatisfiesDefiningInequalities) {
+  random::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double theta = random::uniform(rng, 0.05, 6.0);
+    const double beta = random::uniform(rng, -5.0, 400.0);
+    const std::int64_t m = best_threshold_for_price(beta, theta);
+    ASSERT_GE(m, 0);
+    if (m == 0) {
+      EXPECT_LT(beta, f_recursive(1, theta));
+    } else {
+      EXPECT_LE(f_recursive(m, theta), beta + 1e-9);
+      EXPECT_LT(beta, f_recursive(m + 1, theta));
+    }
+  }
+}
+
+TEST(BestThresholdForPrice, BoundaryIsExactlyAtF) {
+  const double theta = 1.0;  // f(m|1) = m(m+1)/2
+  EXPECT_EQ(best_threshold_for_price(2.999999, theta), 1);  // f(2) = 3
+  EXPECT_EQ(best_threshold_for_price(3.0, theta), 2);
+  EXPECT_EQ(best_threshold_for_price(5.999999, theta), 2);  // f(3) = 6
+  EXPECT_EQ(best_threshold_for_price(6.0, theta), 3);
+}
+
+TEST(BestThresholdForPrice, MonotoneInPrice) {
+  for (const double theta : {0.4, 1.0, 2.5}) {
+    std::int64_t prev = 0;
+    for (double beta = 0.0; beta < 100.0; beta += 0.5) {
+      const std::int64_t m = best_threshold_for_price(beta, theta);
+      EXPECT_GE(m, prev);
+      prev = m;
+    }
+  }
+}
+
+TEST(BestThreshold, MonotoneNonDecreasingInEdgeDelay) {
+  // Lemma 1 + increasing g: more congested edge => higher local threshold.
+  UserParams u;
+  u.arrival_rate = 3.0;
+  u.service_rate = 2.0;
+  u.offload_latency = 0.5;
+  u.energy_local = 1.0;
+  u.energy_offload = 0.5;
+  std::int64_t prev = 0;
+  for (double g = 0.0; g <= 10.0; g += 0.25) {
+    const std::int64_t m = best_threshold(u, g);
+    EXPECT_GE(m, prev);
+    prev = m;
+  }
+}
+
+// The decisive test: the Lemma-1 oracle must beat (or tie) every point of a
+// fine grid search over the true Eq.-(1) cost, over randomized users.
+class OracleVsGridTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleVsGridTest, OracleCostNeverExceedsGridOptimum) {
+  random::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    UserParams u;
+    u.arrival_rate = random::uniform(rng, 0.2, 8.0);
+    u.service_rate = random::uniform(rng, 1.0, 5.0);
+    u.offload_latency = random::uniform(rng, 0.0, 5.0);
+    u.energy_local = random::uniform(rng, 0.0, 3.0);
+    u.energy_offload = random::uniform(rng, 0.0, 1.0);
+    u.weight = random::uniform(rng, 0.5, 2.0);
+    const double g = random::uniform(rng, 0.0, 10.0);
+
+    const auto m = static_cast<double>(best_threshold(u, g));
+    const double oracle_cost = tro_cost(u, m, g);
+    const double grid_x = grid_search_threshold(u, g, 60.0, 0.05);
+    const double grid_cost = tro_cost(u, grid_x, g);
+    EXPECT_LE(oracle_cost, grid_cost + 1e-9)
+        << "a=" << u.arrival_rate << " s=" << u.service_rate << " g=" << g
+        << " oracle_m=" << m << " grid_x=" << grid_x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleVsGridTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(GridSearch, RejectsInvalidArguments) {
+  UserParams u;
+  EXPECT_THROW(grid_search_threshold(u, 0.5, -1.0, 0.1), ContractViolation);
+  EXPECT_THROW(grid_search_threshold(u, 0.5, 1.0, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mec::core

@@ -1,0 +1,320 @@
+// mec — command-line explorer for the threshold-offloading library.
+//
+//   mec scenarios
+//       List the built-in scenario presets.
+//   mec mfne     --scenario=<name> --regime=<low|eq|high> [--n=..] [--seed=..]
+//       Solve the Mean-Field Nash Equilibrium.
+//   mec dtu      --scenario=.. --regime=.. [--eta0=..] [--epsilon=..]
+//                [--async=<prob>] [--trace]
+//       Run the Distributed Threshold Update algorithm and print the trace.
+//   mec simulate --scenario=.. --regime=.. [--horizon=..] [--warmup=..]
+//                [--service=<exp|erlang4|hyperexp4|empirical>]
+//       Simulate the MFNE thresholds in the discrete-event simulator.
+//   mec compare  --scenario=.. --regime=..
+//       DTU vs the probabilistic baselines on one population.
+//
+// Common flags: --n (population size), --seed, --capacity, --latency-mean.
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mec/baseline/dpo.hpp"
+#include "mec/common/error.hpp"
+#include "mec/core/dtu.hpp"
+#include "mec/core/mfne.hpp"
+#include "mec/io/args.hpp"
+#include "mec/io/json.hpp"
+#include "mec/io/table.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+#include "mec/population/scenario_text.hpp"
+#include "mec/random/empirical_data.hpp"
+#include "mec/sim/closed_loop.hpp"
+#include "mec/sim/mec_simulation.hpp"
+
+namespace {
+
+using namespace mec;
+
+constexpr const char* kUsage = R"(usage: mec <command> [flags]
+
+commands:
+  scenarios                      list scenario presets
+  mfne      solve the Mean-Field Nash Equilibrium
+  dtu       run the Distributed Threshold Update algorithm
+  simulate  DES-validate the equilibrium thresholds
+  closedloop  run Algorithm 1 live inside the simulator
+  compare   DTU vs probabilistic baselines
+
+common flags:
+  --scenario=<theoretical|comparison|practical>   (default theoretical)
+  --config=<file.mec>            load a scenario config file instead
+  --regime=<low|eq|high>                          (default eq)
+  --n=<users> --seed=<seed> --capacity=<c> --latency-mean=<s>
+run `mec <command> --help` for command-specific flags.
+)";
+
+population::LoadRegime parse_regime(const std::string& name) {
+  if (name == "low") return population::LoadRegime::kBelowService;
+  if (name == "eq") return population::LoadRegime::kAtService;
+  if (name == "high") return population::LoadRegime::kAboveService;
+  throw RuntimeError("unknown regime '" + name + "' (low|eq|high)");
+}
+
+population::ScenarioConfig build_scenario(const io::Args& args) {
+  if (args.has("config")) {
+    population::ScenarioConfig cfg =
+        population::load_scenario_file(args.get_string("config", ""));
+    if (args.has("n"))
+      cfg.n_users = static_cast<std::size_t>(args.get_long("n", 1));
+    if (args.has("capacity")) cfg.capacity = args.get_double("capacity", 0.0);
+    cfg.check();
+    return cfg;
+  }
+  const std::string name = args.get_string("scenario", "theoretical");
+  const auto regime = parse_regime(args.get_string("regime", "eq"));
+  const auto n = static_cast<std::size_t>(args.get_long("n", 0));
+
+  population::ScenarioConfig cfg;
+  if (name == "theoretical") {
+    cfg = population::theoretical_scenario(regime, n ? n : 10000);
+  } else if (name == "comparison") {
+    cfg = population::theoretical_comparison_scenario(regime, n ? n : 1000);
+  } else if (name == "practical") {
+    cfg = population::practical_scenario(regime, n ? n : 1000,
+                                         args.get_double("latency-mean", 0.4));
+  } else {
+    throw RuntimeError("unknown scenario '" + name +
+                       "' (theoretical|comparison|practical)");
+  }
+  if (args.has("capacity")) cfg.capacity = args.get_double("capacity", 0.0);
+  cfg.check();
+  return cfg;
+}
+
+const std::set<std::string> kCommonFlags = {
+    "scenario", "regime", "n",    "seed",
+    "capacity", "latency-mean",   "config", "help"};
+
+int cmd_scenarios() {
+  io::TextTable table("built-in scenario presets");
+  table.set_header({"name", "paper section", "N", "c", "notes"});
+  table.add_row({"theoretical", "IV-A (Table I, Fig. 5)", "10000", "10",
+                 "uniform marginals, T~U(0,1)"});
+  table.add_row({"comparison", "IV-C (Table III)", "1000", "10",
+                 "theoretical with T~U(0,5)"});
+  table.add_row({"practical", "IV-B (Table II, Fig. 7)", "1000", "8.5",
+                 "measured S/T datasets, E[S]=8.9437"});
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_mfne(const io::Args& args) {
+  auto known = kCommonFlags;
+  known.insert("json");
+  args.reject_unknown(known);
+  const auto cfg = build_scenario(args);
+  const auto pop = population::sample_population(
+      cfg, static_cast<std::uint64_t>(args.get_long("seed", 42)));
+  const core::MfneResult r =
+      core::solve_mfne(pop.users, cfg.delay, cfg.capacity);
+  std::vector<double> xs(r.thresholds.begin(), r.thresholds.end());
+  const double cost =
+      core::average_cost(pop.users, xs, cfg.delay, r.gamma_star);
+  double mean_x = 0.0;
+  for (const auto x : r.thresholds) mean_x += static_cast<double>(x);
+  mean_x /= static_cast<double>(pop.size());
+
+  if (args.get_bool("json", false)) {
+    const io::Json out = io::Json::object({
+        {"scenario", io::Json::string(cfg.name)},
+        {"n_users", io::Json::integer(static_cast<long long>(pop.size()))},
+        {"capacity", io::Json::number(cfg.capacity)},
+        {"gamma_star", io::Json::number(r.gamma_star)},
+        {"best_response", io::Json::number(r.best_response_value)},
+        {"bisection_steps", io::Json::integer(r.iterations)},
+        {"average_cost", io::Json::number(cost)},
+        {"mean_threshold", io::Json::number(mean_x)},
+    });
+    std::printf("%s\n", out.dump(2).c_str());
+    return 0;
+  }
+  std::printf("scenario: %s  N=%zu  c=%.2f\n", cfg.name.c_str(), pop.size(),
+              cfg.capacity);
+  std::printf("gamma* = %.6f   (V(gamma*) = %.6f, %d bisection steps)\n",
+              r.gamma_star, r.best_response_value, r.iterations);
+  std::printf("average cost at equilibrium = %.6f\n", cost);
+  std::printf("mean equilibrium threshold  = %.3f\n", mean_x);
+  return 0;
+}
+
+int cmd_dtu(const io::Args& args) {
+  auto known = kCommonFlags;
+  known.insert({"eta0", "epsilon", "async", "trace", "max-iterations"});
+  args.reject_unknown(known);
+  const auto cfg = build_scenario(args);
+  const auto pop = population::sample_population(
+      cfg, static_cast<std::uint64_t>(args.get_long("seed", 42)));
+
+  core::DtuOptions opt;
+  opt.eta0 = args.get_double("eta0", opt.eta0);
+  opt.epsilon = args.get_double("epsilon", opt.epsilon);
+  opt.max_iterations =
+      static_cast<int>(args.get_long("max-iterations", opt.max_iterations));
+  const double async = args.get_double("async", 1.0);
+  if (async < 1.0) opt.update_gate = core::make_bernoulli_gate(async, 1);
+
+  core::AnalyticUtilization source(pop.users, cfg.capacity);
+  const core::DtuResult r = run_dtu(pop.users, cfg.delay, source, opt);
+  const double star =
+      core::solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star;
+
+  std::printf("scenario: %s  N=%zu  eta0=%.3f  epsilon=%.3f  async=%.2f\n",
+              cfg.name.c_str(), pop.size(), opt.eta0, opt.epsilon, async);
+  std::printf("converged=%s after %d iterations\n", r.converged ? "yes" : "no",
+              r.iterations);
+  std::printf("gamma_hat = %.5f   true gamma = %.5f   MFNE gamma* = %.5f\n",
+              r.final_gamma_hat, r.final_gamma, star);
+  if (args.get_bool("trace", false)) {
+    std::printf("\n  t   gamma_t    gamma_hat  eta\n");
+    for (const auto& it : r.trace)
+      std::printf("  %-3d %-10.5f %-10.5f %-8.5f\n", it.t, it.gamma,
+                  it.gamma_hat, it.eta);
+  }
+  return 0;
+}
+
+int cmd_simulate(const io::Args& args) {
+  auto known = kCommonFlags;
+  known.insert({"horizon", "warmup", "service"});
+  args.reject_unknown(known);
+  const auto cfg = build_scenario(args);
+  const auto pop = population::sample_population(
+      cfg, static_cast<std::uint64_t>(args.get_long("seed", 42)));
+  const core::MfneResult mfne =
+      core::solve_mfne(pop.users, cfg.delay, cfg.capacity);
+
+  sim::SimulationOptions so;
+  so.horizon = args.get_double("horizon", 200.0);
+  so.warmup = args.get_double("warmup", 20.0);
+  so.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+  so.fixed_gamma = mfne.gamma_star;
+  const std::string service = args.get_string("service", "exp");
+  if (service == "erlang4")
+    so.service = sim::erlang_service(4);
+  else if (service == "hyperexp4")
+    so.service = sim::hyperexponential_service(4.0);
+  else if (service == "empirical")
+    so.service =
+        sim::empirical_service(random::synthetic_yolo_processing_times());
+  else if (service != "exp")
+    throw RuntimeError("unknown --service (exp|erlang4|hyperexp4|empirical)");
+
+  sim::MecSimulation des(pop.users, cfg.capacity, cfg.delay, so);
+  std::vector<double> xs(mfne.thresholds.begin(), mfne.thresholds.end());
+  const sim::SimulationResult r = des.run_tro(xs);
+  std::printf("scenario: %s  service=%s  gamma*=%.4f\n", cfg.name.c_str(),
+              service.c_str(), mfne.gamma_star);
+  std::printf("%s", sim::summarize(r).c_str());
+  return 0;
+}
+
+int cmd_closedloop(const io::Args& args) {
+  auto known = kCommonFlags;
+  known.insert({"horizon", "period", "eta0", "epsilon", "async", "trace"});
+  args.reject_unknown(known);
+  const auto cfg = build_scenario(args);
+  const auto pop = population::sample_population(
+      cfg, static_cast<std::uint64_t>(args.get_long("seed", 42)));
+  const double star =
+      core::solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star;
+
+  sim::ClosedLoopOptions opt;
+  opt.update_period = args.get_double("period", opt.update_period);
+  opt.horizon = args.get_double("horizon", opt.horizon);
+  opt.eta0 = args.get_double("eta0", opt.eta0);
+  opt.epsilon = args.get_double("epsilon", opt.epsilon);
+  opt.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+  const double async = args.get_double("async", 1.0);
+  if (async < 1.0) opt.update_gate = core::make_bernoulli_gate(async, 1);
+
+  const sim::ClosedLoopResult r =
+      run_closed_loop(pop.users, cfg.capacity, cfg.delay, opt);
+  std::printf(
+      "scenario: %s  N=%zu  period=%.1fs  horizon=%.0fs  async=%.2f\n",
+      cfg.name.c_str(), pop.size(), opt.update_period, opt.horizon, async);
+  std::printf("epochs=%zu  settled=%s\n", r.epochs.size(),
+              r.estimate_settled ? "yes" : "no");
+  std::printf(
+      "gamma_hat = %.5f   run-wide measured gamma = %.5f   oracle gamma* = "
+      "%.5f\n",
+      r.final_gamma_hat, r.run.measured_utilization, star);
+  std::printf("%s", sim::summarize(r.run).c_str());
+  if (args.get_bool("trace", false)) {
+    std::printf("\n  time(s)  gamma_meas  gamma_hat  eta\n");
+    for (const auto& e : r.epochs)
+      std::printf("  %-8.1f %-11.5f %-10.5f %-8.5f\n", e.time,
+                  e.gamma_measured, e.gamma_hat, e.eta);
+  }
+  return 0;
+}
+
+int cmd_compare(const io::Args& args) {
+  args.reject_unknown(kCommonFlags);
+  const auto cfg = build_scenario(args);
+  const auto pop = population::sample_population(
+      cfg, static_cast<std::uint64_t>(args.get_long("seed", 42)));
+
+  const core::MfneResult mfne =
+      core::solve_mfne(pop.users, cfg.delay, cfg.capacity);
+  std::vector<double> xs(mfne.thresholds.begin(), mfne.thresholds.end());
+  const double dtu_cost =
+      core::average_cost(pop.users, xs, cfg.delay, mfne.gamma_star);
+  const auto dpo =
+      baseline::solve_dpo_equilibrium(pop.users, cfg.delay, cfg.capacity);
+  const auto one_rho =
+      baseline::solve_common_rho_dpo(pop.users, cfg.delay, cfg.capacity);
+
+  io::TextTable table("policy comparison on " + cfg.name);
+  table.set_header({"policy", "avg cost", "edge gamma", "vs DTU"});
+  const auto pct = [dtu_cost](double c) {
+    return io::TextTable::fmt((c - dtu_cost) / dtu_cost * 100.0, 2) + "%";
+  };
+  table.add_row({"TRO @ MFNE (DTU)", io::TextTable::fmt(dtu_cost, 4),
+                 io::TextTable::fmt(mfne.gamma_star, 4), "--"});
+  table.add_row({"DPO per-user optimal", io::TextTable::fmt(dpo.average_cost, 4),
+                 io::TextTable::fmt(dpo.gamma_star, 4),
+                 pct(dpo.average_cost)});
+  table.add_row({"DPO shared rho", io::TextTable::fmt(one_rho.average_cost, 4),
+                 io::TextTable::fmt(one_rho.gamma, 4),
+                 pct(one_rho.average_cost)});
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> raw(argv + 1, argv + argc);
+  try {
+    const io::Args args = io::Args::parse(raw);
+    if (args.command().empty() || args.get_bool("help", false) ||
+        args.command() == "help") {
+      std::printf("%s", kUsage);
+      return args.command().empty() && !raw.empty() ? 1 : 0;
+    }
+    if (args.command() == "scenarios") return cmd_scenarios();
+    if (args.command() == "mfne") return cmd_mfne(args);
+    if (args.command() == "dtu") return cmd_dtu(args);
+    if (args.command() == "simulate") return cmd_simulate(args);
+    if (args.command() == "closedloop") return cmd_closedloop(args);
+    if (args.command() == "compare") return cmd_compare(args);
+    std::fprintf(stderr, "unknown command '%s'\n%s", args.command().c_str(),
+                 kUsage);
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
