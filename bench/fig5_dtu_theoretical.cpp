@@ -3,21 +3,30 @@
 // estimate gamma_hat_t per iteration, converging to the MFNE within ~20
 // iterations — plus the Fig. 4 illustration of the estimate's bisection
 // dynamics from both sides of gamma*.
+//
+// Each regime additionally cross-checks the converged thresholds in the
+// discrete-event simulator over --replications independent runs spread over
+// --threads workers; the aggregated mean +/- CI is bit-identical for any
+// thread count (see mec/parallel/replication.hpp).
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "mec/core/dtu.hpp"
 #include "mec/core/mfne.hpp"
+#include "mec/io/args.hpp"
 #include "mec/io/ascii_plot.hpp"
 #include "mec/io/csv.hpp"
+#include "mec/parallel/replication.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
+#include "mec/sim/mec_simulation.hpp"
 
 namespace {
 
 void run_regime(mec::population::LoadRegime regime, char tag,
-                double paper_star) {
+                double paper_star, const mec::parallel::ReplicationOptions& ro,
+                mec::parallel::ThreadPool& pool) {
   using namespace mec;
   const population::ScenarioConfig cfg =
       population::theoretical_scenario(regime);
@@ -64,6 +73,21 @@ void run_regime(mec::population::LoadRegime regime, char tag,
   io::write_csv(std::string("fig5") + tag + "_dtu_theoretical.csv",
                 {"t", "gamma", "gamma_hat", "gamma_star"},
                 {t, gamma, gamma_hat, star});
+
+  // Replicated DES validation of the converged thresholds: the measured
+  // utilization should straddle the analytic gamma*.
+  sim::SimulationOptions so;
+  so.fixed_gamma = mfne.gamma_star;
+  so.horizon = 60.0;
+  so.warmup = 10.0;
+  so.seed = 42;
+  const parallel::ReplicationResult des = parallel::run_replications(
+      pop.users, cfg.capacity, cfg.delay, so, dtu.thresholds, ro, &pool);
+  std::printf("DES check (%zu replications): measured gamma = %.4f +/- %.4f "
+              "(analytic %.4f), mean cost = %.3f +/- %.3f\n\n",
+              des.replications, des.measured_utilization.mean(),
+              des.measured_utilization.ci.half_width, mfne.gamma_star,
+              des.mean_cost.mean(), des.mean_cost.ci.half_width);
 }
 
 void fig4_bisection_illustration() {
@@ -97,11 +121,24 @@ void fig4_bisection_illustration() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
+  using namespace mec;
+  const io::Args args =
+      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
+  args.reject_unknown({"replications", "threads", "confidence"});
+  parallel::ReplicationOptions ro;
+  ro.replications = static_cast<std::size_t>(args.get_long("replications", 4));
+  ro.threads = static_cast<std::size_t>(args.get_long("threads", 0));
+  ro.confidence = args.get_double("confidence", 0.95);
+  parallel::ThreadPool pool(ro.threads);
+
   std::printf("=== Fig. 5: DTU convergence, theoretical settings ===\n\n");
-  run_regime(mec::population::LoadRegime::kBelowService, 'a', 0.13);
-  run_regime(mec::population::LoadRegime::kAtService, 'b', 0.21);
-  run_regime(mec::population::LoadRegime::kAboveService, 'c', 0.28);
+  run_regime(population::LoadRegime::kBelowService, 'a', 0.13, ro, pool);
+  run_regime(population::LoadRegime::kAtService, 'b', 0.21, ro, pool);
+  run_regime(population::LoadRegime::kAboveService, 'c', 0.28, ro, pool);
   fig4_bisection_illustration();
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -4,16 +4,21 @@
 // probability 0.8 per iteration), converging to the Table-II equilibria
 // within ~20 iterations.
 //
-// A final column cross-checks the converged thresholds in the discrete-event
-// simulator with the *empirical* (non-exponential) service distribution.
+// A final block cross-checks the converged thresholds in the discrete-event
+// simulator with the *empirical* (non-exponential) service distribution,
+// over --replications independent runs spread over --threads workers; the
+// aggregated mean +/- CI is bit-identical for any thread count (see
+// mec/parallel/replication.hpp).
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "mec/core/dtu.hpp"
 #include "mec/core/mfne.hpp"
+#include "mec/io/args.hpp"
 #include "mec/io/ascii_plot.hpp"
 #include "mec/io/csv.hpp"
+#include "mec/parallel/replication.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 #include "mec/random/empirical_data.hpp"
@@ -22,7 +27,8 @@
 namespace {
 
 void run_regime(mec::population::LoadRegime regime, char tag,
-                double paper_star) {
+                double paper_star, const mec::parallel::ReplicationOptions& ro,
+                mec::parallel::ThreadPool& pool) {
   using namespace mec;
   const population::ScenarioConfig cfg = population::practical_scenario(regime);
   const auto pop = population::sample_population(cfg, 21);
@@ -61,19 +67,23 @@ void run_regime(mec::population::LoadRegime regime, char tag,
                   popt)
                   .c_str());
 
-  // DES validation with the non-exponential measured service distribution.
+  // Replicated DES validation with the non-exponential measured service
+  // distribution; replication r runs with seed_r = seed + golden * (r+1).
   sim::SimulationOptions so;
   so.service = sim::empirical_service(random::synthetic_yolo_processing_times());
   so.latency = sim::empirical_latency(random::synthetic_wifi_offload_latencies());
   so.fixed_gamma = mfne.gamma_star;
   so.horizon = 150.0;
   so.warmup = 15.0;
-  sim::MecSimulation sim(pop.users, cfg.capacity, cfg.delay, so);
-  const sim::SimulationResult r = sim.run_tro(dtu.thresholds);
+  so.seed = 42;
+  const parallel::ReplicationResult r = parallel::run_replications(
+      pop.users, cfg.capacity, cfg.delay, so, dtu.thresholds, ro, &pool);
   std::printf(
-      "DES check (empirical service/latency): measured gamma = %.4f, "
-      "mean cost = %.3f\n\n",
-      r.measured_utilization, r.mean_cost);
+      "DES check (empirical service/latency, %zu replications): "
+      "measured gamma = %.4f +/- %.4f, mean cost = %.3f +/- %.3f\n\n",
+      r.replications, r.measured_utilization.mean(),
+      r.measured_utilization.ci.half_width, r.mean_cost.mean(),
+      r.mean_cost.ci.half_width);
 
   io::write_csv(std::string("fig7") + tag + "_dtu_practical.csv",
                 {"t", "gamma", "gamma_hat", "gamma_star"},
@@ -82,11 +92,24 @@ void run_regime(mec::population::LoadRegime regime, char tag,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
+  using namespace mec;
+  const io::Args args =
+      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
+  args.reject_unknown({"replications", "threads", "confidence"});
+  parallel::ReplicationOptions ro;
+  ro.replications = static_cast<std::size_t>(args.get_long("replications", 8));
+  ro.threads = static_cast<std::size_t>(args.get_long("threads", 0));
+  ro.confidence = args.get_double("confidence", 0.95);
+  parallel::ThreadPool pool(ro.threads);
+
   std::printf(
       "=== Fig. 7: DTU convergence, practical settings (async p=0.8) ===\n\n");
-  run_regime(mec::population::LoadRegime::kBelowService, 'a', 0.43);
-  run_regime(mec::population::LoadRegime::kAtService, 'b', 0.44);
-  run_regime(mec::population::LoadRegime::kAboveService, 'c', 0.46);
+  run_regime(population::LoadRegime::kBelowService, 'a', 0.43, ro, pool);
+  run_regime(population::LoadRegime::kAtService, 'b', 0.44, ro, pool);
+  run_regime(population::LoadRegime::kAboveService, 'c', 0.46, ro, pool);
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

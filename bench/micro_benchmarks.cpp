@@ -1,6 +1,7 @@
 // Ablation X5: google-benchmark micro-benchmarks of the hot paths — the TRO
 // closed forms, the Lemma-1 oracle, a full V(gamma) population sweep, the
-// MFNE bisection, and the discrete-event simulator's event throughput.
+// MFNE bisection, the discrete-event simulator's event throughput, and the
+// parallel replication engine's scaling across thread counts.
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -8,9 +9,11 @@
 #include "mec/core/best_response.hpp"
 #include "mec/core/mfne.hpp"
 #include "mec/core/threshold_oracle.hpp"
+#include "mec/parallel/replication.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 #include "mec/queueing/threshold_queue.hpp"
+#include "mec/random/empirical_data.hpp"
 #include "mec/sim/mec_simulation.hpp"
 
 namespace {
@@ -93,6 +96,67 @@ void BM_DesEventThroughput(benchmark::State& state) {
 BENCHMARK(BM_DesEventThroughput)
     ->Arg(100)
     ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// Scaling of the replication engine on a Fig.-7-sized workload (practical
+// scenario, N = 1000, empirical service/latency): 8 independent DES
+// replications spread over range(0) threads.  The replications are
+// embarrassingly parallel with a serial merge at the end, so on a machine
+// with >= 4 cores the wall-clock time should drop near-linearly from the
+// --threads=1 row (the aggregate stays bit-identical; see test_parallel).
+// UseRealTime is required: the work happens on pool threads, so CPU time of
+// the benchmark thread alone would under-report.
+void BM_RunReplicationsScaling(benchmark::State& state) {
+  static const population::Population pop = population::sample_population(
+      population::practical_scenario(population::LoadRegime::kAtService), 21);
+  const core::EdgeDelay delay = core::make_reciprocal_delay();
+  sim::SimulationOptions so;
+  so.service = sim::empirical_service(random::synthetic_yolo_processing_times());
+  so.latency = sim::empirical_latency(random::synthetic_wifi_offload_latencies());
+  so.fixed_gamma = 0.44;
+  so.horizon = 60.0;
+  so.warmup = 10.0;
+  const std::vector<double> xs(pop.users.size(), 2.0);
+  parallel::ReplicationOptions ro;
+  ro.replications = 8;
+  parallel::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const parallel::ReplicationResult r = parallel::run_replications(
+        pop.users, 10.0, delay, so, xs, ro, &pool);
+    benchmark::DoNotOptimize(r.mean_cost.mean());
+  }
+  state.counters["threads"] =
+      static_cast<double>(pool.thread_count());
+}
+BENCHMARK(BM_RunReplicationsScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Scaling of the parallel V(gamma) sweep: one best_response over N = 10^5
+// users per iteration, spread over range(0) threads in 256-user chunks.
+void BM_ParallelBestResponse(benchmark::State& state) {
+  static const population::Population pop = population::sample_population(
+      population::theoretical_scenario(population::LoadRegime::kAtService,
+                                       100000),
+      1);
+  const core::EdgeDelay delay = core::make_reciprocal_delay();
+  parallel::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::best_response(pop.users, delay, 10.0, 0.3, pool).utilization);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pop.users.size()));
+}
+BENCHMARK(BM_ParallelBestResponse)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

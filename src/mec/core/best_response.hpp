@@ -17,6 +17,7 @@
 
 #include "mec/core/edge_delay.hpp"
 #include "mec/core/user.hpp"
+#include "mec/parallel/thread_pool.hpp"
 
 namespace mec::core {
 
@@ -33,12 +34,26 @@ BestResponse best_response(std::span<const UserParams> users,
                            const EdgeDelay& delay, double capacity,
                            double gamma);
 
+/// As above, with the per-user sweep (embarrassingly parallel) spread across
+/// `pool`.  Per-user contributions land in per-index slots and are reduced
+/// serially in user order, so the result is bit-identical to the serial
+/// overload for every thread count.
+BestResponse best_response(std::span<const UserParams> users,
+                           const EdgeDelay& delay, double capacity,
+                           double gamma, parallel::ThreadPool& pool);
+
 /// Aggregate utilization induced by an arbitrary (not necessarily optimal)
 /// threshold vector: (1/N) * sum a_n * alpha_n(x_n) / c.  This is Algorithm
 /// 1's gamma_{t+1} update (Eq. (6)). Sizes must match; thresholds >= 0.
 double utilization_of_thresholds(std::span<const UserParams> users,
                                  std::span<const double> thresholds,
                                  double capacity);
+
+/// Parallel overload of the Eq.-(6) map; bit-identical to the serial one
+/// (per-index slots, serial in-order reduction).
+double utilization_of_thresholds(std::span<const UserParams> users,
+                                 std::span<const double> thresholds,
+                                 double capacity, parallel::ThreadPool& pool);
 
 /// Average Eq.-(1) cost across the population when user n plays thresholds[n]
 /// and the edge delay value is g(gamma). Sizes must match.

@@ -28,9 +28,14 @@ double f_recursive(std::int64_t m, double theta) {
 double f_closed_form(std::int64_t m, double theta) {
   MEC_EXPECTS(theta > 0.0);
   MEC_EXPECTS(m >= 0);
-  const auto md = static_cast<double>(m);
-  if (theta == 1.0) return md * (md + 1.0) / 2.0;
   const double one_minus = 1.0 - theta;
+  // As theta -> 1 the numerator collapses to O(m^2 (1-theta)^2) through
+  // cancellation of O(m)-sized terms, so the quotient loses ~2 digits per
+  // decade of |1-theta| (worst at small m, where the numerator is just
+  // (1-theta)^2); inside the cutoff the exact recurrence is both accurate
+  // and cheap (it also covers theta == 1, where f = m(m+1)/2).
+  if (std::abs(one_minus) < 1e-3) return f_recursive(m, theta);
+  const auto md = static_cast<double>(m);
   return theta *
          (std::pow(theta, md + 1.0) - (md + 1.0) * theta + md) /
          (one_minus * one_minus);

@@ -25,10 +25,11 @@ namespace mec::core {
 double f_recursive(std::int64_t m, double theta);
 
 /// f(m|theta) via the closed form
-///   theta * (theta^{m+1} - (m+1)*theta + m) / (1-theta)^2   (theta != 1)
-///   m(m+1)/2                                                (theta == 1)
-/// Used for cross-validation in tests; may lose precision near theta == 1,
-/// where callers should prefer f_recursive.
+///   theta * (theta^{m+1} - (m+1)*theta + m) / (1-theta)^2.
+/// For |1 - theta| < 1e-3 (including theta == 1) the quotient cancels
+/// catastrophically, so the implementation falls back to the exact
+/// recurrence there; agreement across the seam is tested. Requires
+/// theta > 0, m >= 0, and m <= 10^6 when the fallback band is hit.
 double f_closed_form(std::int64_t m, double theta);
 
 /// Best-response integer threshold of Lemma 1 for offload price `beta` and

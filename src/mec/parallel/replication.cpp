@@ -1,0 +1,105 @@
+#include "mec/parallel/replication.hpp"
+
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "mec/common/error.hpp"
+#include "mec/sim/metrics.hpp"
+
+namespace mec::parallel {
+
+std::uint64_t replication_seed(std::uint64_t base_seed,
+                               std::size_t replication) noexcept {
+  return base_seed +
+         0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(replication) + 1);
+}
+
+namespace {
+
+void finalize(MetricSummary& metric, double confidence) {
+  if (metric.samples.count() >= 2) {
+    metric.ci = stats::mean_confidence_interval(metric.samples, confidence);
+  } else {
+    metric.ci =
+        stats::ConfidenceInterval{metric.samples.mean(), 0.0, confidence};
+  }
+}
+
+}  // namespace
+
+ReplicationResult run_replications(std::span<const core::UserParams> users,
+                                   double capacity,
+                                   const core::EdgeDelay& delay,
+                                   const sim::SimulationOptions& base_options,
+                                   std::span<const double> thresholds,
+                                   const ReplicationOptions& options,
+                                   ThreadPool* pool) {
+  MEC_EXPECTS(options.replications >= 1);
+  MEC_EXPECTS(options.confidence > 0.0 && options.confidence < 1.0);
+  MEC_EXPECTS(users.size() == thresholds.size());
+  MEC_EXPECTS_MSG(base_options.epoch_period == 0.0,
+                  "run_replications cannot share an on_epoch callback across "
+                  "concurrent replications");
+
+  const std::size_t r_total = options.replications;
+  std::vector<sim::SimulationResult> results(r_total);
+
+  std::optional<ThreadPool> own_pool;
+  if (pool == nullptr) {
+    own_pool.emplace(options.threads);
+    pool = &*own_pool;
+  }
+  pool->parallel_for_each(r_total, [&](std::size_t r) {
+    sim::SimulationOptions run_options = base_options;
+    run_options.seed = replication_seed(base_options.seed, r);
+    const sim::MecSimulation simulation(users, capacity, delay,
+                                        std::move(run_options));
+    results[r] = simulation.run_tro(thresholds);
+  });
+
+  // Serial merge in replication order keeps the aggregates independent of
+  // the thread count (and of the pool's dynamic chunk assignment).
+  ReplicationResult out;
+  out.replications = r_total;
+  for (const sim::SimulationResult& r : results) {
+    out.mean_cost.samples.add(r.mean_cost);
+    out.mean_queue_length.samples.add(r.mean_queue_length);
+    out.mean_offload_fraction.samples.add(r.mean_offload_fraction);
+    out.measured_utilization.samples.add(r.measured_utilization);
+    out.mean_local_sojourn.samples.add(r.device_mean(
+        [](const sim::DeviceStats& d) { return d.mean_local_sojourn; }));
+    out.mean_offload_delay.samples.add(r.device_mean(
+        [](const sim::DeviceStats& d) { return d.mean_offload_delay; }));
+    out.total_events += r.total_events;
+  }
+  finalize(out.mean_cost, options.confidence);
+  finalize(out.mean_queue_length, options.confidence);
+  finalize(out.mean_offload_fraction, options.confidence);
+  finalize(out.measured_utilization, options.confidence);
+  finalize(out.mean_local_sojourn, options.confidence);
+  finalize(out.mean_offload_delay, options.confidence);
+  if (options.keep_runs) out.runs = std::move(results);
+  return out;
+}
+
+std::string summarize(const ReplicationResult& result) {
+  const auto line = [](const char* name, const MetricSummary& m) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "  %-24s %10.6f +/- %.6f  (%.0f%% CI)\n",
+                  name, m.ci.mean, m.ci.half_width, m.ci.confidence * 100.0);
+    return std::string(buf);
+  };
+  std::string out = "replications: " + std::to_string(result.replications) +
+                    "  (" + std::to_string(result.total_events) +
+                    " events total)\n";
+  out += line("mean cost", result.mean_cost);
+  out += line("mean queue length", result.mean_queue_length);
+  out += line("mean offload fraction", result.mean_offload_fraction);
+  out += line("measured utilization", result.measured_utilization);
+  out += line("mean local sojourn", result.mean_local_sojourn);
+  out += line("mean offload delay", result.mean_offload_delay);
+  return out;
+}
+
+}  // namespace mec::parallel

@@ -277,8 +277,10 @@ SimulationResult MecSimulation::run(
         dev.local_queue.pop_front();
         if (measuring) {
           ++dev.local_completed;
-          // Sojourn clipped to the window start for tasks arriving in warm-up.
-          const double sojourn = now - std::max(arrived_at, 0.0);
+          // Sojourn clipped to the window start for tasks arriving in warm-up:
+          // only the portion spent inside the measurement window counts, so a
+          // long transient backlog cannot leak into the steady-state mean.
+          const double sojourn = now - std::max(arrived_at, options_.warmup);
           dev.local_sojourn_sum += sojourn;
           local_sojourns.add(sojourn);
         }

@@ -24,11 +24,23 @@ struct DeviceStats {
 
 /// One sampled point of the system's trajectory (telemetry; see
 /// SimulationOptions::sample_interval).
+///
+/// Semantics: every field is the state *as of the scheduled sample time*,
+/// taken as a left limit.  Samples are physically flushed when the engine
+/// reaches the next event, but queue lengths are piecewise constant between
+/// events — so the recorded queue state is exactly the state an observer
+/// would have seen at `time`, excluding any event at `time` itself — and the
+/// utilization EWMA is decayed to exactly `time` before being read.
+/// Consequently the timeline is invariant to the sample interval: two runs
+/// of the same seed with intervals 1 and 2 agree on every shared instant
+/// (tested), and sampling never perturbs the event stream.
 struct TimelinePoint {
-  double time = 0.0;                 ///< simulated seconds (absolute)
-  double utilization_estimate = 0.0; ///< EWMA (or fixed) gamma at this time
-  double mean_queue_length = 0.0;    ///< instantaneous mean local queue
-  std::uint64_t offloads_so_far = 0; ///< cumulative offloads since warm-up
+  double time = 0.0;                 ///< scheduled sample time (absolute)
+  double utilization_estimate = 0.0; ///< EWMA (or fixed) gamma decayed to `time`
+  double mean_queue_length = 0.0;    ///< mean local queue, left limit at `time`
+  /// Offload decisions made in (warmup, time); 0 for samples at or before
+  /// the end of warm-up (the measurement counters start only there).
+  std::uint64_t offloads_so_far = 0;
 };
 
 /// Whole-system result of one simulation run.

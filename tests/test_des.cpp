@@ -364,6 +364,103 @@ TEST(Des, TimelineSamplingRecordsTheTrajectory) {
   EXPECT_NEAR(last.utilization_estimate, expected, 0.1);
 }
 
+TEST(Des, WarmupSojournsAreClippedToTheMeasurementWindow) {
+  // Regression for the warm-up measurement bias: with an overloaded local
+  // queue (a=2, s=1) and a 100 s warm-up, the FIFO backlog at the window
+  // start is ~100 tasks deep, so tasks departing inside a 10 s measurement
+  // window arrived ~50 s before it.  Counting their full sojourn inflates
+  // the mean to ~50; clipping at the window start bounds every recorded
+  // sojourn (and hence the mean and all percentiles) by the horizon.
+  const auto users = homogeneous(20, 2.0, 1.0);
+  SimulationOptions o;
+  o.warmup = 100.0;
+  o.horizon = 10.0;
+  o.seed = 99;
+  o.fixed_gamma = 0.2;
+  MecSimulation sim(users, 10.0, core::make_reciprocal_delay(), o);
+  std::vector<std::unique_ptr<OffloadPolicy>> policies;
+  for (std::size_t i = 0; i < users.size(); ++i)
+    policies.push_back(make_local_only_policy());
+  const SimulationResult r = sim.run(policies);
+  const double sojourn = r.device_mean(
+      [](const DeviceStats& d) { return d.mean_local_sojourn; });
+  EXPECT_GT(sojourn, 0.0);
+  EXPECT_LE(sojourn, o.horizon);  // pre-fix: ~50 (warm-up backlog leaks in)
+  EXPECT_LE(r.local_sojourn_percentiles.p99(), o.horizon);
+}
+
+TEST(Des, WarmupClipDoesNotDisturbSteadyStateMeasurements) {
+  // In a stable queue the clip only touches the few tasks straddling the
+  // window boundary; the M/M/1 sojourn must still come out right with a
+  // long warm-up in front of the window.
+  const auto users = homogeneous(200, 1.0, 2.0);
+  SimulationOptions o = long_run();
+  o.warmup = 200.0;
+  MecSimulation sim(users, 10.0, core::make_reciprocal_delay(), o);
+  std::vector<std::unique_ptr<OffloadPolicy>> policies;
+  for (std::size_t i = 0; i < users.size(); ++i)
+    policies.push_back(make_local_only_policy());
+  const SimulationResult r = sim.run(policies);
+  const double sojourn = r.device_mean(
+      [](const DeviceStats& d) { return d.mean_local_sojourn; });
+  EXPECT_NEAR(sojourn, queueing::mm1_metrics(1.0, 2.0).mean_sojourn, 0.05);
+}
+
+TEST(Des, TimelineIsInvariantToTheSampleInterval) {
+  // TimelinePoint records left limits at the scheduled sample time, so
+  // sampling must neither perturb the event stream nor depend on which
+  // event flushes the sample: the run sampled every 2 s must agree exactly
+  // with the even-time points of the run sampled every 1 s.
+  const auto users = homogeneous(80, 1.2, 2.0, /*tau=*/0.3);
+  SimulationOptions o;
+  o.warmup = 10.0;
+  o.horizon = 70.0;
+  o.seed = 44;
+  o.sample_interval = 1.0;
+  MecSimulation fine(users, 10.0, core::make_reciprocal_delay(), o);
+  o.sample_interval = 2.0;
+  MecSimulation coarse(users, 10.0, core::make_reciprocal_delay(), o);
+  const std::vector<double> xs(users.size(), 2.0);
+  const SimulationResult rf = fine.run_tro(xs);
+  const SimulationResult rc = coarse.run_tro(xs);
+  EXPECT_EQ(rf.total_events, rc.total_events);
+  EXPECT_DOUBLE_EQ(rf.mean_cost, rc.mean_cost);
+  ASSERT_EQ(rf.timeline.size(), 80u);
+  ASSERT_EQ(rc.timeline.size(), 40u);
+  for (std::size_t i = 0; i < rc.timeline.size(); ++i) {
+    const TimelinePoint& c = rc.timeline[i];
+    const TimelinePoint& f = rf.timeline[2 * i + 1];
+    ASSERT_DOUBLE_EQ(c.time, f.time);
+    EXPECT_DOUBLE_EQ(c.utilization_estimate, f.utilization_estimate);
+    EXPECT_DOUBLE_EQ(c.mean_queue_length, f.mean_queue_length);
+    EXPECT_EQ(c.offloads_so_far, f.offloads_so_far);
+  }
+}
+
+TEST(Des, TimelineOffloadCounterStartsAtWarmupAndEndsAtTheTotal) {
+  const auto users = homogeneous(60, 2.0, 1.5, /*tau=*/0.2);
+  SimulationOptions o;
+  o.warmup = 10.0;
+  o.horizon = 50.0;
+  o.seed = 55;
+  o.sample_interval = 1.0;
+  MecSimulation sim(users, 10.0, core::make_reciprocal_delay(), o);
+  const SimulationResult r =
+      sim.run_tro(std::vector<double>(users.size(), 1.0));
+  std::uint64_t total_offloaded = 0;
+  for (const DeviceStats& d : r.devices) total_offloaded += d.offloaded;
+  ASSERT_FALSE(r.timeline.empty());
+  for (const TimelinePoint& p : r.timeline) {
+    if (p.time <= o.warmup) {
+      EXPECT_EQ(p.offloads_so_far, 0u) << "t=" << p.time;
+    }
+  }
+  // The final sample is the left limit at t_end; no event lands on the
+  // sampled instant (arrival times are continuous), so it equals the total.
+  EXPECT_EQ(r.timeline.back().offloads_so_far, total_offloaded);
+  EXPECT_GT(total_offloaded, 0u);
+}
+
 TEST(Des, TimelineDisabledByDefault) {
   const auto users = homogeneous(20, 1.0, 2.0);
   MecSimulation sim(users, 10.0, core::make_reciprocal_delay());

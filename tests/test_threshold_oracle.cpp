@@ -34,6 +34,31 @@ TEST(FFunction, RecursiveMatchesClosedForm) {
   }
 }
 
+TEST(FFunction, ClosedFormIsStableNearThetaOne) {
+  // Regression for catastrophic cancellation: theta^{m+1} - (m+1)theta + m
+  // collapses to O(m^2 (1-theta)^2) through cancellation of O(m) terms, so
+  // the raw quotient loses ~2 digits per decade of |1-theta|.  The fallback
+  // band must hand off to the recurrence smoothly: closed form and
+  // recurrence agree to ~1e-9 relative everywhere in [0.99, 1.01],
+  // including both sides of the 1e-3 cutoff and theta == 1 exactly.
+  const double thetas[] = {0.99,        0.995,       1.0 - 2e-3,
+                           1.0 - 1e-3,  1.0 - 5e-4,  1.0 - 1e-4,
+                           1.0 - 1e-6,  1.0 - 1e-9,  1.0,
+                           1.0 + 1e-9,  1.0 + 1e-6,  1.0 + 1e-4,
+                           1.0 + 5e-4,  1.0 + 1e-3,  1.0 + 2e-3,
+                           1.005,       1.01};
+  for (const double theta : thetas) {
+    for (const std::int64_t m : {1, 2, 5, 17, 100, 1000}) {
+      const double fr = f_recursive(m, theta);
+      const double fc = f_closed_form(m, theta);
+      EXPECT_NEAR(fc, fr, 1e-9 * std::max(1.0, std::abs(fr)))
+          << "theta=" << theta << " m=" << m;
+    }
+  }
+  // Exact at theta == 1: f(m|1) = m(m+1)/2.
+  EXPECT_DOUBLE_EQ(f_closed_form(1000, 1.0), 1000.0 * 1001.0 / 2.0);
+}
+
 TEST(FFunction, IsStrictlyIncreasingInM) {
   for (const double theta : {0.1, 1.0, 4.0}) {
     double prev = f_recursive(0, theta);

@@ -9,7 +9,11 @@
 //       Run the Distributed Threshold Update algorithm and print the trace.
 //   mec simulate --scenario=.. --regime=.. [--horizon=..] [--warmup=..]
 //                [--service=<exp|erlang4|hyperexp4|empirical>]
+//                [--replications=R] [--threads=T] [--confidence=0.95]
 //       Simulate the MFNE thresholds in the discrete-event simulator.
+//       With R > 1, runs R independent replications (seed_r = seed +
+//       golden-ratio * (r+1)) across T threads and reports mean +/- CI;
+//       the aggregate is bit-identical for every T.
 //   mec compare  --scenario=.. --regime=..
 //       DTU vs the probabilistic baselines on one population.
 //
@@ -26,6 +30,7 @@
 #include "mec/io/args.hpp"
 #include "mec/io/json.hpp"
 #include "mec/io/table.hpp"
+#include "mec/parallel/replication.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 #include "mec/population/scenario_text.hpp"
@@ -187,7 +192,8 @@ int cmd_dtu(const io::Args& args) {
 
 int cmd_simulate(const io::Args& args) {
   auto known = kCommonFlags;
-  known.insert({"horizon", "warmup", "service"});
+  known.insert({"horizon", "warmup", "service", "replications", "threads",
+                "confidence"});
   args.reject_unknown(known);
   const auto cfg = build_scenario(args);
   const auto pop = population::sample_population(
@@ -211,8 +217,24 @@ int cmd_simulate(const io::Args& args) {
   else if (service != "exp")
     throw RuntimeError("unknown --service (exp|erlang4|hyperexp4|empirical)");
 
-  sim::MecSimulation des(pop.users, cfg.capacity, cfg.delay, so);
   std::vector<double> xs(mfne.thresholds.begin(), mfne.thresholds.end());
+  const auto replications =
+      static_cast<std::size_t>(args.get_long("replications", 1));
+  if (replications > 1) {
+    parallel::ReplicationOptions ro;
+    ro.replications = replications;
+    ro.threads = static_cast<std::size_t>(args.get_long("threads", 0));
+    ro.confidence = args.get_double("confidence", 0.95);
+    const parallel::ReplicationResult r = parallel::run_replications(
+        pop.users, cfg.capacity, cfg.delay, so, xs, ro);
+    std::printf(
+        "scenario: %s  service=%s  gamma*=%.4f  threads=%zu\n",
+        cfg.name.c_str(), service.c_str(), mfne.gamma_star,
+        parallel::resolve_thread_count(ro.threads));
+    std::printf("%s", parallel::summarize(r).c_str());
+    return 0;
+  }
+  sim::MecSimulation des(pop.users, cfg.capacity, cfg.delay, so);
   const sim::SimulationResult r = des.run_tro(xs);
   std::printf("scenario: %s  service=%s  gamma*=%.4f\n", cfg.name.c_str(),
               service.c_str(), mfne.gamma_star);
