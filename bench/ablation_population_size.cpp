@@ -26,7 +26,8 @@ int main() {
   model.energy_offload = core::uniform_inverse_cdf(0.0, 1.0);
   model.capacity = 10.0;
   model.delay = core::make_reciprocal_delay();
-  const double limit = core::mean_field_equilibrium(model, 1 << 16);
+  const double limit =
+      core::mean_field_equilibrium(model, 1 << 16).gamma_star;
 
   std::printf("=== Ablation: finite-N gap to the mean-field MFNE ===\n");
   std::printf("mean-field limit (QMC, 65536 nodes): gamma* = %.5f\n\n", limit);

@@ -1,0 +1,184 @@
+// Raw DES event-throughput benchmark across population sizes.
+//
+// For each N the harness runs one TRO simulation sized so every case
+// processes a few million events, and reports events/sec as a `BENCH {...}`
+// JSON line (one per case, machine-parsable; see EXPERIMENTS.md).  The
+// horizon shrinks as N grows so total work stays roughly constant: the
+// numbers isolate per-event cost, which is what the 10^6-device scaling
+// story depends on.
+//
+// Modes:
+//   des_scaling              N in {1e3, 1e4, 1e5}
+//   des_scaling --full       adds the N = 1e6 case
+//   des_scaling --smoke      N = 1e4 only, gated against the checked-in
+//                            events/sec floor (bench/des_scaling_baseline.json,
+//                            a generous machine-independent lower bound);
+//                            exits non-zero below the floor.
+//   des_scaling --out=F      appends the BENCH JSON lines to file F as well
+//   des_scaling --baseline=F overrides the baseline file path (smoke mode)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mec/core/edge_delay.hpp"
+#include "mec/core/user.hpp"
+#include "mec/io/args.hpp"
+#include "mec/io/json.hpp"
+#include "mec/random/rng.hpp"
+#include "mec/sim/mec_simulation.hpp"
+
+namespace {
+
+std::vector<mec::core::UserParams> make_users(std::size_t n) {
+  std::vector<mec::core::UserParams> users;
+  users.reserve(n);
+  mec::random::Xoshiro256 rng(2024);
+  for (std::size_t i = 0; i < n; ++i) {
+    mec::core::UserParams u;
+    u.arrival_rate = mec::random::uniform(rng, 0.5, 2.0);
+    u.service_rate = mec::random::uniform(rng, 2.0, 4.0);
+    u.offload_latency = mec::random::uniform(rng, 0.1, 0.5);
+    u.energy_local = 1.0;
+    u.energy_offload = 0.5;
+    users.push_back(u);
+  }
+  return users;
+}
+
+struct CaseResult {
+  std::size_t n = 0;
+  double horizon = 0.0;
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+};
+
+CaseResult run_case(std::size_t n, int repetitions) {
+  const auto users = make_users(n);
+  // Keep total events roughly constant (~3-4M) across N so each case
+  // measures per-event cost, not run length.
+  const double horizon =
+      std::max(2.0, 1.0e6 / static_cast<double>(n));
+  mec::sim::SimulationOptions options;
+  options.warmup = 0.0;
+  options.horizon = horizon;
+  options.seed = 7;
+  options.fixed_gamma = 0.2;
+  const mec::sim::MecSimulation sim(users, 10.0,
+                                    mec::core::make_reciprocal_delay(),
+                                    options);
+  const std::vector<double> thresholds(n, 2.0);
+  // Reuse one workspace across repetitions, as the replication engine and
+  // the DTU's utilization oracle do: steady state is then allocation-free
+  // and repeated same-seed runs restore the per-device RNG streams from the
+  // workspace snapshot instead of re-splitting them.
+  mec::sim::SimWorkspace workspace;
+
+  CaseResult best;
+  best.n = n;
+  best.horizon = horizon;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const mec::sim::SimulationResult r = sim.run_tro(thresholds, workspace);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    const double rate = static_cast<double>(r.total_events) / seconds;
+    if (rate > best.events_per_sec) {
+      best.events = r.total_events;
+      best.seconds = seconds;
+      best.events_per_sec = rate;
+    }
+  }
+  return best;
+}
+
+std::string bench_line(const CaseResult& c) {
+  const mec::io::Json json = mec::io::Json::object({
+      {"name", mec::io::Json::string("des_scaling")},
+      {"n", mec::io::Json::integer(static_cast<long long>(c.n))},
+      {"horizon", mec::io::Json::number(c.horizon)},
+      {"events", mec::io::Json::integer(static_cast<long long>(c.events))},
+      {"seconds", mec::io::Json::number(c.seconds)},
+      {"events_per_sec", mec::io::Json::number(c.events_per_sec)},
+  });
+  return "BENCH " + json.dump();
+}
+
+/// Reads `"events_per_sec_floor": <number>` from the baseline JSON file.
+/// The file is a single flat object, so a key scan is sufficient — the io
+/// layer is deliberately write-only JSON.
+double read_floor(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "des_scaling: cannot open baseline file " << path << "\n";
+    std::exit(2);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::string key = "\"events_per_sec_floor\"";
+  const std::size_t at = text.find(key);
+  if (at == std::string::npos) {
+    std::cerr << "des_scaling: no events_per_sec_floor in " << path << "\n";
+    std::exit(2);
+  }
+  const std::size_t colon = text.find(':', at + key.size());
+  if (colon == std::string::npos) {
+    std::cerr << "des_scaling: malformed baseline " << path << "\n";
+    std::exit(2);
+  }
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const mec::io::Args args =
+      mec::io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
+  args.reject_unknown({"smoke", "full", "out", "baseline", "reps"});
+  const bool smoke = args.get_bool("smoke", false);
+  const bool full = args.get_bool("full", false);
+  const int reps = static_cast<int>(args.get_long("reps", 2));
+  const std::string out_path = args.get_string("out", "");
+
+  std::vector<std::size_t> sizes;
+  if (smoke) {
+    sizes = {10000};
+  } else {
+    sizes = {1000, 10000, 100000};
+    if (full) sizes.push_back(1000000);
+  }
+
+  std::ofstream out;
+  if (!out_path.empty()) out.open(out_path, std::ios::app);
+
+  std::vector<CaseResult> results;
+  for (const std::size_t n : sizes) {
+    const CaseResult c = run_case(n, reps);
+    results.push_back(c);
+    const std::string line = bench_line(c);
+    std::cout << line << "\n" << std::flush;
+    if (out) out << line << "\n";
+  }
+
+  if (smoke) {
+    const std::string baseline =
+        args.get_string("baseline", "des_scaling_baseline.json");
+    const double floor = read_floor(baseline);
+    const double measured = results.front().events_per_sec;
+    std::printf("smoke: %.3g events/s vs floor %.3g\n", measured, floor);
+    if (measured < floor) {
+      std::cerr << "des_scaling --smoke: events/sec regressed below the "
+                   "baseline floor ("
+                << measured << " < " << floor << ")\n";
+      return 1;
+    }
+  }
+  return 0;
+}

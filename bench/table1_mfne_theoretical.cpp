@@ -55,7 +55,8 @@ int main() {
     model.weight = cfg.weight;
     model.capacity = cfg.capacity;
     model.delay = cfg.delay;
-    const double qmc = core::mean_field_equilibrium(model, 1 << 15);
+    const double qmc =
+        core::mean_field_equilibrium(model, 1 << 15).gamma_star;
 
     table.add_row({population::to_string(row.regime),
                    io::TextTable::fmt(stars.mean(), 2) + " (+/- " +

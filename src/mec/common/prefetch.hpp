@@ -1,0 +1,10 @@
+// Best-effort cache prefetch hint; a no-op on compilers without
+// __builtin_prefetch.  Used by the DES hot path to overlap the next
+// event's state loads with the current event's processing.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MEC_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define MEC_PREFETCH(addr) ((void)0)
+#endif

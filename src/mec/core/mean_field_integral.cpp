@@ -70,23 +70,38 @@ double mean_field_best_response(const MeanFieldModel& model, double gamma,
   return acc / (static_cast<double>(points) * model.capacity);
 }
 
-double mean_field_equilibrium(const MeanFieldModel& model, std::size_t points,
-                              double tolerance) {
+MeanFieldEquilibrium mean_field_equilibrium(const MeanFieldModel& model,
+                                            std::size_t points,
+                                            double tolerance,
+                                            int max_iterations) {
   check_model(model);
   MEC_EXPECTS(tolerance > 0.0);
+  MEC_EXPECTS(max_iterations >= 1);
   const double v0 = mean_field_best_response(model, 0.0, points);
   MEC_EXPECTS_MSG(v0 < 1.0, "V(0) >= 1: capacity too small");
-  if (v0 == 0.0) return 0.0;
+  MeanFieldEquilibrium result;
+  if (v0 == 0.0) {
+    result.converged = true;  // exact: gamma* = 0
+    return result;
+  }
 
+  // Guarded like solve_mfne: for tolerances near/below one ulp the bracket
+  // stops shrinking (0.5*(lo+hi) rounds back to lo or hi) and an unguarded
+  // loop never exits.
   double lo = 0.0, hi = 1.0;
-  while (hi - lo > tolerance) {
+  int iters = 0;
+  while (hi - lo > tolerance && iters < max_iterations) {
     const double mid = 0.5 * (lo + hi);
     if (mean_field_best_response(model, mid, points) > mid)
       lo = mid;
     else
       hi = mid;
+    ++iters;
   }
-  return 0.5 * (lo + hi);
+  result.gamma_star = 0.5 * (lo + hi);
+  result.iterations = iters;
+  result.converged = hi - lo <= tolerance;
+  return result;
 }
 
 }  // namespace mec::core

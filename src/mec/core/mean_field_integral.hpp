@@ -48,10 +48,21 @@ double halton(std::size_t index, std::size_t dimension);
 double mean_field_best_response(const MeanFieldModel& model, double gamma,
                                 std::size_t points = 1 << 16);
 
+/// Outcome of the mean-field bisection (mirrors MfneResult's contract).
+struct MeanFieldEquilibrium {
+  double gamma_star = 0.0;  ///< midpoint of the final bracket
+  int iterations = 0;       ///< bisection iterations used
+  /// True when the bracket reached `tolerance`; false when `max_iterations`
+  /// cut the bisection off first (tolerances at or below one ulp of gamma*
+  /// can never be met — the bracket stops shrinking).
+  bool converged = false;
+};
+
 /// Solves V(gamma) = gamma by bisection on the QMC evaluation.
-/// Requires V(0) < 1 (checked).
-double mean_field_equilibrium(const MeanFieldModel& model,
-                              std::size_t points = 1 << 16,
-                              double tolerance = 1e-8);
+/// Requires V(0) < 1 (checked), tolerance > 0, max_iterations >= 1.
+MeanFieldEquilibrium mean_field_equilibrium(const MeanFieldModel& model,
+                                            std::size_t points = 1 << 16,
+                                            double tolerance = 1e-8,
+                                            int max_iterations = 200);
 
 }  // namespace mec::core

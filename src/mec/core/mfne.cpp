@@ -21,6 +21,7 @@ MfneResult solve_mfne(std::span<const UserParams> users, const EdgeDelay& delay,
     r.gamma_star = 0.0;
     r.best_response_value = 0.0;
     r.thresholds = best_response(users, delay, capacity, 0.0).thresholds;
+    r.converged = true;  // exact: gamma* = 0
     return r;
   }
 
@@ -43,6 +44,7 @@ MfneResult solve_mfne(std::span<const UserParams> users, const EdgeDelay& delay,
   r.best_response_value = br.utilization;
   r.thresholds = std::move(br.thresholds);
   r.iterations = iters;
+  r.converged = hi - lo <= options.tolerance;
   MEC_ENSURES(r.gamma_star >= 0.0 && r.gamma_star <= 1.0);
   return r;
 }

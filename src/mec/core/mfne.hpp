@@ -28,6 +28,11 @@ struct MfneResult {
   double best_response_value = 0.0;       ///< V(gamma_star)
   std::vector<std::int64_t> thresholds;   ///< equilibrium thresholds
   int iterations = 0;                     ///< bisection iterations used
+  /// True when the bracket reached `tolerance`; false when the bisection
+  /// was cut off by `max_iterations` (e.g. a tolerance below one ulp of
+  /// gamma*, where the interval stops shrinking) and gamma_star is only
+  /// the midpoint of the last bracket.
+  bool converged = false;
 };
 
 /// Finds gamma* with |V(gamma*) crossing| bracketed within

@@ -51,11 +51,17 @@ ReplicationResult run_replications(std::span<const core::UserParams> users,
     pool = &*own_pool;
   }
   pool->parallel_for_each(r_total, [&](std::size_t r) {
+    // One workspace per worker thread, reused across replications (and
+    // across run_replications calls on the same pool): successive
+    // same-shape runs are then allocation-free.  Reuse cannot change
+    // results — the workspace is fully reset at run start (verified by the
+    // equivalence tests).
+    thread_local sim::SimWorkspace workspace;
     sim::SimulationOptions run_options = base_options;
     run_options.seed = replication_seed(base_options.seed, r);
     const sim::MecSimulation simulation(users, capacity, delay,
                                         std::move(run_options));
-    results[r] = simulation.run_tro(thresholds);
+    results[r] = simulation.run_tro(thresholds, workspace);
   });
 
   // Serial merge in replication order keeps the aggregates independent of

@@ -1,28 +1,346 @@
 #include "mec/sim/des.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "mec/common/error.hpp"
+#include "mec/common/prefetch.hpp"
 
 namespace mec::sim {
 
-void EventQueue::push(double time, EventKind kind, std::uint32_t device,
-                      double payload) {
+namespace {
+
+/// Heap gear below this many stored events; calendar gear above.  At the
+/// threshold the whole heap is ~256 KiB (L2-resident), so the switch
+/// happens before heap pops start paying DRAM-latency sift chains.
+constexpr std::size_t kSwitchThreshold = 16384;
+/// Hysteresis: drop back to the plain heap only below half the threshold.
+constexpr std::size_t kExitThreshold = kSwitchThreshold / 2;
+/// The ring covers this many multiples of the mean residual event time.
+/// Density concentrates near the consumption point (residuals are roughly
+/// exponential), so tuning the width from the *mean residual* rather than
+/// the full span keeps front buckets small; only the ~e^-8 tail of events
+/// beyond the ring lands in the overflow tier.
+constexpr double kRingSpanResiduals = 8.0;
+/// Ring sizing target: at least this many events per bucket on average,
+/// i.e. ring size ~ stored / kMinOccupancy, clamped to the bounds below.
+constexpr std::size_t kMinOccupancy = 8;
+/// Ring size bounds (power of two).  The cap trades bucket count for
+/// occupancy: at 2e6 stored events front-bucket occupancy grows to ~250,
+/// still a cheap sort.
+constexpr std::size_t kMinBuckets = 1024;
+constexpr std::size_t kMaxBuckets = 65536;
+/// Sift-down prefetch pays off only once the heap outgrows L1.
+constexpr std::size_t kPrefetchMinHeap = 2048;
+
+}  // namespace
+
+void EventQueue::reserve(std::size_t capacity) {
+  side_.reserve(std::min(capacity, 2 * kSwitchThreshold));
+}
+
+void EventQueue::clear() noexcept {
+  side_.clear();
+  window_.clear();
+  window_pos_ = 0;
+  if (ring_count_ > 0)
+    for (std::vector<Node>& b : buckets_) b.clear();
+  ring_count_ = 0;
+  overflow_.clear();
+  overflow_min_bucket_ = ~std::uint64_t{0};
+  calendar_ = false;
+  base_ = 0;
+  tuned_size_ = 0;
+  switch_check_ = 0;
+  size_ = 0;
+  next_seq_ = 0;
+}
+
+// --- side heap -------------------------------------------------------------
+
+void EventQueue::side_push(const Node& nd) {
+  // Sift the hole up from the back; the new node is written exactly once.
+  std::size_t i = side_.size();
+  side_.push_back(nd);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(nd, side_[parent])) break;
+    side_[i] = side_[parent];
+    i = parent;
+  }
+  side_[i] = nd;
+}
+
+void EventQueue::side_sift_down(std::size_t i, const Node& nd) {
+  const std::size_t n = side_.size();
+  const bool deep = n > kPrefetchMinHeap;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    if (deep) {
+      // The 16 grandchildren are contiguous; pull their four cache lines
+      // one level ahead so the next iteration's loads overlap the compares.
+      const std::size_t g = 4 * first + 1;
+      if (g < n) {
+        MEC_PREFETCH(side_.data() + g);
+        MEC_PREFETCH(side_.data() + g + 4);
+        MEC_PREFETCH(side_.data() + g + 8);
+        MEC_PREFETCH(side_.data() + g + 12);
+      }
+    }
+    std::size_t best = first;
+    const std::size_t end = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < end; ++c)
+      if (earlier(side_[c], side_[best])) best = c;
+    if (!earlier(side_[best], nd)) break;
+    side_[i] = side_[best];
+    i = best;
+  }
+  side_[i] = nd;
+}
+
+void EventQueue::side_pop_root() {
+  const Node last = side_.back();
+  side_.pop_back();
+  if (!side_.empty()) side_sift_down(0, last);
+}
+
+void EventQueue::side_build() {
+  const std::size_t n = side_.size();
+  if (n < 2) return;
+  for (std::size_t i = (n - 2) / 4 + 1; i-- > 0;) {
+    const Node nd = side_[i];
+    side_sift_down(i, nd);
+  }
+}
+
+const EventQueue::Node& EventQueue::front() const noexcept {
+  // The side heap is almost always empty in calendar gear (only delays
+  // shorter than one bucket width land there), so this compare is
+  // predictable and the common path is a single indexed load.
+  if (!side_.empty() && (window_pos_ >= window_.size() ||
+                         earlier(side_[0], window_[window_pos_])))
+    return side_[0];
+  return window_[window_pos_];
+}
+
+// --- calendar gear ---------------------------------------------------------
+
+std::uint64_t EventQueue::bucket_of(double t) const noexcept {
+  const double d = t * inv_width_;
+  // Saturate instead of overflowing the cast; saturated indices land in the
+  // overflow tier and are drained through the sorted window, which orders
+  // them.
+  return d < 9.0e18 ? static_cast<std::uint64_t>(d)
+                    : static_cast<std::uint64_t>(9.0e18);
+}
+
+void EventQueue::gather_all() {
+  scratch_.clear();
+  scratch_.reserve(size_);
+  scratch_.insert(scratch_.end(), side_.begin(), side_.end());
+  side_.clear();
+  scratch_.insert(scratch_.end(), window_.begin() + window_pos_,
+                  window_.end());
+  window_.clear();
+  window_pos_ = 0;
+  if (ring_count_ > 0)
+    for (std::vector<Node>& b : buckets_) {
+      scratch_.insert(scratch_.end(), b.begin(), b.end());
+      b.clear();
+    }
+  ring_count_ = 0;
+  scratch_.insert(scratch_.end(), overflow_.begin(), overflow_.end());
+  overflow_.clear();
+  overflow_min_bucket_ = ~std::uint64_t{0};
+}
+
+void EventQueue::try_enter_calendar() {
+  gather_all();
+  rebuild(size_);
+}
+
+void EventQueue::rebuild(std::size_t target_size) {
+  // scratch_ holds every stored node (see gather_all); retune the bucket
+  // width from the observed time span, rebin everything, and re-establish
+  // the window invariant.
+  double tmin = scratch_.front().time;
+  double tmax = tmin;
+  double tsum = 0.0;
+  for (const Node& nd : scratch_) {
+    tmin = std::min(tmin, nd.time);
+    tmax = std::max(tmax, nd.time);
+    tsum += nd.time;
+  }
+  const double mean_residual =
+      tsum / static_cast<double>(scratch_.size()) - tmin;
+  if (!(mean_residual > 0.0) || !(mean_residual > tmax * 1e-13)) {
+    // Degenerate spread (all events effectively simultaneous): a calendar
+    // cannot separate them, so stay a plain heap and defer the next try.
+    side_.swap(scratch_);
+    scratch_.clear();
+    side_build();
+    calendar_ = false;
+    switch_check_ = 2 * size_;
+    return;
+  }
+
+  std::size_t nb = kMinBuckets;
+  while (nb < target_size / kMinOccupancy && nb < kMaxBuckets) nb <<= 1;
+  width_ = kRingSpanResiduals * mean_residual / static_cast<double>(nb);
+  inv_width_ = 1.0 / width_;
+  if (buckets_.size() != nb) buckets_.resize(nb);
+  bucket_mask_ = nb - 1;
+  base_ = bucket_of(tmin);
+  calendar_ = true;
+  tuned_size_ = target_size;
+  switch_check_ = 0;
+
+  for (const Node& nd : scratch_) {
+    const std::uint64_t idx = bucket_of(nd.time);
+    if (idx - base_ < nb) {
+      buckets_[idx & bucket_mask_].push_back(nd);
+      ++ring_count_;
+    } else {
+      overflow_.push_back(nd);
+      overflow_min_bucket_ = std::min(overflow_min_bucket_, idx);
+    }
+  }
+  scratch_.clear();
+  advance();
+}
+
+void EventQueue::exit_calendar() {
+  gather_all();
+  side_.swap(scratch_);
+  scratch_.clear();
+  side_build();
+  calendar_ = false;
+  switch_check_ = 0;
+}
+
+void EventQueue::migrate_overflow() {
+  // Move every overflow node the ring can now reach into its bucket.
+  const std::uint64_t limit = base_ + buckets_.size();
+  std::uint64_t new_min = ~std::uint64_t{0};
+  std::size_t keep = 0;
+  for (const Node& nd : overflow_) {
+    const std::uint64_t idx = bucket_of(nd.time);
+    if (idx < limit) {
+      buckets_[idx & bucket_mask_].push_back(nd);
+      ++ring_count_;
+    } else {
+      overflow_[keep++] = nd;
+      new_min = std::min(new_min, idx);
+    }
+  }
+  overflow_.resize(keep);
+  overflow_min_bucket_ = new_min;
+}
+
+void EventQueue::advance() {
+  MEC_ASSERT(ring_count_ + overflow_.size() > 0);
+  for (;;) {
+    if (ring_count_ == 0) {
+      // Everything pending beyond the window is in overflow: jump the ring
+      // to the earliest overflow bucket instead of walking to it.
+      base_ = overflow_min_bucket_;
+      migrate_overflow();
+      continue;
+    }
+    // Before consuming bucket base_, pull in any overflow nodes that belong
+    // to it (their bucket index has entered the ring's reach).
+    if (overflow_min_bucket_ <= base_) migrate_overflow();
+    std::vector<Node>& b = buckets_[base_ & bucket_mask_];
+    ++base_;
+    if (!b.empty()) {
+      // Swap the bucket in (capacities circulate between the ring and the
+      // window, so steady state stays allocation-free) and sort it once;
+      // consumption is then a pointer bump per pop.
+      ring_count_ -= b.size();
+      window_.swap(b);
+      b.clear();
+      window_pos_ = 0;
+      std::sort(window_.begin(), window_.end(),
+                [](const Node& a, const Node& b) { return earlier(a, b); });
+      return;
+    }
+  }
+}
+
+// --- public interface ------------------------------------------------------
+
+void EventQueue::push(double time, EventKind kind, std::uint32_t device) {
   MEC_EXPECTS(std::isfinite(time));
   MEC_EXPECTS(time >= 0.0);
-  heap_.push(Event{time, next_seq_++, kind, device, payload});
+  MEC_EXPECTS(device < (1u << kDeviceBits));
+  const Node nd{time, (next_seq_++ << kSeqShift) |
+                          (static_cast<std::uint64_t>(device) << kKindBits) |
+                          static_cast<std::uint64_t>(kind)};
+  ++size_;
+  if (!calendar_) {
+    side_push(nd);
+    if (size_ >= kSwitchThreshold && size_ >= switch_check_)
+      try_enter_calendar();
+    return;
+  }
+  const std::uint64_t idx = bucket_of(time);
+  if (idx < base_) {
+    side_push(nd);  // inside the current window
+  } else if (idx - base_ < buckets_.size()) {
+    buckets_[idx & bucket_mask_].push_back(nd);
+    ++ring_count_;
+    if (side_.empty() && window_pos_ >= window_.size()) advance();
+  } else {
+    overflow_.push_back(nd);
+    overflow_min_bucket_ = std::min(overflow_min_bucket_, idx);
+    if (side_.empty() && window_pos_ >= window_.size()) advance();
+  }
+  if (size_ >= 4 * tuned_size_) {
+    gather_all();
+    rebuild(size_);
+  }
 }
 
 double EventQueue::next_time() const {
-  MEC_EXPECTS(!heap_.empty());
-  return heap_.top().time;
+  MEC_EXPECTS(size_ > 0);
+  return front().time;
+}
+
+std::uint32_t EventQueue::next_device() const {
+  MEC_EXPECTS(size_ > 0);
+  return static_cast<std::uint32_t>((front().key >> kKindBits) &
+                                    ((1u << kDeviceBits) - 1));
 }
 
 Event EventQueue::pop() {
-  MEC_EXPECTS(!heap_.empty());
-  Event e = heap_.top();
-  heap_.pop();
-  return e;
+  MEC_EXPECTS(size_ > 0);
+  Node top;
+  const bool window_has = window_pos_ < window_.size();
+  if (!side_.empty() &&
+      (!window_has || earlier(side_[0], window_[window_pos_]))) {
+    top = side_[0];
+    side_pop_root();
+  } else {
+    top = window_[window_pos_++];
+  }
+  --size_;
+  if (calendar_) {
+    if (side_.empty() && window_pos_ >= window_.size() && size_ > 0)
+      advance();
+    if (size_ * 4 <= tuned_size_) {
+      if (size_ <= kExitThreshold) {
+        exit_calendar();
+      } else {
+        gather_all();
+        rebuild(size_);
+      }
+    }
+  }
+  return Event{top.time, top.key >> kSeqShift,
+               static_cast<std::uint32_t>((top.key >> kKindBits) &
+                                          ((1u << kDeviceBits) - 1)),
+               static_cast<EventKind>(top.key & ((1u << kKindBits) - 1))};
 }
 
 }  // namespace mec::sim

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <limits>
+#include <optional>
 #include <utility>
 
 #include "mec/common/error.hpp"
+#include "mec/common/prefetch.hpp"
 #include "mec/sim/des.hpp"
+#include "mec/sim/ring_buffer.hpp"
 
 namespace mec::sim {
 
@@ -112,10 +114,18 @@ class EwmaRate {
   double last_ = 0.0;
 };
 
-/// Mutable per-device simulation state.
-struct DeviceState {
-  random::Xoshiro256 rng{0};
-  std::deque<double> local_queue;  ///< arrival times of tasks in system
+/// Mutable per-device simulation state, cache-compacted: the local queue's
+/// inline ring storage and the measurement accumulators sit in one ~152-byte
+/// block, so processing an event touches two adjacent cache lines instead of
+/// chasing a deque chunk.  The per-device RNG streams are batched in their
+/// own contiguous array (SimWorkspace::Impl::rngs) — the arrival hot path
+/// reads rng + device state together, and keeping the 32-byte engines packed
+/// quarters the footprint the prefetcher has to cover.
+struct alignas(64) DeviceState {
+  // Exactly two cache lines (128 bytes), 64-byte aligned: line one holds
+  // the ring buffer (scalars + 4 inline slots) and the queue integral that
+  // every event updates; line two the remaining measurement accumulators.
+  RingBuffer local_queue;  ///< arrival times of tasks in system
   // Measurement accumulators (reset at end of warm-up):
   double queue_integral = 0.0;
   double last_change = 0.0;
@@ -137,119 +147,208 @@ struct DeviceState {
     arrivals = offloaded = local_completed = 0;
     local_sojourn_sum = offload_delay_sum = energy_sum = 0.0;
   }
+  void reset_run() {
+    local_queue.clear();
+    reset_measurements(0.0);
+  }
+};
+
+static_assert(sizeof(DeviceState) == 128,
+              "DeviceState must stay exactly two cache lines; rebalance "
+              "RingBuffer::kInlineCapacity if fields change");
+
+/// The TRO decision rule, shared verbatim by the sealed fast paths and
+/// (through TroPolicy / MutableTroPolicy) the virtual path: both consume
+/// exactly one Bernoulli draw at the boundary state and none elsewhere, so
+/// the paths are bit-identical for a given seed.
+inline bool tro_offload(double threshold, std::uint64_t queue_length,
+                        random::Xoshiro256& rng) {
+  const double fl = std::floor(threshold);
+  const auto floor_int = static_cast<std::uint64_t>(fl);
+  if (queue_length < floor_int) return false;
+  if (queue_length == floor_int)
+    return !random::bernoulli(rng, threshold - fl);
+  return true;
+}
+
+/// Fast path for run_tro: fixed thresholds read straight from the caller's
+/// array, no policy objects at all.
+struct TroValueDecide {
+  const double* thresholds;
+  bool operator()(std::uint32_t device, std::uint64_t queue_length,
+                  random::Xoshiro256& rng) const {
+    return tro_offload(thresholds[device], queue_length, rng);
+  }
+};
+
+/// Fast path for run(policies) when every policy is TRO-family: live
+/// threshold pointers, re-read per decision so epoch-callback retuning of
+/// MutableTroPolicy takes effect immediately.
+struct TroPointerDecide {
+  const double* const* thresholds;
+  bool operator()(std::uint32_t device, std::uint64_t queue_length,
+                  random::Xoshiro256& rng) const {
+    return tro_offload(*thresholds[device], queue_length, rng);
+  }
+};
+
+/// Generic path: one virtual call per arrival (DPO, custom policies).
+struct VirtualDecide {
+  const std::unique_ptr<OffloadPolicy>* policies;
+  bool operator()(std::uint32_t device, std::uint64_t queue_length,
+                  random::Xoshiro256& rng) const {
+    return policies[device]->offload(queue_length, rng);
+  }
 };
 
 }  // namespace
 
-MecSimulation::MecSimulation(std::span<const core::UserParams> users,
-                             double capacity, core::EdgeDelay delay,
-                             SimulationOptions options)
-    : users_(users.begin(), users.end()),
-      capacity_(capacity),
-      delay_(std::move(delay)),
-      options_(std::move(options)) {
-  MEC_EXPECTS(!users_.empty());
-  MEC_EXPECTS(capacity_ > 0.0);
-  MEC_EXPECTS(delay_.valid());
-  MEC_EXPECTS(options_.warmup >= 0.0);
-  MEC_EXPECTS(options_.horizon > 0.0);
-  MEC_EXPECTS(options_.utilization_ewma_tau > 0.0);
-  MEC_EXPECTS(options_.initial_gamma >= 0.0 && options_.initial_gamma <= 1.0);
-  MEC_EXPECTS(options_.sample_interval >= 0.0);
-  MEC_EXPECTS(options_.epoch_period >= 0.0);
-  MEC_EXPECTS_MSG(options_.epoch_period == 0.0 ||
-                      static_cast<bool>(options_.on_epoch),
-                  "epoch_period needs an on_epoch callback");
-  if (options_.fixed_gamma)
-    MEC_EXPECTS(*options_.fixed_gamma >= 0.0 && *options_.fixed_gamma <= 1.0);
-  if (!options_.service) options_.service = exponential_service();
-  if (!options_.latency) options_.latency = exponential_latency();
-  for (const auto& u : users_) u.check();
-}
-
-SimulationResult MecSimulation::run(
-    std::span<const std::unique_ptr<OffloadPolicy>> policies) const {
-  MEC_EXPECTS(policies.size() == users_.size());
-  for (const auto& p : policies) MEC_EXPECTS(p != nullptr);
-
-  const auto n_devices = static_cast<std::uint32_t>(users_.size());
-  const double edge_capacity = static_cast<double>(n_devices) * capacity_;
-  const double t_end = options_.warmup + options_.horizon;
-
-  random::Xoshiro256 master(options_.seed);
-  std::vector<DeviceState> devices(n_devices);
+struct SimWorkspace::Impl {
+  std::vector<random::Xoshiro256> rngs;  ///< batched per-device streams
+  std::vector<DeviceState> devices;
+  std::vector<const double*> threshold_ptrs;  ///< scratch for TroPointerDecide
   EventQueue queue;
-  for (std::uint32_t n = 0; n < n_devices; ++n) {
-    devices[n].rng = master.split();
-    queue.push(random::exponential(devices[n].rng, users_[n].arrival_rate),
-               EventKind::kArrival, n);
-  }
 
-  EwmaRate offload_rate(options_.utilization_ewma_tau,
-                        options_.initial_gamma * edge_capacity);
+  /// Post-split per-device RNG snapshot, keyed by (seed, population size).
+  /// Splitting is ~1us per device (xoshiro long_jump), so re-deriving 1e5+
+  /// streams dominates the setup of repeated same-seed runs; restoring the
+  /// snapshot is a memcpy and bit-identical by construction.
+  std::vector<random::Xoshiro256> rng_init;
+  std::uint64_t rng_seed = 0;
+  bool rng_cached = false;
+
+  /// Sizes the buffers for an n-device run and resets all run state while
+  /// keeping every allocation (vectors, ring spill blocks, the heap).
+  void prepare(std::size_t n) {
+    rngs.resize(n);
+    devices.resize(n);
+    for (DeviceState& d : devices) d.reset_run();
+    queue.clear();
+    // One pending arrival per device, at most one in-service departure, plus
+    // headroom for in-flight offload deliveries.
+    queue.reserve(2 * n + 64);
+  }
+};
+
+SimWorkspace::SimWorkspace() : impl_(std::make_unique<Impl>()) {}
+SimWorkspace::~SimWorkspace() = default;
+SimWorkspace::SimWorkspace(SimWorkspace&&) noexcept = default;
+SimWorkspace& SimWorkspace::operator=(SimWorkspace&&) noexcept = default;
+
+namespace {
+
+/// The event loop, instantiated once per decision provider so the arrival
+/// decision inlines (no virtual dispatch on the all-TRO path).  Any decision
+/// provider must consume exactly the RNG draws the equivalent
+/// OffloadPolicy::offload() would, keeping all instantiations bit-identical.
+template <class Decide>
+SimulationResult run_simulation(const std::vector<core::UserParams>& users,
+                                double capacity, const core::EdgeDelay& delay,
+                                const SimulationOptions& options,
+                                SimWorkspace::Impl& ws, const Decide& decide) {
+  const auto n_devices = static_cast<std::uint32_t>(users.size());
+  const double edge_capacity = static_cast<double>(n_devices) * capacity;
+  const double t_end = options.warmup + options.horizon;
+
+  ws.prepare(users.size());
+  std::vector<random::Xoshiro256>& rngs = ws.rngs;
+  std::vector<DeviceState>& devices = ws.devices;
+  EventQueue& queue = ws.queue;
+
+  if (ws.rng_cached && ws.rng_seed == options.seed &&
+      ws.rng_init.size() == n_devices) {
+    std::copy(ws.rng_init.begin(), ws.rng_init.end(), rngs.begin());
+  } else {
+    random::Xoshiro256 master(options.seed);
+    for (std::uint32_t n = 0; n < n_devices; ++n) rngs[n] = master.split();
+    ws.rng_init = rngs;
+    ws.rng_seed = options.seed;
+    ws.rng_cached = true;
+  }
+  for (std::uint32_t n = 0; n < n_devices; ++n)
+    queue.push(random::exponential(rngs[n], users[n].arrival_rate),
+               EventKind::kArrival, n);
+
+  EwmaRate offload_rate(options.utilization_ewma_tau,
+                        options.initial_gamma * edge_capacity);
   const auto current_gamma = [&](double now) {
-    if (options_.fixed_gamma) return *options_.fixed_gamma;
+    if (options.fixed_gamma) return *options.fixed_gamma;
     return std::clamp(offload_rate.rate_at(now) / edge_capacity, 0.0, 1.0);
   };
+  // With a pinned utilization the edge delay is one constant for the whole
+  // run; hoisting it off the per-offload path skips a std::function call.
+  const bool has_fixed_gamma = options.fixed_gamma.has_value();
+  const double fixed_delay =
+      has_fixed_gamma ? delay(*options.fixed_gamma) : 0.0;
 
-  bool measuring = options_.warmup == 0.0;
+  bool measuring = options.warmup == 0.0;
   std::uint64_t offloads_in_window = 0;
   std::uint64_t events = 0;
   stats::LatencyPercentiles local_sojourns;
   stats::LatencyPercentiles offload_delays;
 
   std::vector<TimelinePoint> timeline;
-  double next_sample = options_.sample_interval > 0.0
-                           ? options_.sample_interval
+  double next_sample = options.sample_interval > 0.0
+                           ? options.sample_interval
                            : std::numeric_limits<double>::infinity();
   const auto record_sample = [&](double at) {
     TimelinePoint p;
     p.time = at;
     p.utilization_estimate = current_gamma(at);
     double total_q = 0.0;
-    for (const auto& d : devices)
+    for (const DeviceState& d : devices)
       total_q += static_cast<double>(d.local_queue.size());
     p.mean_queue_length = total_q / static_cast<double>(n_devices);
     p.offloads_so_far = offloads_in_window;
     timeline.push_back(p);
   };
 
-  double next_epoch = options_.epoch_period > 0.0
-                          ? options_.epoch_period
+  double next_epoch = options.epoch_period > 0.0
+                          ? options.epoch_period
                           : std::numeric_limits<double>::infinity();
 
   while (!queue.empty() && queue.next_time() <= t_end) {
     const Event e = queue.pop();
+    if (!queue.empty()) {
+      // The next pending event is (usually) the next one processed; start
+      // pulling the state it will touch while this event is handled.
+      const std::uint32_t upcoming = queue.next_device();
+      const char* dev_lines = reinterpret_cast<const char*>(&devices[upcoming]);
+      MEC_PREFETCH(dev_lines);
+      MEC_PREFETCH(dev_lines + 64);
+      MEC_PREFETCH(&rngs[upcoming]);
+      MEC_PREFETCH(&users[upcoming]);
+    }
     ++events;
     const double now = e.time;
     while (next_sample <= now && next_sample <= t_end) {
       record_sample(next_sample);
-      next_sample += options_.sample_interval;
+      next_sample += options.sample_interval;
     }
     while (next_epoch <= now && next_epoch <= t_end) {
-      options_.on_epoch(next_epoch, current_gamma(next_epoch));
-      next_epoch += options_.epoch_period;
+      options.on_epoch(next_epoch, current_gamma(next_epoch));
+      next_epoch += options.epoch_period;
     }
 
-    if (!measuring && now >= options_.warmup) {
+    if (!measuring && now >= options.warmup) {
       measuring = true;
-      for (auto& d : devices) d.reset_measurements(options_.warmup);
+      for (DeviceState& d : devices) d.reset_measurements(options.warmup);
     }
 
     DeviceState& dev = devices[e.device];
-    const core::UserParams& u = users_[e.device];
+    random::Xoshiro256& rng = rngs[e.device];
+    const core::UserParams& u = users[e.device];
 
     switch (e.kind) {
       case EventKind::kArrival: {
         dev.integrate_to(now);
         if (measuring) ++dev.arrivals;
-        const bool offload =
-            policies[e.device]->offload(dev.local_queue.size(), dev.rng);
+        const bool offload = decide(e.device, dev.local_queue.size(), rng);
         if (offload) {
-          const double gamma = current_gamma(now);
-          const double delay_value = delay_(gamma);
-          const double latency = options_.latency(dev.rng, u);
-          if (!options_.fixed_gamma) offload_rate.record_event(now);
+          const double delay_value =
+              has_fixed_gamma ? fixed_delay : delay(current_gamma(now));
+          const double latency = options.latency(rng, u);
+          if (!options.fixed_gamma) offload_rate.record_event(now);
           if (measuring) {
             ++dev.offloaded;
             ++offloads_in_window;
@@ -258,15 +357,15 @@ SimulationResult MecSimulation::run(
             offload_delays.add(latency + delay_value);
           }
           queue.push(now + latency + delay_value, EventKind::kOffloadDelivery,
-                     e.device, now);
+                     e.device);
         } else {
           dev.local_queue.push_back(now);
           if (measuring) dev.energy_sum += u.energy_local;
           if (dev.local_queue.size() == 1)  // idle server: start service
-            queue.push(now + options_.service(dev.rng, u),
+            queue.push(now + options.service(rng, u),
                        EventKind::kLocalDeparture, e.device);
         }
-        queue.push(now + random::exponential(dev.rng, u.arrival_rate),
+        queue.push(now + random::exponential(rng, u.arrival_rate),
                    EventKind::kArrival, e.device);
         break;
       }
@@ -280,12 +379,12 @@ SimulationResult MecSimulation::run(
           // Sojourn clipped to the window start for tasks arriving in warm-up:
           // only the portion spent inside the measurement window counts, so a
           // long transient backlog cannot leak into the steady-state mean.
-          const double sojourn = now - std::max(arrived_at, options_.warmup);
+          const double sojourn = now - std::max(arrived_at, options.warmup);
           dev.local_sojourn_sum += sojourn;
           local_sojourns.add(sojourn);
         }
         if (!dev.local_queue.empty())
-          queue.push(now + options_.service(dev.rng, u),
+          queue.push(now + options.service(rng, u),
                      EventKind::kLocalDeparture, e.device);
         break;
       }
@@ -297,28 +396,37 @@ SimulationResult MecSimulation::run(
     }
   }
 
-  // Flush trailing samples, then close the queue-length integrals.
+  // Flush trailing samples and epochs (in the same order the event loop
+  // fires them), then close the queue-length integrals.  The epoch flush
+  // matters for the closed loop: without it, every broadcast epoch falling
+  // between the last event <= t_end and t_end — always including an epoch
+  // at t_end itself — was silently dropped, losing the final threshold
+  // update(s) of Algorithm 1.
   while (next_sample <= t_end) {
     record_sample(next_sample);
-    next_sample += options_.sample_interval;
+    next_sample += options.sample_interval;
   }
-  for (auto& d : devices) d.integrate_to(t_end);
+  while (next_epoch <= t_end) {
+    options.on_epoch(next_epoch, current_gamma(next_epoch));
+    next_epoch += options.epoch_period;
+  }
+  for (DeviceState& d : devices) d.integrate_to(t_end);
 
   SimulationResult result;
-  result.horizon = options_.horizon;
+  result.horizon = options.horizon;
   result.total_events = events;
   result.local_sojourn_percentiles = local_sojourns;
   result.offload_delay_percentiles = offload_delays;
   result.timeline = std::move(timeline);
   result.devices.reserve(n_devices);
-  const double window = options_.horizon;
+  const double window = options.horizon;
 
   double cost_acc = 0.0, q_acc = 0.0, alpha_acc = 0.0;
   const double gamma_measured =
       static_cast<double>(offloads_in_window) / (window * edge_capacity);
   for (std::uint32_t n = 0; n < n_devices; ++n) {
     const DeviceState& dev = devices[n];
-    const core::UserParams& u = users_[n];
+    const core::UserParams& u = users[n];
     DeviceStats s;
     s.arrivals = dev.arrivals;
     s.offloaded = dev.offloaded;
@@ -360,13 +468,75 @@ SimulationResult MecSimulation::run(
   return result;
 }
 
+}  // namespace
+
+MecSimulation::MecSimulation(std::span<const core::UserParams> users,
+                             double capacity, core::EdgeDelay delay,
+                             SimulationOptions options)
+    : users_(users.begin(), users.end()),
+      capacity_(capacity),
+      delay_(std::move(delay)),
+      options_(std::move(options)) {
+  MEC_EXPECTS(!users_.empty());
+  MEC_EXPECTS(capacity_ > 0.0);
+  MEC_EXPECTS(delay_.valid());
+  MEC_EXPECTS(options_.warmup >= 0.0);
+  MEC_EXPECTS(options_.horizon > 0.0);
+  MEC_EXPECTS(options_.utilization_ewma_tau > 0.0);
+  MEC_EXPECTS(options_.initial_gamma >= 0.0 && options_.initial_gamma <= 1.0);
+  MEC_EXPECTS(options_.sample_interval >= 0.0);
+  MEC_EXPECTS(options_.epoch_period >= 0.0);
+  MEC_EXPECTS_MSG(options_.epoch_period == 0.0 ||
+                      static_cast<bool>(options_.on_epoch),
+                  "epoch_period needs an on_epoch callback");
+  if (options_.fixed_gamma)
+    MEC_EXPECTS(*options_.fixed_gamma >= 0.0 && *options_.fixed_gamma <= 1.0);
+  if (!options_.service) options_.service = exponential_service();
+  if (!options_.latency) options_.latency = exponential_latency();
+  for (const auto& u : users_) u.check();
+}
+
+SimulationResult MecSimulation::run(
+    std::span<const std::unique_ptr<OffloadPolicy>> policies) const {
+  SimWorkspace workspace;
+  return run(policies, workspace);
+}
+
+SimulationResult MecSimulation::run(
+    std::span<const std::unique_ptr<OffloadPolicy>> policies,
+    SimWorkspace& workspace) const {
+  MEC_EXPECTS(policies.size() == users_.size());
+  for (const auto& p : policies) MEC_EXPECTS(p != nullptr);
+
+  // Seal the arrival decision when the whole population is TRO-family; any
+  // non-threshold policy falls back to per-arrival virtual dispatch.
+  std::vector<const double*>& thresholds = workspace.impl_->threshold_ptrs;
+  thresholds.clear();
+  thresholds.reserve(policies.size());
+  for (const auto& p : policies) {
+    const double* threshold = p->tro_threshold();
+    if (threshold == nullptr) break;
+    thresholds.push_back(threshold);
+  }
+  if (thresholds.size() == policies.size())
+    return run_simulation(users_, capacity_, delay_, options_,
+                          *workspace.impl_, TroPointerDecide{thresholds.data()});
+  return run_simulation(users_, capacity_, delay_, options_, *workspace.impl_,
+                        VirtualDecide{policies.data()});
+}
+
 SimulationResult MecSimulation::run_tro(
     std::span<const double> thresholds) const {
+  SimWorkspace workspace;
+  return run_tro(thresholds, workspace);
+}
+
+SimulationResult MecSimulation::run_tro(std::span<const double> thresholds,
+                                        SimWorkspace& workspace) const {
   MEC_EXPECTS(thresholds.size() == users_.size());
-  std::vector<std::unique_ptr<OffloadPolicy>> policies;
-  policies.reserve(thresholds.size());
-  for (const double x : thresholds) policies.push_back(make_tro_policy(x));
-  return run(policies);
+  for (const double x : thresholds) MEC_EXPECTS(x >= 0.0);
+  return run_simulation(users_, capacity_, delay_, options_, *workspace.impl_,
+                        TroValueDecide{thresholds.data()});
 }
 
 SimulationResult MecSimulation::run_dpo(std::span<const double> rhos) const {
@@ -394,7 +564,7 @@ double DesUtilizationSource::utilization(std::span<const double> thresholds) {
   // Decorrelate successive DTU iterations while staying deterministic.
   run_options.seed = options_.seed + 0x9E3779B97F4A7C15ULL * ++call_count_;
   MecSimulation simulation(users_, capacity_, delay_, std::move(run_options));
-  last_ = simulation.run_tro(thresholds);
+  last_ = simulation.run_tro(thresholds, workspace_);
   return last_->measured_utilization;
 }
 

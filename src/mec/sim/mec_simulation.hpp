@@ -81,6 +81,29 @@ struct SimulationOptions {
   std::function<void(double now, double gamma_estimate)> on_epoch;
 };
 
+/// Reusable per-run simulation state (device states, RNG streams, the
+/// future-event list).  A default-constructed workspace is empty; the first
+/// run sizes it, and reusing it across runs of same-sized populations makes
+/// steady-state simulation allocation-free — the replication engine and the
+/// DTU's utilization oracle both run thousands of same-shape simulations.
+/// Results are bit-identical whether or not a workspace is reused.  A
+/// workspace must not be shared between concurrent runs.
+class SimWorkspace {
+ public:
+  SimWorkspace();
+  ~SimWorkspace();
+  SimWorkspace(SimWorkspace&&) noexcept;
+  SimWorkspace& operator=(SimWorkspace&&) noexcept;
+
+  /// Opaque buffer block (defined in mec_simulation.cpp; the event loop
+  /// there takes it by reference, which is why it cannot be private).
+  struct Impl;
+
+ private:
+  friend class MecSimulation;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// One reusable simulator bound to a population and an edge configuration.
 class MecSimulation {
  public:
@@ -89,12 +112,19 @@ class MecSimulation {
   MecSimulation(std::span<const core::UserParams> users, double capacity,
                 core::EdgeDelay delay, SimulationOptions options = {});
 
-  /// Runs with per-device policies (size must match the population).
+  /// Runs with per-device policies (size must match the population).  When
+  /// every policy exposes tro_threshold(), the arrival decision runs on a
+  /// sealed non-virtual fast path (bit-identical to the virtual dispatch).
   SimulationResult run(
       std::span<const std::unique_ptr<OffloadPolicy>> policies) const;
+  SimulationResult run(std::span<const std::unique_ptr<OffloadPolicy>> policies,
+                       SimWorkspace& workspace) const;
 
-  /// Runs the TRO policy with per-device thresholds (x_n >= 0).
+  /// Runs the TRO policy with per-device thresholds (x_n >= 0) without
+  /// materializing policy objects (always on the fast path).
   SimulationResult run_tro(std::span<const double> thresholds) const;
+  SimulationResult run_tro(std::span<const double> thresholds,
+                           SimWorkspace& workspace) const;
 
   /// Runs the DPO policy with per-device offload probabilities.
   SimulationResult run_dpo(std::span<const double> rhos) const;
@@ -128,6 +158,7 @@ class DesUtilizationSource final : public core::UtilizationSource {
   double capacity_;
   core::EdgeDelay delay_;
   SimulationOptions options_;
+  SimWorkspace workspace_;  ///< reused across utilization() calls
   std::optional<SimulationResult> last_;
   std::uint64_t call_count_ = 0;
 };

@@ -12,7 +12,8 @@ namespace {
 class TroPolicy final : public OffloadPolicy {
  public:
   explicit TroPolicy(double threshold)
-      : floor_(static_cast<std::uint64_t>(std::floor(threshold))),
+      : threshold_(threshold),
+        floor_(static_cast<std::uint64_t>(std::floor(threshold))),
         local_prob_(threshold - std::floor(threshold)) {}
 
   bool offload(std::uint64_t queue_length,
@@ -24,11 +25,13 @@ class TroPolicy final : public OffloadPolicy {
   }
   std::string describe() const override {
     std::ostringstream os;
-    os << "TRO(x=" << static_cast<double>(floor_) + local_prob_ << ")";
+    os << "TRO(x=" << threshold_ << ")";
     return os.str();
   }
+  const double* tro_threshold() const noexcept override { return &threshold_; }
 
  private:
+  double threshold_;
   std::uint64_t floor_;
   double local_prob_;
 };

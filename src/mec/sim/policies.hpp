@@ -22,6 +22,15 @@ class OffloadPolicy {
   virtual bool offload(std::uint64_t queue_length,
                        random::Xoshiro256& rng) const = 0;
   virtual std::string describe() const = 0;
+
+  /// TRO-family policies return a pointer to their live threshold; the
+  /// simulator then runs a sealed, devirtualized arrival fast path that
+  /// re-reads the pointed-to value on every decision (so MutableTroPolicy
+  /// retuning is observed immediately) and draws exactly the RNG sequence
+  /// offload() would.  The pointer must stay valid for the policy's
+  /// lifetime.  Policies whose decision is not a threshold rule return
+  /// nullptr and go through the virtual call instead.
+  virtual const double* tro_threshold() const noexcept { return nullptr; }
 };
 
 /// TRO policy with real threshold x >= 0 (Section II): local below floor(x),
@@ -47,6 +56,7 @@ class MutableTroPolicy final : public OffloadPolicy {
   bool offload(std::uint64_t queue_length,
                random::Xoshiro256& rng) const override;
   std::string describe() const override;
+  const double* tro_threshold() const noexcept override { return &threshold_; }
 
   double threshold() const noexcept { return threshold_; }
   /// Requires threshold >= 0.

@@ -1,0 +1,88 @@
+// Allocation-free-in-steady-state FIFO of task arrival times.
+//
+// Each simulated device keeps the arrival timestamps of the tasks in its
+// local system.  Under a TRO policy with threshold x the queue never exceeds
+// floor(x) + 1 tasks, so almost every device fits in the 4-slot inline
+// buffer and the simulator touches no allocator and no far-away deque chunk
+// on the hot path.  Policies with unbounded queues (local-only, DPO under
+// overload) spill to a geometrically grown heap block and stay correct;
+// after the first spill the buffer is allocation-free again until the queue
+// doubles.  Capacity is always a power of two so the wrap-around is a mask.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mec/common/error.hpp"
+
+namespace mec::sim {
+
+/// Bounded-in-practice FIFO of doubles with inline small-buffer storage.
+class RingBuffer {
+ public:
+  /// Power of two (wrap-around is a mask).  Sized so a whole DeviceState —
+  /// this buffer plus its measurement accumulators — is exactly two cache
+  /// lines; longer queues spill to the heap block.
+  static constexpr std::uint32_t kInlineCapacity = 4;
+
+  RingBuffer() noexcept = default;
+  RingBuffer(RingBuffer&&) noexcept = default;
+  RingBuffer& operator=(RingBuffer&&) noexcept = default;
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  bool empty() const noexcept { return count_ == 0; }
+  std::uint32_t size() const noexcept { return count_; }
+  std::uint32_t capacity() const noexcept { return capacity_; }
+
+  void push_back(double value) {
+    if (count_ == capacity_) grow();
+    data()[(head_ + count_) & (capacity_ - 1)] = value;
+    ++count_;
+  }
+
+  /// Oldest element. Requires a non-empty buffer.
+  double front() const {
+    MEC_ASSERT(count_ > 0);
+    return data()[head_];
+  }
+
+  /// Drops the oldest element. Requires a non-empty buffer.
+  void pop_front() {
+    MEC_ASSERT(count_ > 0);
+    head_ = (head_ + 1) & (capacity_ - 1);
+    --count_;
+  }
+
+  /// Empties the buffer, keeping any spilled heap block (workspace reuse).
+  void clear() noexcept {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  double* data() noexcept { return heap_ ? heap_.get() : inline_; }
+  const double* data() const noexcept { return heap_ ? heap_.get() : inline_; }
+
+  void grow() {
+    const std::uint32_t new_capacity = capacity_ * 2;
+    auto block = std::make_unique<double[]>(new_capacity);
+    const double* old = data();
+    for (std::uint32_t i = 0; i < count_; ++i)
+      block[i] = old[(head_ + i) & (capacity_ - 1)];
+    heap_ = std::move(block);
+    capacity_ = new_capacity;
+    head_ = 0;
+  }
+
+  // Scalars first, inline storage last: DeviceState packs its own hot
+  // accumulators right behind this struct, so the fields every event
+  // touches share one cache line.
+  std::unique_ptr<double[]> heap_;
+  std::uint32_t head_ = 0;
+  std::uint32_t count_ = 0;
+  std::uint32_t capacity_ = kInlineCapacity;
+  double inline_[kInlineCapacity];
+};
+
+}  // namespace mec::sim

@@ -6,11 +6,14 @@
 
 #include <cmath>
 
+#include <vector>
+
 #include "mec/common/error.hpp"
 #include "mec/core/mfne.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 #include "mec/random/empirical_data.hpp"
+#include "mec/sim/mec_simulation.hpp"
 
 namespace mec::sim {
 namespace {
@@ -124,6 +127,59 @@ TEST(ClosedLoop, RejectsBadOptions) {
   opt.horizon = 1.0;  // below the update period
   EXPECT_THROW(run_closed_loop(pop.users, 10.0, pop.config.delay, opt),
                ContractViolation);
+}
+
+TEST(EpochFlush, TrailingEpochsFireThroughTheEndOfTheHorizon) {
+  // Regression for the dropped end-of-horizon epochs: callbacks were only
+  // fired from inside the event loop, so every broadcast epoch between the
+  // last event <= t_end and t_end itself was silently skipped.  With sparse
+  // arrivals (mean inter-arrival 20 s vs a 10 s horizon) most epochs — and
+  // always the one at exactly t_end, which no continuous arrival time can
+  // trigger — fall in that gap.
+  std::vector<core::UserParams> users(2);
+  for (auto& u : users) {
+    u.arrival_rate = 0.05;
+    u.service_rate = 1.0;
+    u.offload_latency = 0.1;
+    u.energy_local = 1.0;
+    u.energy_offload = 0.5;
+  }
+  SimulationOptions o;
+  o.warmup = 0.0;
+  o.horizon = 10.0;
+  o.seed = 123;
+  o.fixed_gamma = 0.1;
+  o.epoch_period = 2.5;
+  std::vector<double> fired;
+  o.on_epoch = [&](double now, double gamma) {
+    EXPECT_GE(gamma, 0.0);
+    fired.push_back(now);
+  };
+  MecSimulation sim(users, 10.0, core::make_reciprocal_delay(), o);
+  sim.run_tro(std::vector<double>(users.size(), 1.0));
+  // floor(horizon / epoch_period) epochs: 2.5, 5, 7.5, and 10 (= t_end).
+  ASSERT_EQ(fired.size(), 4u);
+  for (std::size_t i = 0; i < fired.size(); ++i)
+    EXPECT_DOUBLE_EQ(fired[i], 2.5 * static_cast<double>(i + 1));
+}
+
+TEST(EpochFlush, EpochCountMatchesTheGridForAnActivePopulation) {
+  // Same property under a dense event stream: epochs land exactly on the
+  // broadcast grid over warm-up plus horizon, never more, never fewer.
+  const auto pop = sampled(50, 96);
+  SimulationOptions o;
+  o.warmup = 3.0;
+  o.horizon = 21.0;
+  o.seed = 321;
+  o.fixed_gamma = 0.2;
+  o.epoch_period = 4.0;
+  std::vector<double> fired;
+  o.on_epoch = [&](double now, double) { fired.push_back(now); };
+  MecSimulation sim(pop.users, pop.config.capacity, pop.config.delay, o);
+  sim.run_tro(std::vector<double>(pop.users.size(), 2.0));
+  // t_end = 24: epochs at 4, 8, 12, 16, 20, 24.
+  ASSERT_EQ(fired.size(), 6u);
+  EXPECT_DOUBLE_EQ(fired.back(), 24.0);
 }
 
 TEST(MutableTroPolicyTest, RetuningChangesDecisions) {

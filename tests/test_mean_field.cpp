@@ -95,7 +95,7 @@ TEST(MeanFieldV, AgreesWithLargeSampledPopulation) {
 
 TEST(MeanFieldEquilibrium, MatchesPopulationMfne) {
   const MeanFieldModel m = theoretical_model(4.0);
-  const double qmc = mean_field_equilibrium(m, 1 << 14);
+  const double qmc = mean_field_equilibrium(m, 1 << 14).gamma_star;
   const auto pop = population::sample_population(
       population::theoretical_scenario(population::LoadRegime::kBelowService,
                                        20000),
@@ -105,9 +105,12 @@ TEST(MeanFieldEquilibrium, MatchesPopulationMfne) {
 }
 
 TEST(MeanFieldEquilibrium, ReproducesTableOneOrdering) {
-  const double lo = mean_field_equilibrium(theoretical_model(4.0), 1 << 13);
-  const double mid = mean_field_equilibrium(theoretical_model(6.0), 1 << 13);
-  const double hi = mean_field_equilibrium(theoretical_model(8.0), 1 << 13);
+  const double lo =
+      mean_field_equilibrium(theoretical_model(4.0), 1 << 13).gamma_star;
+  const double mid =
+      mean_field_equilibrium(theoretical_model(6.0), 1 << 13).gamma_star;
+  const double hi =
+      mean_field_equilibrium(theoretical_model(8.0), 1 << 13).gamma_star;
   EXPECT_NEAR(lo, 0.13, 0.02);
   EXPECT_NEAR(mid, 0.21, 0.02);
   EXPECT_NEAR(hi, 0.28, 0.02);
@@ -115,9 +118,35 @@ TEST(MeanFieldEquilibrium, ReproducesTableOneOrdering) {
 
 TEST(MeanFieldEquilibrium, ConvergesAsPointCountGrows) {
   const MeanFieldModel m = theoretical_model(6.0);
-  const double coarse = mean_field_equilibrium(m, 1 << 10);
-  const double fine = mean_field_equilibrium(m, 1 << 15);
+  const double coarse = mean_field_equilibrium(m, 1 << 10).gamma_star;
+  const double fine = mean_field_equilibrium(m, 1 << 15).gamma_star;
   EXPECT_NEAR(coarse, fine, 5e-3);
+}
+
+TEST(MeanFieldEquilibrium, ReportsConvergenceAtNormalTolerances) {
+  const MeanFieldEquilibrium r =
+      mean_field_equilibrium(theoretical_model(6.0), 1 << 11);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.iterations, 200);
+}
+
+TEST(MeanFieldEquilibrium, FlagsNonConvergenceWhenTheIterationGuardCutsOff) {
+  // Mirrors the solve_mfne guard: an unreachable tolerance must terminate
+  // at max_iterations with converged == false, not loop forever.
+  const MeanFieldEquilibrium r =
+      mean_field_equilibrium(theoretical_model(6.0), 1 << 11, 1e-30, 35);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 35);
+  EXPECT_GT(r.gamma_star, 0.0);
+  EXPECT_LT(r.gamma_star, 1.0);
+}
+
+TEST(MeanFieldEquilibrium, RejectsBadGuardArguments) {
+  EXPECT_THROW(mean_field_equilibrium(theoretical_model(6.0), 1 << 10, 0.0),
+               ContractViolation);
+  EXPECT_THROW(
+      mean_field_equilibrium(theoretical_model(6.0), 1 << 10, 1e-8, 0),
+      ContractViolation);
 }
 
 TEST(MeanFieldModel, RejectsIncompleteModels) {

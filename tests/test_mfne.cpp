@@ -154,5 +154,28 @@ TEST(Mfne, RespectsToleranceOption) {
   EXPECT_LT(coarse.iterations, fine.iterations);
 }
 
+TEST(Mfne, ReportsConvergenceAtNormalTolerances) {
+  const auto users = sampled(population::LoadRegime::kAtService, 500, 13);
+  const MfneResult r = solve_mfne(users, make_reciprocal_delay(), 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.iterations, MfneOptions{}.max_iterations);
+}
+
+TEST(Mfne, FlagsNonConvergenceWhenTheIterationGuardCutsOff) {
+  // A tolerance far below one ulp of gamma* can never be met: the bracket
+  // stops shrinking and the max_iterations guard must end the bisection
+  // with converged == false rather than spin forever.
+  const auto users = sampled(population::LoadRegime::kAtService, 500, 13);
+  MfneOptions opt;
+  opt.tolerance = 1e-30;
+  opt.max_iterations = 40;
+  const MfneResult r = solve_mfne(users, make_reciprocal_delay(), 10.0, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, opt.max_iterations);
+  // The midpoint of the last bracket is still a usable estimate.
+  EXPECT_GT(r.gamma_star, 0.0);
+  EXPECT_LT(r.gamma_star, 1.0);
+}
+
 }  // namespace
 }  // namespace mec::core
