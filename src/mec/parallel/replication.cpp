@@ -37,7 +37,12 @@ ReplicationResult run_replications(std::span<const core::UserParams> users,
                                    ThreadPool* pool) {
   MEC_EXPECTS(options.replications >= 1);
   MEC_EXPECTS(options.confidence > 0.0 && options.confidence < 1.0);
-  MEC_EXPECTS(users.size() == thresholds.size());
+  // With churn in the fault schedule, the thresholds span must also cover
+  // the joining devices (appended after the initial population).
+  std::size_t expected_thresholds = users.size();
+  if (base_options.faults) expected_thresholds +=
+      base_options.faults->churn_arrivals();
+  MEC_EXPECTS(expected_thresholds == thresholds.size());
   MEC_EXPECTS_MSG(base_options.epoch_period == 0.0,
                   "run_replications cannot share an on_epoch callback across "
                   "concurrent replications");
@@ -68,7 +73,14 @@ ReplicationResult run_replications(std::span<const core::UserParams> users,
   // the thread count (and of the pool's dynamic chunk assignment).
   ReplicationResult out;
   out.replications = r_total;
+  out.faults = results.front().faults;  // same trajectory every replication
+  out.faults.tasks_lost = 0;
+  out.faults.offloads_rejected = 0;
+  out.faults.offloads_penalized = 0;
   for (const sim::SimulationResult& r : results) {
+    out.faults.tasks_lost += r.faults.tasks_lost;
+    out.faults.offloads_rejected += r.faults.offloads_rejected;
+    out.faults.offloads_penalized += r.faults.offloads_penalized;
     out.mean_cost.samples.add(r.mean_cost);
     out.mean_queue_length.samples.add(r.mean_queue_length);
     out.mean_offload_fraction.samples.add(r.mean_offload_fraction);
@@ -105,6 +117,26 @@ std::string summarize(const ReplicationResult& result) {
   out += line("measured utilization", result.measured_utilization);
   out += line("mean local sojourn", result.mean_local_sojourn);
   out += line("mean offload delay", result.mean_offload_delay);
+  if (result.faults.any()) {
+    char buf[240];
+    std::snprintf(buf, sizeof buf,
+                  "  faults: capacity min/mean %.3f/%.3f, degraded %.1fs, "
+                  "crashes=%llu joined=%llu departed=%llu, across all "
+                  "replications: tasks_lost=%llu rejected=%llu "
+                  "penalized=%llu\n",
+                  result.faults.min_capacity_scale,
+                  result.faults.mean_capacity_scale,
+                  result.faults.degraded_time,
+                  static_cast<unsigned long long>(result.faults.crashes),
+                  static_cast<unsigned long long>(result.faults.churn_joined),
+                  static_cast<unsigned long long>(result.faults.churn_departed),
+                  static_cast<unsigned long long>(result.faults.tasks_lost),
+                  static_cast<unsigned long long>(
+                      result.faults.offloads_rejected),
+                  static_cast<unsigned long long>(
+                      result.faults.offloads_penalized));
+    out += buf;
+  }
   return out;
 }
 

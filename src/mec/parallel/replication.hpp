@@ -58,6 +58,13 @@ struct ReplicationResult {
   MetricSummary mean_local_sojourn;  ///< population mean of device sojourns
   MetricSummary mean_offload_delay;  ///< population mean of device delays
   std::uint64_t total_events = 0;    ///< summed across replications
+  /// Degraded-mode accounting when the base options carried a FaultSchedule
+  /// (all nominal otherwise).  Every replication replays the *same*
+  /// environment trajectory, so the structural counters and capacity
+  /// figures are copied from replication 0; the simulation-noise counters
+  /// (tasks_lost, offloads_rejected/penalized) are summed across
+  /// replications.
+  sim::FaultStats faults;
   /// Per-replication results, in replication order; empty unless
   /// ReplicationOptions::keep_runs was set.
   std::vector<sim::SimulationResult> runs;

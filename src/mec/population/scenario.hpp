@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "mec/core/edge_delay.hpp"
 #include "mec/random/distributions.hpp"
@@ -35,6 +36,11 @@ struct ScenarioConfig {
   double capacity = 10.0;               ///< c
   core::EdgeDelay delay;                ///< g(.)
   std::size_t n_users = 10'000;
+  /// Raw `fault = <verb> <args...>` lines from the config file, in file
+  /// order.  Stored as text (not parsed) so this layer stays independent of
+  /// mec/fault/; tools join the lines and hand them to
+  /// fault::parse_fault_schedule together with this scenario.
+  std::vector<std::string> fault_lines;
 
   /// Validates model assumptions (distributions set, bounded, capacity > 0).
   void check() const;

@@ -164,6 +164,10 @@ ScenarioConfig parse_scenario_text(const std::string& text) {
     } else if (key == "delay") {
       cfg.delay = parse_delay(value, line_number);
       saw[kDelay] = true;
+    } else if (key == "fault") {
+      // Fault-schedule lines ride along verbatim; they are validated by
+      // fault::parse_fault_schedule when a tool builds the schedule.
+      cfg.fault_lines.push_back(value);
     } else {
       fail(line_number, "unknown key '" + key + "'");
     }

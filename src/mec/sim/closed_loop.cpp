@@ -19,13 +19,22 @@ ClosedLoopResult run_closed_loop(std::span<const core::UserParams> users,
   MEC_EXPECTS(options.horizon > options.update_period);
   MEC_EXPECTS(options.eta0 > 0.0 && options.eta0 <= 1.0);
   MEC_EXPECTS(options.epsilon > 0.0 && options.epsilon < 1.0);
+  MEC_EXPECTS(options.drift_margin > 0.0);
+
+  // With churn, joining devices are appended to the population in schedule
+  // order (mirroring MecSimulation's constructor) and get their own policy.
+  std::vector<core::UserParams> all_users(users.begin(), users.end());
+  if (options.faults && !options.faults->empty()) {
+    const std::vector<core::UserParams> joiners = options.faults->churn_users();
+    all_users.insert(all_users.end(), joiners.begin(), joiners.end());
+  }
 
   // Devices start at threshold 0 (offload everything), as in Algorithm 1.
   std::vector<std::unique_ptr<OffloadPolicy>> policies;
   std::vector<MutableTroPolicy*> tunable;
-  policies.reserve(users.size());
-  tunable.reserve(users.size());
-  for (std::size_t n = 0; n < users.size(); ++n) {
+  policies.reserve(all_users.size());
+  tunable.reserve(all_users.size());
+  for (std::size_t n = 0; n < all_users.size(); ++n) {
     auto policy = std::make_unique<MutableTroPolicy>(0.0);
     tunable.push_back(policy.get());
     policies.push_back(std::move(policy));
@@ -52,10 +61,24 @@ ClosedLoopResult run_closed_loop(std::span<const core::UserParams> users,
   sim_options.latency = options.latency;
   sim_options.utilization_ewma_tau = options.utilization_ewma_tau;
   sim_options.epoch_period = options.update_period;
+  sim_options.faults = options.faults;
   sim_options.on_epoch = [&](double now, double gamma_measured) {
     ++state.t;
-    if (std::abs(state.ghat_prev - state.ghat_prev2) <= options.epsilon)
+    if (state.settled && options.resume_on_drift &&
+        std::abs(gamma_measured - state.ghat_prev) > options.drift_margin) {
+      // The environment moved under a settled estimate (capacity shock,
+      // churn wave): restart the step/halving schedule.  ghat_prev2 gets a
+      // far sentinel so the settling test cannot re-fire before two fresh
+      // updates (mirroring the cold-start state), and the sentinel is
+      // unreachable by ghat so the oscillation rule stays quiet.
+      state.settled = false;
+      state.eta = options.eta0;
+      state.counter_l = 1;
+      state.ghat_prev2 = 2.0;
+      ++result.drift_resumes;
+    } else if (std::abs(state.ghat_prev - state.ghat_prev2) <= options.epsilon) {
       state.settled = true;  // estimate pinned; devices hold thresholds
+    }
 
     double ghat = state.ghat_prev;
     if (!state.settled) {
@@ -67,10 +90,10 @@ ClosedLoopResult run_closed_loop(std::span<const core::UserParams> users,
       ghat = std::clamp(state.ghat_prev + step, 0.0, 1.0);
 
       const double g_value = delay(ghat);
-      for (std::size_t n = 0; n < users.size(); ++n) {
+      for (std::size_t n = 0; n < all_users.size(); ++n) {
         if (options.update_gate && !options.update_gate(n, state.t)) continue;
         tunable[n]->set_threshold(
-            static_cast<double>(core::best_threshold(users[n], g_value)));
+            static_cast<double>(core::best_threshold(all_users[n], g_value)));
       }
       if (state.t >= 2 &&
           std::abs(ghat - state.ghat_prev2) <= options.oscillation_tol) {

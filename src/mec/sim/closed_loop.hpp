@@ -35,6 +35,19 @@ struct ClosedLoopOptions {
   ServiceSampler service;         ///< null => exponential
   LatencySampler latency;         ///< null => exponential
   double utilization_ewma_tau = 10.0;
+  /// Optional fault/churn schedule forwarded to the simulator.  With churn,
+  /// joining devices get their own MutableTroPolicy (threshold 0 until the
+  /// first post-join broadcast), like any late joiner in Algorithm 1.
+  std::shared_ptr<const fault::FaultSchedule> faults;
+  /// Algorithm 1 freezes thresholds once |ghat_t - ghat_{t-1}| <= epsilon —
+  /// correct in a stationary environment, blind in a faulty one.  With
+  /// resume_on_drift, a settled loop whose *measured* utilization strays
+  /// more than `drift_margin` from the settled estimate restarts the
+  /// step/halving schedule (eta back to eta0), re-converging to the shifted
+  /// fixed point.  Off by default: the stationary runs keep Algorithm 1's
+  /// exact stopping rule.
+  bool resume_on_drift = false;
+  double drift_margin = 0.05;
 };
 
 /// One broadcast epoch of the in-simulator algorithm.
@@ -51,6 +64,8 @@ struct ClosedLoopResult {
   std::vector<double> thresholds;   ///< final per-device thresholds
   double final_gamma_hat = 0.0;
   bool estimate_settled = false;    ///< |step| fell below epsilon in-run
+  /// Times the settled loop was re-opened by resume_on_drift (faults).
+  std::uint32_t drift_resumes = 0;
   SimulationResult run;             ///< whole-run measurements
 };
 

@@ -262,7 +262,7 @@ void EventQueue::advance() {
       b.clear();
       window_pos_ = 0;
       std::sort(window_.begin(), window_.end(),
-                [](const Node& a, const Node& b) { return earlier(a, b); });
+                [](const Node& x, const Node& y) { return earlier(x, y); });
       return;
     }
   }

@@ -39,11 +39,14 @@
 
 namespace mec::sim {
 
-/// What happened, dispatched by MecSimulation.
+/// What happened, dispatched by MecSimulation.  At most four kinds: the
+/// packed node layout reserves exactly two bits for the kind.
 enum class EventKind : std::uint8_t {
   kArrival,          ///< a new task arrives at `device`
   kLocalDeparture,   ///< `device` finishes its in-service local task
   kOffloadDelivery,  ///< an offloaded task of `device` completes at the edge
+  kFault,            ///< a FaultSchedule action fires; `device` holds the
+                     ///< action's index into the schedule, not a device id
 };
 
 /// Decoded event as handed to the simulation loop (not the storage layout).
@@ -81,8 +84,20 @@ class EventQueue {
   /// Removes and returns the next event. Requires non-empty queue.
   Event pop();
 
-  /// Total events ever scheduled (diagnostics).
+  /// Total events ever scheduled (diagnostics).  Also the sequence number
+  /// the *next* push will receive — fault-aware callers use it to remember
+  /// which pending event is the live one for a device (lazy cancellation).
   std::uint64_t scheduled_count() const noexcept { return next_seq_; }
+
+  /// True while the queue runs in calendar gear (diagnostics/tests).
+  bool calendar_gear() const noexcept { return calendar_; }
+
+  /// Current calendar bucket width in simulated seconds; 0 in heap gear.
+  /// Exposed so the gear-switch regression tests can place events exactly
+  /// on bucket-window edges.
+  double calendar_bucket_width() const noexcept {
+    return calendar_ ? width_ : 0.0;
+  }
 
  private:
   /// 16-byte node; `key` holds (seq << 22) | (device << 2) | kind.  seq is

@@ -237,17 +237,83 @@ SimWorkspace& SimWorkspace::operator=(SimWorkspace&&) noexcept = default;
 
 namespace {
 
+/// Per-run fault state, live only in the WithFaults instantiation of the
+/// event loop.  Lazy event cancellation works by remembering the sequence
+/// number of each device's one live pending arrival / local-departure event
+/// (sequence numbers are unique, so a popped event whose seq does not match
+/// is a stale chain from before a crash/restart and is skipped).
+struct FaultRuntime {
+  static constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
+  enum State : std::uint8_t { kNotJoined, kAlive, kDead, kRetired };
+
+  std::span<const fault::FaultAction> actions;
+  bool outage = false;
+  fault::OutageMode outage_mode = fault::OutageMode::kReject;
+  double outage_penalty = 0.0;
+
+  std::vector<State> state;
+  std::vector<std::uint64_t> arrival_seq;    ///< live arrival event per device
+  std::vector<std::uint64_t> departure_seq;  ///< live departure event
+  std::vector<std::uint32_t> active_ids;     ///< departure victim pool
+  std::vector<std::uint32_t> active_pos;     ///< device -> index in active_ids
+  std::uint32_t next_join = 0;  ///< next churn device slot to activate
+
+  FaultStats stats;
+  double scale_integral = 0.0;  ///< ∫ capacity_scale dt over the window
+  double env_last = 0.0;        ///< last environment integration instant
+
+  void init(std::uint32_t n_initial, std::uint32_t n_total,
+            std::span<const fault::FaultAction> schedule_actions) {
+    actions = schedule_actions;
+    state.assign(n_total, kNotJoined);
+    arrival_seq.assign(n_total, kNoEvent);
+    departure_seq.assign(n_total, kNoEvent);
+    active_ids.clear();
+    active_ids.reserve(n_total);
+    active_pos.assign(n_total, 0);
+    for (std::uint32_t d = 0; d < n_initial; ++d) {
+      state[d] = kAlive;
+      active_pos[d] = static_cast<std::uint32_t>(active_ids.size());
+      active_ids.push_back(d);
+    }
+    next_join = n_initial;
+  }
+
+  void activate(std::uint32_t device) {
+    state[device] = kAlive;
+    active_pos[device] = static_cast<std::uint32_t>(active_ids.size());
+    active_ids.push_back(device);
+  }
+
+  void deactivate(std::uint32_t device, State terminal) {
+    state[device] = terminal;
+    arrival_seq[device] = kNoEvent;
+    departure_seq[device] = kNoEvent;
+    const std::uint32_t pos = active_pos[device];
+    const std::uint32_t last = active_ids.back();
+    active_ids[pos] = last;
+    active_pos[last] = pos;
+    active_ids.pop_back();
+  }
+};
+
 /// The event loop, instantiated once per decision provider so the arrival
-/// decision inlines (no virtual dispatch on the all-TRO path).  Any decision
-/// provider must consume exactly the RNG draws the equivalent
-/// OffloadPolicy::offload() would, keeping all instantiations bit-identical.
-template <class Decide>
+/// decision inlines (no virtual dispatch on the all-TRO path), and once
+/// more per fault mode so fault-free runs pay zero overhead (WithFaults ==
+/// false folds every fault branch away and is bit-identical to the
+/// pre-fault engine).  Any decision provider must consume exactly the RNG
+/// draws the equivalent OffloadPolicy::offload() would, keeping all
+/// instantiations bit-identical.
+template <bool WithFaults, class Decide>
 SimulationResult run_simulation(const std::vector<core::UserParams>& users,
-                                double capacity, const core::EdgeDelay& delay,
+                                std::size_t n_initial, double capacity,
+                                const core::EdgeDelay& delay,
                                 const SimulationOptions& options,
                                 SimWorkspace::Impl& ws, const Decide& decide) {
   const auto n_devices = static_cast<std::uint32_t>(users.size());
-  const double edge_capacity = static_cast<double>(n_devices) * capacity;
+  // Nominal capacity is anchored to the initial population: churn changes
+  // the offered load, not the installed edge hardware.
+  const double edge_capacity = static_cast<double>(n_initial) * capacity;
   const double t_end = options.warmup + options.horizon;
 
   ws.prepare(users.size());
@@ -265,15 +331,30 @@ SimulationResult run_simulation(const std::vector<core::UserParams>& users,
     ws.rng_seed = options.seed;
     ws.rng_cached = true;
   }
-  for (std::uint32_t n = 0; n < n_devices; ++n)
+
+  FaultRuntime fr;
+  double capacity_scale = 1.0;
+  if constexpr (WithFaults) {
+    fr.init(static_cast<std::uint32_t>(n_initial), n_devices,
+            options.faults->actions());
+    // Fault actions enter the queue first: at equal times the environment
+    // change is applied before any task event, deterministically.
+    for (std::uint32_t i = 0; i < fr.actions.size(); ++i)
+      queue.push(fr.actions[i].time, EventKind::kFault, i);
+  }
+  for (std::uint32_t n = 0; n < static_cast<std::uint32_t>(n_initial); ++n) {
+    if constexpr (WithFaults) fr.arrival_seq[n] = queue.scheduled_count();
     queue.push(random::exponential(rngs[n], users[n].arrival_rate),
                EventKind::kArrival, n);
+  }
 
   EwmaRate offload_rate(options.utilization_ewma_tau,
                         options.initial_gamma * edge_capacity);
   const auto current_gamma = [&](double now) {
     if (options.fixed_gamma) return *options.fixed_gamma;
-    return std::clamp(offload_rate.rate_at(now) / edge_capacity, 0.0, 1.0);
+    return std::clamp(
+        offload_rate.rate_at(now) / (edge_capacity * capacity_scale), 0.0,
+        1.0);
   };
   // With a pinned utilization the edge delay is one constant for the whole
   // run; hoisting it off the per-offload path skips a std::function call.
@@ -287,6 +368,20 @@ SimulationResult run_simulation(const std::vector<core::UserParams>& users,
   stats::LatencyPercentiles local_sojourns;
   stats::LatencyPercentiles offload_delays;
 
+  // Accumulates the capacity-scale integral and degraded time up to `at`
+  // (measurement window only; the scale is piecewise constant between fault
+  // events, so integrating with the current value is exact).
+  const auto integrate_env = [&](double at) {
+    if constexpr (WithFaults) {
+      if (at > fr.env_last) {
+        const double dt = at - fr.env_last;
+        fr.scale_integral += capacity_scale * dt;
+        if (capacity_scale < 1.0 || fr.outage) fr.stats.degraded_time += dt;
+        fr.env_last = at;
+      }
+    }
+  };
+
   std::vector<TimelinePoint> timeline;
   double next_sample = options.sample_interval > 0.0
                            ? options.sample_interval
@@ -298,7 +393,20 @@ SimulationResult run_simulation(const std::vector<core::UserParams>& users,
     double total_q = 0.0;
     for (const DeviceState& d : devices)
       total_q += static_cast<double>(d.local_queue.size());
-    p.mean_queue_length = total_q / static_cast<double>(n_devices);
+    if constexpr (WithFaults) {
+      // Dead/retired queues are empty, so the sum already covers exactly
+      // the active population; the scale at flush time is the scale at
+      // `at` (it changes only at events, and samples flush before them).
+      p.capacity_scale = capacity_scale;
+      p.active_devices = fr.active_ids.size();
+      p.mean_queue_length =
+          fr.active_ids.empty()
+              ? 0.0
+              : total_q / static_cast<double>(fr.active_ids.size());
+    } else {
+      p.active_devices = n_devices;
+      p.mean_queue_length = total_q / static_cast<double>(n_devices);
+    }
     p.offloads_so_far = offloads_in_window;
     timeline.push_back(p);
   };
@@ -311,13 +419,19 @@ SimulationResult run_simulation(const std::vector<core::UserParams>& users,
     const Event e = queue.pop();
     if (!queue.empty()) {
       // The next pending event is (usually) the next one processed; start
-      // pulling the state it will touch while this event is handled.
+      // pulling the state it will touch while this event is handled.  A
+      // pending kFault's `device` is a schedule index, so it must not index
+      // the device arrays (prefetching a wrong-but-valid slot is harmless;
+      // forming an out-of-range pointer is not).
       const std::uint32_t upcoming = queue.next_device();
-      const char* dev_lines = reinterpret_cast<const char*>(&devices[upcoming]);
-      MEC_PREFETCH(dev_lines);
-      MEC_PREFETCH(dev_lines + 64);
-      MEC_PREFETCH(&rngs[upcoming]);
-      MEC_PREFETCH(&users[upcoming]);
+      if (!WithFaults || upcoming < n_devices) {
+        const char* dev_lines =
+            reinterpret_cast<const char*>(&devices[upcoming]);
+        MEC_PREFETCH(dev_lines);
+        MEC_PREFETCH(dev_lines + 64);
+        MEC_PREFETCH(&rngs[upcoming]);
+        MEC_PREFETCH(&users[upcoming]);
+      }
     }
     ++events;
     const double now = e.time;
@@ -333,6 +447,87 @@ SimulationResult run_simulation(const std::vector<core::UserParams>& users,
     if (!measuring && now >= options.warmup) {
       measuring = true;
       for (DeviceState& d : devices) d.reset_measurements(options.warmup);
+      if constexpr (WithFaults) {
+        // Start the environment integrals at the window boundary.  No fault
+        // can have fired inside (warmup, now): it would itself have been the
+        // first event past the warm-up and triggered this transition.
+        fr.env_last = options.warmup;
+        fr.stats.min_capacity_scale = capacity_scale;
+      }
+    }
+
+    if constexpr (WithFaults) {
+      if (e.kind == EventKind::kFault) {
+        const fault::FaultAction& a = fr.actions[e.device];
+        switch (a.kind) {
+          case fault::FaultKind::kCapacityScale:
+            if (measuring) {
+              integrate_env(now);
+              fr.stats.min_capacity_scale =
+                  std::min(fr.stats.min_capacity_scale, a.value);
+            }
+            capacity_scale = a.value;
+            break;
+          case fault::FaultKind::kOutageBegin:
+            if (measuring) integrate_env(now);
+            fr.outage = true;
+            fr.outage_mode = a.outage_mode;
+            fr.outage_penalty = a.value;
+            break;
+          case fault::FaultKind::kOutageEnd:
+            if (measuring) integrate_env(now);
+            fr.outage = false;
+            break;
+          case fault::FaultKind::kDeviceCrash:
+            if (fr.state[a.device] == FaultRuntime::kAlive) {
+              DeviceState& victim = devices[a.device];
+              victim.integrate_to(now);
+              if (measuring) fr.stats.tasks_lost += victim.local_queue.size();
+              victim.local_queue.clear();
+              fr.deactivate(a.device, FaultRuntime::kDead);
+              ++fr.stats.crashes;
+            }
+            break;
+          case fault::FaultKind::kDeviceRestart:
+            if (fr.state[a.device] == FaultRuntime::kDead) {
+              fr.activate(a.device);
+              ++fr.stats.restarts;
+              fr.arrival_seq[a.device] = queue.scheduled_count();
+              queue.push(now + random::exponential(
+                                   rngs[a.device], users[a.device].arrival_rate),
+                         EventKind::kArrival, a.device);
+            }
+            break;
+          case fault::FaultKind::kUserArrival: {
+            const std::uint32_t d = fr.next_join++;
+            MEC_ASSERT(d < n_devices);
+            fr.activate(d);
+            ++fr.stats.churn_joined;
+            // The device's measurement clock starts at its join, not at 0.
+            devices[d].last_change = now;
+            fr.arrival_seq[d] = queue.scheduled_count();
+            queue.push(now + random::exponential(rngs[d], users[d].arrival_rate),
+                       EventKind::kArrival, d);
+            break;
+          }
+          case fault::FaultKind::kUserDeparture:
+            if (!fr.active_ids.empty()) {
+              const auto active_n = fr.active_ids.size();
+              const auto idx = std::min(
+                  active_n - 1, static_cast<std::size_t>(
+                                    a.value * static_cast<double>(active_n)));
+              const std::uint32_t d = fr.active_ids[idx];
+              DeviceState& victim = devices[d];
+              victim.integrate_to(now);
+              if (measuring) fr.stats.tasks_lost += victim.local_queue.size();
+              victim.local_queue.clear();
+              fr.deactivate(d, FaultRuntime::kRetired);
+              ++fr.stats.churn_departed;
+            }
+            break;
+        }
+        continue;
+      }
     }
 
     DeviceState& dev = devices[e.device];
@@ -341,12 +536,33 @@ SimulationResult run_simulation(const std::vector<core::UserParams>& users,
 
     switch (e.kind) {
       case EventKind::kArrival: {
+        if constexpr (WithFaults) {
+          // A stale arrival chain (pre-crash or pre-departure) is skipped
+          // without consuming RNG draws; the live chain — if the device is
+          // alive — has a matching sequence number by construction.
+          if (e.seq != fr.arrival_seq[e.device]) break;
+        }
         dev.integrate_to(now);
         if (measuring) ++dev.arrivals;
-        const bool offload = decide(e.device, dev.local_queue.size(), rng);
+        bool offload = decide(e.device, dev.local_queue.size(), rng);
+        if constexpr (WithFaults) {
+          // Outage check sits *after* the decision so the Bernoulli draw at
+          // the boundary state is consumed either way (RNG alignment).
+          if (offload && fr.outage &&
+              fr.outage_mode == fault::OutageMode::kReject) {
+            offload = false;
+            if (measuring) ++fr.stats.offloads_rejected;
+          }
+        }
         if (offload) {
-          const double delay_value =
+          double delay_value =
               has_fixed_gamma ? fixed_delay : delay(current_gamma(now));
+          if constexpr (WithFaults) {
+            if (fr.outage && fr.outage_mode == fault::OutageMode::kPenalty) {
+              delay_value += fr.outage_penalty;
+              if (measuring) ++fr.stats.offloads_penalized;
+            }
+          }
           const double latency = options.latency(rng, u);
           if (!options.fixed_gamma) offload_rate.record_event(now);
           if (measuring) {
@@ -361,15 +577,23 @@ SimulationResult run_simulation(const std::vector<core::UserParams>& users,
         } else {
           dev.local_queue.push_back(now);
           if (measuring) dev.energy_sum += u.energy_local;
-          if (dev.local_queue.size() == 1)  // idle server: start service
+          if (dev.local_queue.size() == 1) {  // idle server: start service
+            if constexpr (WithFaults)
+              fr.departure_seq[e.device] = queue.scheduled_count();
             queue.push(now + options.service(rng, u),
                        EventKind::kLocalDeparture, e.device);
+          }
         }
+        if constexpr (WithFaults)
+          fr.arrival_seq[e.device] = queue.scheduled_count();
         queue.push(now + random::exponential(rng, u.arrival_rate),
                    EventKind::kArrival, e.device);
         break;
       }
       case EventKind::kLocalDeparture: {
+        if constexpr (WithFaults) {
+          if (e.seq != fr.departure_seq[e.device]) break;  // stale chain
+        }
         dev.integrate_to(now);
         MEC_ASSERT(!dev.local_queue.empty());
         const double arrived_at = dev.local_queue.front();
@@ -383,15 +607,26 @@ SimulationResult run_simulation(const std::vector<core::UserParams>& users,
           dev.local_sojourn_sum += sojourn;
           local_sojourns.add(sojourn);
         }
-        if (!dev.local_queue.empty())
+        if (!dev.local_queue.empty()) {
+          if constexpr (WithFaults)
+            fr.departure_seq[e.device] = queue.scheduled_count();
           queue.push(now + options.service(rng, u),
                      EventKind::kLocalDeparture, e.device);
+        } else {
+          if constexpr (WithFaults)
+            fr.departure_seq[e.device] = FaultRuntime::kNoEvent;
+        }
         break;
       }
       case EventKind::kOffloadDelivery:
         // Task completed at the edge; all accounting happened at decision
         // time (the delay is known then). Kept as an explicit event so
         // in-flight work is visible to future extensions.
+        break;
+      case EventKind::kFault:
+        // Handled (and `continue`d) before the device references above; a
+        // kFault can only reach the switch in the WithFaults instantiation.
+        MEC_ASSERT(WithFaults);
         break;
     }
   }
@@ -411,6 +646,12 @@ SimulationResult run_simulation(const std::vector<core::UserParams>& users,
     next_epoch += options.epoch_period;
   }
   for (DeviceState& d : devices) d.integrate_to(t_end);
+  if constexpr (WithFaults) {
+    if (measuring) integrate_env(t_end);
+    // A run so short no event crossed the warm-up boundary: treat the whole
+    // window as nominal so the utilization denominator stays finite.
+    if (fr.scale_integral == 0.0) fr.scale_integral = options.horizon;
+  }
 
   SimulationResult result;
   result.horizon = options.horizon;
@@ -422,9 +663,25 @@ SimulationResult run_simulation(const std::vector<core::UserParams>& users,
   const double window = options.horizon;
 
   double cost_acc = 0.0, q_acc = 0.0, alpha_acc = 0.0;
+  std::uint32_t participating = 0;
+  // Under faults the denominator is the *time-averaged* available capacity
+  // over the window (edge_capacity * mean scale * window); fault-free it
+  // reduces to the familiar offloads / (window * N * c).
+  double gamma_denom = window * edge_capacity;
+  if constexpr (WithFaults) gamma_denom = edge_capacity * fr.scale_integral;
   const double gamma_measured =
-      static_cast<double>(offloads_in_window) / (window * edge_capacity);
+      static_cast<double>(offloads_in_window) / gamma_denom;
   for (std::uint32_t n = 0; n < n_devices; ++n) {
+    if constexpr (WithFaults) {
+      // Churn slots that never joined report all-zero stats and must not
+      // dilute the population means (their empirical cost is not zero —
+      // the Eq.-(1) functional of an idle device is w*p_L).
+      if (fr.state[n] == FaultRuntime::kNotJoined) {
+        result.devices.emplace_back();
+        continue;
+      }
+    }
+    ++participating;
     const DeviceState& dev = devices[n];
     const core::UserParams& u = users[n];
     DeviceStats s;
@@ -462,10 +719,29 @@ SimulationResult run_simulation(const std::vector<core::UserParams>& users,
     result.devices.push_back(s);
   }
   result.measured_utilization = gamma_measured;
-  result.mean_cost = cost_acc / static_cast<double>(n_devices);
-  result.mean_queue_length = q_acc / static_cast<double>(n_devices);
-  result.mean_offload_fraction = alpha_acc / static_cast<double>(n_devices);
+  result.mean_cost = cost_acc / static_cast<double>(participating);
+  result.mean_queue_length = q_acc / static_cast<double>(participating);
+  result.mean_offload_fraction = alpha_acc / static_cast<double>(participating);
+  if constexpr (WithFaults) {
+    fr.stats.mean_capacity_scale = fr.scale_integral / window;
+    fr.stats.participating_devices = participating;
+    result.faults = fr.stats;
+  }
   return result;
+}
+
+/// Picks the fault-free or fault-aware instantiation of the event loop.
+template <class Decide>
+SimulationResult dispatch_run(const std::vector<core::UserParams>& users,
+                              std::size_t n_initial, double capacity,
+                              const core::EdgeDelay& delay,
+                              const SimulationOptions& options,
+                              SimWorkspace::Impl& ws, const Decide& decide) {
+  if (options.faults && !options.faults->empty())
+    return run_simulation<true>(users, n_initial, capacity, delay, options, ws,
+                                decide);
+  return run_simulation<false>(users, n_initial, capacity, delay, options, ws,
+                               decide);
 }
 
 }  // namespace
@@ -493,6 +769,16 @@ MecSimulation::MecSimulation(std::span<const core::UserParams> users,
     MEC_EXPECTS(*options_.fixed_gamma >= 0.0 && *options_.fixed_gamma <= 1.0);
   if (!options_.service) options_.service = exponential_service();
   if (!options_.latency) options_.latency = exponential_latency();
+  n_initial_ = users_.size();
+  if (options_.faults && !options_.faults->empty()) {
+    options_.faults->check(n_initial_);
+    const std::vector<core::UserParams> joiners = options_.faults->churn_users();
+    users_.insert(users_.end(), joiners.begin(), joiners.end());
+    MEC_EXPECTS_MSG(users_.size() < (std::size_t{1} << 20),
+                    "population incl. churn must fit the packed event layout");
+    MEC_EXPECTS_MSG(options_.faults->size() < (std::size_t{1} << 20),
+                    "fault schedule must fit the packed event layout");
+  }
   for (const auto& u : users_) u.check();
 }
 
@@ -519,10 +805,10 @@ SimulationResult MecSimulation::run(
     thresholds.push_back(threshold);
   }
   if (thresholds.size() == policies.size())
-    return run_simulation(users_, capacity_, delay_, options_,
-                          *workspace.impl_, TroPointerDecide{thresholds.data()});
-  return run_simulation(users_, capacity_, delay_, options_, *workspace.impl_,
-                        VirtualDecide{policies.data()});
+    return dispatch_run(users_, n_initial_, capacity_, delay_, options_,
+                        *workspace.impl_, TroPointerDecide{thresholds.data()});
+  return dispatch_run(users_, n_initial_, capacity_, delay_, options_,
+                      *workspace.impl_, VirtualDecide{policies.data()});
 }
 
 SimulationResult MecSimulation::run_tro(
@@ -535,8 +821,8 @@ SimulationResult MecSimulation::run_tro(std::span<const double> thresholds,
                                         SimWorkspace& workspace) const {
   MEC_EXPECTS(thresholds.size() == users_.size());
   for (const double x : thresholds) MEC_EXPECTS(x >= 0.0);
-  return run_simulation(users_, capacity_, delay_, options_, *workspace.impl_,
-                        TroValueDecide{thresholds.data()});
+  return dispatch_run(users_, n_initial_, capacity_, delay_, options_,
+                      *workspace.impl_, TroValueDecide{thresholds.data()});
 }
 
 SimulationResult MecSimulation::run_dpo(std::span<const double> rhos) const {

@@ -23,6 +23,7 @@
 #include "mec/core/dtu.hpp"
 #include "mec/core/edge_delay.hpp"
 #include "mec/core/user.hpp"
+#include "mec/fault/fault_schedule.hpp"
 #include "mec/random/empirical.hpp"
 #include "mec/random/rng.hpp"
 #include "mec/sim/metrics.hpp"
@@ -79,6 +80,23 @@ struct SimulationOptions {
   /// *inside* the simulator (see mec/sim/closed_loop.hpp).
   double epoch_period = 0.0;
   std::function<void(double now, double gamma_estimate)> on_epoch;
+  /// Optional deterministic fault/churn schedule (see mec/fault/).  Fault
+  /// actions are injected as first-class events into the future-event list,
+  /// so a schedule replays bit-identically for any thread count.  A null or
+  /// empty schedule leaves the engine on the fault-free fast path with
+  /// bit-identical results to a build without this feature.
+  ///
+  /// Semantics under faults:
+  ///   - Capacity scaling rescales the *denominator* of the utilization
+  ///     estimate (the EWMA path); a pinned `fixed_gamma` stays pinned.
+  ///   - During an outage window, offload decisions are rerouted to the
+  ///     local queue (kReject) or pay extra latency (kPenalty).
+  ///   - Crashes drop the device's local queue (counted in
+  ///     FaultStats::tasks_lost) and stop its arrivals until a restart.
+  ///   - Churn joins append devices after the initial population, in
+  ///     schedule order; policy/threshold spans must cover them (see
+  ///     total_devices()).  Departures retire an active device for good.
+  std::shared_ptr<const fault::FaultSchedule> faults;
 };
 
 /// Reusable per-run simulation state (device states, RNG streams, the
@@ -108,11 +126,16 @@ class SimWorkspace {
 class MecSimulation {
  public:
   /// Copies the population. Requires non-empty users, capacity > 0, valid
-  /// delay, warmup >= 0, horizon > 0.
+  /// delay, warmup >= 0, horizon > 0.  When the options carry a fault
+  /// schedule with churn, the joining users are appended to the population
+  /// at construction (in schedule order): policy/threshold spans passed to
+  /// run()/run_tro() must then have total_devices() entries.  The nominal
+  /// edge capacity stays `initial_devices() * capacity` — churn moves load,
+  /// not infrastructure.
   MecSimulation(std::span<const core::UserParams> users, double capacity,
                 core::EdgeDelay delay, SimulationOptions options = {});
 
-  /// Runs with per-device policies (size must match the population).  When
+  /// Runs with per-device policies (size must match total_devices()).  When
   /// every policy exposes tro_threshold(), the arrival decision runs on a
   /// sealed non-virtual fast path (bit-identical to the virtual dispatch).
   SimulationResult run(
@@ -129,10 +152,15 @@ class MecSimulation {
   /// Runs the DPO policy with per-device offload probabilities.
   SimulationResult run_dpo(std::span<const double> rhos) const;
 
+  /// Initial population plus any churn users from the fault schedule.
   std::size_t population_size() const noexcept { return users_.size(); }
+  std::size_t total_devices() const noexcept { return users_.size(); }
+  /// The population passed to the constructor (pre-churn).
+  std::size_t initial_devices() const noexcept { return n_initial_; }
 
  private:
-  std::vector<core::UserParams> users_;
+  std::vector<core::UserParams> users_;  ///< initial population + churn users
+  std::size_t n_initial_ = 0;
   double capacity_;
   core::EdgeDelay delay_;
   SimulationOptions options_;

@@ -25,6 +25,16 @@ std::string summarize(const SimulationResult& result) {
        << result.offload_delay_percentiles.p50() << " / "
        << result.offload_delay_percentiles.p95() << " / "
        << result.offload_delay_percentiles.p99() << "\n";
+  if (result.faults.any()) {
+    const FaultStats& f = result.faults;
+    os << "  faults: capacity min/mean = " << f.min_capacity_scale << " / "
+       << f.mean_capacity_scale << ", degraded " << f.degraded_time << "s\n"
+       << "  faults: crashes=" << f.crashes << " restarts=" << f.restarts
+       << " joined=" << f.churn_joined << " departed=" << f.churn_departed
+       << " tasks_lost=" << f.tasks_lost
+       << " offloads rejected/penalized=" << f.offloads_rejected << "/"
+       << f.offloads_penalized << "\n";
+  }
   return os.str();
 }
 

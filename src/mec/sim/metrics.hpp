@@ -41,6 +41,39 @@ struct TimelinePoint {
   /// Offload decisions made in (warmup, time); 0 for samples at or before
   /// the end of warm-up (the measurement counters start only there).
   std::uint64_t offloads_so_far = 0;
+  /// Edge capacity scale in effect at `time` (1.0 without faults); the mean
+  /// queue length above averages over `active_devices` devices.
+  double capacity_scale = 1.0;
+  std::uint64_t active_devices = 0;
+};
+
+/// Degraded-mode accounting of one run under a FaultSchedule; all zeros /
+/// nominal when the run had no schedule.  Structural counters (crashes,
+/// restarts, churn) cover the whole run; task-level counters and the
+/// time-weighted capacity figures cover only the measurement window,
+/// matching every other measured quantity.
+struct FaultStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t churn_joined = 0;
+  std::uint64_t churn_departed = 0;
+  std::uint64_t tasks_lost = 0;          ///< queued tasks dropped by crashes
+                                         ///< and departures
+  std::uint64_t offloads_rejected = 0;   ///< outage reroutes to local
+  std::uint64_t offloads_penalized = 0;  ///< outage latency penalties paid
+  double min_capacity_scale = 1.0;       ///< lowest scale seen in the window
+  double mean_capacity_scale = 1.0;      ///< time-weighted over the window
+  double degraded_time = 0.0;  ///< window seconds with scale < 1 or outage
+  /// Devices contributing to the population means: the initial population
+  /// plus churn users that joined before the horizon end (never-joined
+  /// churn slots report all-zero DeviceStats and are excluded).
+  std::uint64_t participating_devices = 0;
+
+  bool any() const noexcept {
+    return crashes | restarts | churn_joined | churn_departed | tasks_lost |
+           offloads_rejected | offloads_penalized ||
+           min_capacity_scale != 1.0 || degraded_time > 0.0;
+  }
 };
 
 /// Whole-system result of one simulation run.
@@ -52,6 +85,8 @@ struct SimulationResult {
   stats::LatencyPercentiles offload_delay_percentiles;
   /// Sampled system trajectory; empty unless sampling was enabled.
   std::vector<TimelinePoint> timeline;
+  /// Degraded-mode accounting (all nominal when no FaultSchedule ran).
+  FaultStats faults;
   double measured_utilization = 0.0;  ///< offload task rate / (N*c)
   double mean_cost = 0.0;             ///< population mean of empirical_cost
   double mean_queue_length = 0.0;     ///< population mean

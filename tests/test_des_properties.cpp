@@ -1,0 +1,126 @@
+// Property battery: the DES's stationary offload fraction alpha(x) and mean
+// local queue length Q(x) must match the exact TRO closed forms (Eq. 7-8,
+// queueing::tro_metrics) within replication confidence intervals, across
+// arrival intensities theta spanning underload, near-critical (theta within
+// 1e-4 of 1, where the textbook closed forms have 0/0 cancellation), and
+// overload, and across integer and fractional thresholds.  Replications run
+// through parallel::run_replications, so this also exercises the CI
+// aggregation path the experiments rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "mec/parallel/replication.hpp"
+#include "mec/queueing/threshold_queue.hpp"
+#include "mec/sim/mec_simulation.hpp"
+
+namespace mec::sim {
+namespace {
+
+std::vector<core::UserParams> homogeneous(std::size_t n, double a, double s) {
+  std::vector<core::UserParams> users(n);
+  for (auto& u : users) {
+    u.arrival_rate = a;
+    u.service_rate = s;
+    u.offload_latency = 0.5;
+    u.energy_local = 1.0;
+    u.energy_offload = 0.5;
+  }
+  return users;
+}
+
+class TroStationaryTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(TroStationaryTest, AlphaAndQMatchClosedForms) {
+  const double theta = std::get<0>(GetParam());
+  const double x = std::get<1>(GetParam());
+
+  // Homogeneous population, fixed edge utilization: every device is an
+  // independent TRO queue with intensity theta, so the population mean is
+  // an n-fold average of the per-device stationary quantities.
+  constexpr std::size_t kDevices = 40;
+  const double service = 2.0;
+  const auto users = homogeneous(kDevices, theta * service, service);
+
+  SimulationOptions so;
+  so.warmup = 60.0;
+  so.horizon = 800.0;
+  so.seed = 11;
+  so.fixed_gamma = 0.3;
+
+  parallel::ReplicationOptions ro;
+  ro.replications = 10;
+  ro.threads = 4;
+  ro.confidence = 0.999;  // wide interval: 20 (theta, x) cells share a run
+
+  const std::vector<double> thresholds(kDevices, x);
+  const parallel::ReplicationResult r = parallel::run_replications(
+      users, 10.0, core::make_reciprocal_delay(1.1), so, thresholds, ro);
+
+  const queueing::TroMetrics exact = queueing::tro_metrics(theta, x);
+  // The replication CI quantifies the simulation noise; the tiny absolute
+  // floor absorbs the O(1/horizon) initial-transient bias the CI cannot see.
+  const double alpha_tol = r.mean_offload_fraction.ci.half_width + 2e-3;
+  const double q_tol = r.mean_queue_length.ci.half_width + 4e-3;
+  EXPECT_NEAR(r.mean_offload_fraction.mean(), exact.offload_probability,
+              alpha_tol)
+      << "alpha(x) off at theta=" << theta << " x=" << x;
+  EXPECT_NEAR(r.mean_queue_length.mean(), exact.mean_queue_length, q_tol)
+      << "Q(x) off at theta=" << theta << " x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TroStationaryTest,
+    ::testing::Combine(
+        // Underload, moderate, exactly-critical from both sides, overload.
+        ::testing::Values(0.2, 0.9, 1.0 - 1e-4, 1.0 + 1e-4, 2.0),
+        // Fractional thresholds randomize at the boundary state; integer
+        // thresholds take the deterministic branch.
+        ::testing::Values(0.5, 1.0, 2.7, 4.0)),
+    [](const ::testing::TestParamInfo<std::tuple<double, double>>& param) {
+      const double theta = std::get<0>(param.param);
+      const double x = std::get<1>(param.param);
+      std::string name = "theta_" + std::to_string(theta) + "_x_" +
+                         std::to_string(x);
+      for (char& c : name)
+        if (c == '.' || c == '-' || c == '+') c = '_';
+      return name;
+    });
+
+TEST(TroStationaryTest, FractionalThresholdInterpolatesAlpha) {
+  // alpha is monotone in x; a fractional threshold must land strictly
+  // between its integer neighbors (the Bernoulli boundary draw is what the
+  // DES must implement faithfully for Lemma 1's fractional optimum).
+  constexpr std::size_t kDevices = 40;
+  const double theta = 1.3;
+  const auto users = homogeneous(kDevices, theta * 2.0, 2.0);
+  SimulationOptions so;
+  so.warmup = 60.0;
+  so.horizon = 600.0;
+  so.seed = 21;
+  so.fixed_gamma = 0.3;
+  parallel::ReplicationOptions ro;
+  ro.replications = 6;
+  ro.threads = 2;
+
+  const auto alpha_at = [&](double x) {
+    const std::vector<double> xs(kDevices, x);
+    return parallel::run_replications(users, 10.0,
+                                      core::make_reciprocal_delay(1.1), so, xs,
+                                      ro)
+        .mean_offload_fraction.mean();
+  };
+  const double lo = alpha_at(2.0);
+  const double mid = alpha_at(2.5);
+  const double hi = alpha_at(3.0);
+  EXPECT_GT(lo, mid);
+  EXPECT_GT(mid, hi);  // alpha decreases as the threshold rises
+  const queueing::TroMetrics exact = queueing::tro_metrics(theta, 2.5);
+  EXPECT_NEAR(mid, exact.offload_probability, 5e-3);
+}
+
+}  // namespace
+}  // namespace mec::sim

@@ -1,0 +1,135 @@
+// Randomized differential stress test of the simulator's RingBuffer (the
+// DeviceState local-queue FIFO) against std::deque<double> as the reference
+// model, plus directed tests for the edges that matter to the DES: growth
+// past the inline capacity, mask wrap-around, and empty/boundary behavior.
+#include "mec/sim/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mec/random/rng.hpp"
+
+namespace mec::sim {
+namespace {
+
+/// One op-by-op differential run: after every operation the buffer must
+/// agree with the deque on size/empty/front, and a full drain at the end
+/// must replay the deque in FIFO order.
+void differential_run(std::uint64_t seed, std::size_t ops, double push_bias) {
+  random::Xoshiro256 rng(seed);
+  RingBuffer ring;
+  std::deque<double> ref;
+  double next_value = 0.0;
+
+  for (std::size_t i = 0; i < ops; ++i) {
+    const double roll = random::uniform01(rng);
+    if (ref.empty() || roll < push_bias) {
+      ring.push_back(next_value);
+      ref.push_back(next_value);
+      next_value += 1.0;
+    } else if (roll < 0.98) {
+      ASSERT_DOUBLE_EQ(ring.front(), ref.front());
+      ring.pop_front();
+      ref.pop_front();
+    } else {
+      ring.clear();
+      ref.clear();
+    }
+    ASSERT_EQ(ring.size(), ref.size());
+    ASSERT_EQ(ring.empty(), ref.empty());
+    if (!ref.empty()) {
+      ASSERT_DOUBLE_EQ(ring.front(), ref.front());
+    }
+    // Capacity stays a power of two and never lags the contents.
+    ASSERT_GE(ring.capacity(), ring.size());
+    ASSERT_EQ(ring.capacity() & (ring.capacity() - 1), 0u);
+  }
+  while (!ref.empty()) {
+    ASSERT_DOUBLE_EQ(ring.front(), ref.front());
+    ring.pop_front();
+    ref.pop_front();
+  }
+  ASSERT_TRUE(ring.empty());
+}
+
+TEST(RingBufferStress, MatchesDequeUnderMixedWorkload) {
+  // Balanced push/pop keeps the buffer hovering around the inline capacity,
+  // exercising the wrap-around mask continuously.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u})
+    differential_run(seed, 20000, 0.5);
+}
+
+TEST(RingBufferStress, MatchesDequeUnderPushHeavyWorkload) {
+  // Push-biased runs force repeated spills past the inline capacity and
+  // geometric regrowth of the heap block.
+  for (const std::uint64_t seed : {11u, 12u, 13u})
+    differential_run(seed, 20000, 0.9);
+}
+
+TEST(RingBufferStress, MatchesDequeUnderDrainHeavyWorkload) {
+  for (const std::uint64_t seed : {21u, 22u, 23u})
+    differential_run(seed, 20000, 0.35);
+}
+
+TEST(RingBufferStress, FifoOrderSurvivesGrowthMidWrap) {
+  // Arrange head_ != 0, then grow: the copy-out in grow() must preserve
+  // FIFO order even when the live span wraps the inline array.
+  RingBuffer ring;
+  for (int i = 0; i < 4; ++i) ring.push_back(i);    // fill inline storage
+  ring.pop_front();
+  ring.pop_front();                                 // head_ = 2
+  ring.push_back(4.0);
+  ring.push_back(5.0);                              // wrapped, full again
+  ring.push_back(6.0);                              // triggers grow()
+  const double expected[] = {2.0, 3.0, 4.0, 5.0, 6.0};
+  for (const double v : expected) {
+    ASSERT_DOUBLE_EQ(ring.front(), v);
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBufferStress, GrowthPastInlineKeepsAllElements) {
+  RingBuffer ring;
+  std::deque<double> ref;
+  for (int i = 0; i < 1000; ++i) {
+    ring.push_back(i);
+    ref.push_back(i);
+  }
+  EXPECT_EQ(ring.size(), 1000u);
+  EXPECT_GE(ring.capacity(), 1024u);
+  while (!ref.empty()) {
+    ASSERT_DOUBLE_EQ(ring.front(), ref.front());
+    ring.pop_front();
+    ref.pop_front();
+  }
+}
+
+TEST(RingBufferStress, ClearKeepsSpilledCapacityAndResetsContents) {
+  RingBuffer ring;
+  for (int i = 0; i < 100; ++i) ring.push_back(i);
+  const std::uint32_t grown = ring.capacity();
+  EXPECT_GT(grown, RingBuffer::kInlineCapacity);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), grown);  // workspace reuse keeps the block
+  ring.push_back(7.0);
+  EXPECT_DOUBLE_EQ(ring.front(), 7.0);
+}
+
+TEST(RingBufferStress, EmptyBufferInvariants) {
+  RingBuffer ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), RingBuffer::kInlineCapacity);
+  ring.push_back(1.0);
+  ring.pop_front();
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace mec::sim

@@ -27,7 +27,10 @@
 #include "mec/common/error.hpp"
 #include "mec/core/dtu.hpp"
 #include "mec/core/mfne.hpp"
+#include "mec/core/threshold_oracle.hpp"
+#include "mec/fault/fault_text.hpp"
 #include "mec/io/args.hpp"
+#include "mec/io/csv.hpp"
 #include "mec/io/json.hpp"
 #include "mec/io/table.hpp"
 #include "mec/parallel/replication.hpp"
@@ -57,6 +60,13 @@ common flags:
   --config=<file.mec>            load a scenario config file instead
   --regime=<low|eq|high>                          (default eq)
   --n=<users> --seed=<seed> --capacity=<c> --latency-mean=<s>
+
+fault injection (simulate, closedloop):
+  --fault-schedule=<file.fault>  deterministic fault/churn schedule
+                                 (also embeddable as `fault = ...` lines of
+                                 a --config file); closedloop then resumes
+                                 Algorithm 1 on utilization drift, and
+                                 --csv=<file> dumps the epoch trajectory.
 run `mec <command> --help` for command-specific flags.
 )";
 
@@ -101,6 +111,26 @@ population::ScenarioConfig build_scenario(const io::Args& args) {
 const std::set<std::string> kCommonFlags = {
     "scenario", "regime", "n",    "seed",
     "capacity", "latency-mean",   "config", "help"};
+
+/// Builds the fault schedule from --fault-schedule or the scenario's
+/// embedded `fault =` lines; null when neither is present.
+std::shared_ptr<const fault::FaultSchedule> build_faults(
+    const io::Args& args, const population::ScenarioConfig& cfg) {
+  if (args.has("fault-schedule"))
+    return std::make_shared<const fault::FaultSchedule>(
+        fault::load_fault_schedule_file(args.get_string("fault-schedule", ""),
+                                        &cfg));
+  if (!cfg.fault_lines.empty()) {
+    std::string text;
+    for (const std::string& line : cfg.fault_lines) {
+      text += line;
+      text += '\n';
+    }
+    return std::make_shared<const fault::FaultSchedule>(
+        fault::parse_fault_schedule(text, &cfg));
+  }
+  return nullptr;
+}
 
 int cmd_scenarios() {
   io::TextTable table("built-in scenario presets");
@@ -193,19 +223,21 @@ int cmd_dtu(const io::Args& args) {
 int cmd_simulate(const io::Args& args) {
   auto known = kCommonFlags;
   known.insert({"horizon", "warmup", "service", "replications", "threads",
-                "confidence"});
+                "confidence", "fault-schedule"});
   args.reject_unknown(known);
   const auto cfg = build_scenario(args);
   const auto pop = population::sample_population(
       cfg, static_cast<std::uint64_t>(args.get_long("seed", 42)));
   const core::MfneResult mfne =
       core::solve_mfne(pop.users, cfg.delay, cfg.capacity);
+  const auto faults = build_faults(args, cfg);
 
   sim::SimulationOptions so;
   so.horizon = args.get_double("horizon", 200.0);
   so.warmup = args.get_double("warmup", 20.0);
   so.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
   so.fixed_gamma = mfne.gamma_star;
+  so.faults = faults;
   const std::string service = args.get_string("service", "exp");
   if (service == "erlang4")
     so.service = sim::erlang_service(4);
@@ -218,6 +250,12 @@ int cmd_simulate(const io::Args& args) {
     throw RuntimeError("unknown --service (exp|erlang4|hyperexp4|empirical)");
 
   std::vector<double> xs(mfne.thresholds.begin(), mfne.thresholds.end());
+  if (faults && faults->churn_arrivals() > 0) {
+    // Churn joiners also best-respond to the equilibrium utilization.
+    const double g_star = cfg.delay(mfne.gamma_star);
+    for (const core::UserParams& u : faults->churn_users())
+      xs.push_back(static_cast<double>(core::best_threshold(u, g_star)));
+  }
   const auto replications =
       static_cast<std::size_t>(args.get_long("replications", 1));
   if (replications > 1) {
@@ -244,7 +282,8 @@ int cmd_simulate(const io::Args& args) {
 
 int cmd_closedloop(const io::Args& args) {
   auto known = kCommonFlags;
-  known.insert({"horizon", "period", "eta0", "epsilon", "async", "trace"});
+  known.insert({"horizon", "period", "eta0", "epsilon", "async", "trace",
+                "fault-schedule", "drift-margin", "csv"});
   args.reject_unknown(known);
   const auto cfg = build_scenario(args);
   const auto pop = population::sample_population(
@@ -260,19 +299,46 @@ int cmd_closedloop(const io::Args& args) {
   opt.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
   const double async = args.get_double("async", 1.0);
   if (async < 1.0) opt.update_gate = core::make_bernoulli_gate(async, 1);
+  opt.faults = build_faults(args, cfg);
+  if (opt.faults) {
+    // Under a fault schedule Algorithm 1 must not stay frozen when the
+    // environment moves; the margin is tunable for sensitivity studies.
+    opt.resume_on_drift = true;
+    opt.drift_margin = args.get_double("drift-margin", opt.drift_margin);
+  }
 
   const sim::ClosedLoopResult r =
       run_closed_loop(pop.users, cfg.capacity, cfg.delay, opt);
   std::printf(
       "scenario: %s  N=%zu  period=%.1fs  horizon=%.0fs  async=%.2f\n",
       cfg.name.c_str(), pop.size(), opt.update_period, opt.horizon, async);
-  std::printf("epochs=%zu  settled=%s\n", r.epochs.size(),
-              r.estimate_settled ? "yes" : "no");
+  std::printf("epochs=%zu  settled=%s  drift-resumes=%u\n", r.epochs.size(),
+              r.estimate_settled ? "yes" : "no", r.drift_resumes);
   std::printf(
       "gamma_hat = %.5f   run-wide measured gamma = %.5f   oracle gamma* = "
       "%.5f\n",
       r.final_gamma_hat, r.run.measured_utilization, star);
   std::printf("%s", sim::summarize(r.run).c_str());
+  if (args.has("csv")) {
+    // Epoch trajectory for external plotting: the DTU re-convergence figure
+    // is gamma_hat/gamma_measured vs time with the capacity scale overlaid.
+    std::vector<double> t, gm, gh, eta, mx, scale;
+    for (const auto& e : r.epochs) {
+      t.push_back(e.time);
+      gm.push_back(e.gamma_measured);
+      gh.push_back(e.gamma_hat);
+      eta.push_back(e.eta);
+      mx.push_back(e.mean_threshold);
+      scale.push_back(opt.faults ? opt.faults->capacity_scale_at(e.time)
+                                 : 1.0);
+    }
+    const std::string path = args.get_string("csv", "");
+    io::write_csv(path,
+                  {"time_s", "gamma_measured", "gamma_hat", "eta",
+                   "mean_threshold", "capacity_scale"},
+                  {t, gm, gh, eta, mx, scale});
+    std::printf("epoch trajectory written to %s\n", path.c_str());
+  }
   if (args.get_bool("trace", false)) {
     std::printf("\n  time(s)  gamma_meas  gamma_hat  eta\n");
     for (const auto& e : r.epochs)
