@@ -6,18 +6,25 @@
 // approach the same MFNE, the fluid path monotonically, the DTU path with
 // the bisection overshoot pattern whose envelope the fluid curve tracks.
 #include <cstdio>
+#include <exception>
+#include <string>
 #include <vector>
 
 #include "mec/core/dtu.hpp"
 #include "mec/core/fluid_model.hpp"
 #include "mec/core/mfne.hpp"
+#include "mec/io/args.hpp"
 #include "mec/io/ascii_plot.hpp"
 #include "mec/io/csv.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace mec;
+  const io::Args args =
+      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
+  args.reject_unknown({"out-dir"});
+  const std::string out_dir = args.get_string("out-dir", "results");
   const auto cfg = population::theoretical_scenario(
       population::LoadRegime::kAboveService, 3000);
   const auto pop = population::sample_population(cfg, 41);
@@ -68,8 +75,12 @@ int main() {
   std::printf("fluid endpoint:  %.5f\nDTU endpoint:    %.5f\nMFNE:            %.5f\n",
               fluid.back().y, dtu.final_gamma_hat, star);
 
-  io::write_csv("ablation_fluid_vs_dtu.csv", {"fluid_t", "fluid_gamma"},
-                {ft, fy});
-  std::printf("wrote ablation_fluid_vs_dtu.csv\n");
+  const std::string csv_path =
+      io::output_path(out_dir, "ablation_fluid_vs_dtu.csv");
+  io::write_csv(csv_path, {"fluid_t", "fluid_gamma"}, {ft, fy});
+  std::printf("wrote %s\n", csv_path.c_str());
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

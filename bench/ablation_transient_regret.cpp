@@ -10,17 +10,24 @@
 // more (pay spiky early regret), slower ones linger longer off-equilibrium.
 #include <cmath>
 #include <cstdio>
+#include <exception>
+#include <string>
 #include <vector>
 
 #include "mec/core/dtu.hpp"
 #include "mec/core/mfne.hpp"
+#include "mec/io/args.hpp"
 #include "mec/io/csv.hpp"
 #include "mec/io/table.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace mec;
+  const io::Args args =
+      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
+  args.reject_unknown({"out-dir"});
+  const std::string out_dir = args.get_string("out-dir", "results");
   const auto cfg = population::theoretical_scenario(
       population::LoadRegime::kAboveService, 3000);
   const auto pop = population::sample_population(cfg, 31);
@@ -67,8 +74,9 @@ int main() {
     }
   }
   std::printf("%s\n", table.to_string().c_str());
-  io::write_csv("ablation_transient_regret.csv", {"t", "realized_cost"},
-                {csv_t, csv_cost});
+  const std::string csv_path =
+      io::output_path(out_dir, "ablation_transient_regret.csv");
+  io::write_csv(csv_path, {"t", "realized_cost"}, {csv_t, csv_cost});
   std::printf(
       "Reading: the stop rule fires after ~eta0/epsilon step halvings, so\n"
       "*small* eta0 terminates in the fewest iterations at loose epsilon —\n"
@@ -78,6 +86,10 @@ int main() {
       "slightly negative: transient thresholds can realize a cost below the\n"
       "Nash cost because the equilibrium is not socially optimal (see the\n"
       "price-of-anarchy ablation).\n"
-      "wrote ablation_transient_regret.csv\n");
+      "wrote %s\n",
+      csv_path.c_str());
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -16,6 +16,12 @@
 //                            exits non-zero below the floor.
 //   des_scaling --out=F      appends the BENCH JSON lines to file F as well
 //   des_scaling --baseline=F overrides the baseline file path (smoke mode)
+//   des_scaling --shards=K   forces K shards for the N sweep; without it the
+//                            sweep runs the engine default and then re-runs
+//                            the largest N at K in {2, 4} to report the
+//                            sharded speedup (bit-identical results by
+//                            construction; the harness asserts the event
+//                            counts match)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -53,13 +59,14 @@ std::vector<mec::core::UserParams> make_users(std::size_t n) {
 
 struct CaseResult {
   std::size_t n = 0;
+  std::size_t shards = 1;
   double horizon = 0.0;
   std::uint64_t events = 0;
   double seconds = 0.0;
   double events_per_sec = 0.0;
 };
 
-CaseResult run_case(std::size_t n, int repetitions) {
+CaseResult run_case(std::size_t n, int repetitions, std::size_t shards) {
   const auto users = make_users(n);
   // Keep total events roughly constant (~3-4M) across N so each case
   // measures per-event cost, not run length.
@@ -70,6 +77,7 @@ CaseResult run_case(std::size_t n, int repetitions) {
   options.horizon = horizon;
   options.seed = 7;
   options.fixed_gamma = 0.2;
+  options.shards = shards;
   const mec::sim::MecSimulation sim(users, 10.0,
                                     mec::core::make_reciprocal_delay(),
                                     options);
@@ -82,6 +90,7 @@ CaseResult run_case(std::size_t n, int repetitions) {
 
   CaseResult best;
   best.n = n;
+  best.shards = shards == 0 ? 1 : shards;
   best.horizon = horizon;
   for (int rep = 0; rep < repetitions; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -102,6 +111,7 @@ std::string bench_line(const CaseResult& c) {
   const mec::io::Json json = mec::io::Json::object({
       {"name", mec::io::Json::string("des_scaling")},
       {"n", mec::io::Json::integer(static_cast<long long>(c.n))},
+      {"shards", mec::io::Json::integer(static_cast<long long>(c.shards))},
       {"horizon", mec::io::Json::number(c.horizon)},
       {"events", mec::io::Json::integer(static_cast<long long>(c.events))},
       {"seconds", mec::io::Json::number(c.seconds)},
@@ -141,11 +151,13 @@ double read_floor(const std::string& path) {
 int main(int argc, char** argv) {
   const mec::io::Args args =
       mec::io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"smoke", "full", "out", "baseline", "reps"});
+  args.reject_unknown({"smoke", "full", "out", "baseline", "reps", "shards"});
   const bool smoke = args.get_bool("smoke", false);
   const bool full = args.get_bool("full", false);
   const int reps = static_cast<int>(args.get_long("reps", 2));
   const std::string out_path = args.get_string("out", "");
+  // Shard count for the N sweep (0 = the engine default: MEC_SHARDS or 1).
+  const auto shards = static_cast<std::size_t>(args.get_long("shards", 0));
 
   std::vector<std::size_t> sizes;
   if (smoke) {
@@ -160,11 +172,31 @@ int main(int argc, char** argv) {
 
   std::vector<CaseResult> results;
   for (const std::size_t n : sizes) {
-    const CaseResult c = run_case(n, reps);
+    const CaseResult c = run_case(n, reps, shards);
     results.push_back(c);
     const std::string line = bench_line(c);
     std::cout << line << "\n" << std::flush;
     if (out) out << line << "\n";
+  }
+
+  if (!smoke && shards == 0) {
+    // Shard-count axis: the same largest-N run partitioned over K event
+    // queues.  Results are bit-identical for every K (asserted here on the
+    // event count), so the speedup column is a pure wall-clock comparison.
+    const CaseResult& base = results.back();
+    for (const std::size_t k : {2u, 4u}) {
+      const CaseResult c = run_case(base.n, reps, k);
+      const std::string line = bench_line(c);
+      std::cout << line << "\n" << std::flush;
+      if (out) out << line << "\n";
+      if (c.events != base.events) {
+        std::cerr << "des_scaling: sharded run diverged (" << c.events
+                  << " events at K=" << k << " vs " << base.events << ")\n";
+        return 1;
+      }
+      std::printf("shards=%zu speedup over 1: %.2fx (%.3fs -> %.3fs)\n", k,
+                  base.seconds / c.seconds, base.seconds, c.seconds);
+    }
   }
 
   if (smoke) {

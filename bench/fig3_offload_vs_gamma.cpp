@@ -7,18 +7,25 @@
 // average V(gamma) is nevertheless continuous.  The bench prints both the
 // single-user staircase and the smooth population average.
 #include <cstdio>
+#include <exception>
+#include <string>
 #include <vector>
 
 #include "mec/core/best_response.hpp"
 #include "mec/core/threshold_oracle.hpp"
+#include "mec/io/args.hpp"
 #include "mec/io/ascii_plot.hpp"
 #include "mec/io/csv.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 #include "mec/queueing/threshold_queue.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace mec;
+  const io::Args args =
+      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
+  args.reject_unknown({"out-dir"});
+  const std::string out_dir = args.get_string("out-dir", "results");
 
   // A representative user from the theoretical setting.
   core::UserParams user;
@@ -74,9 +81,12 @@ int main() {
                                     opt)
                           .c_str());
 
-  io::write_csv("fig3_offload_vs_gamma.csv",
-                {"gamma", "user_alpha", "population_V"},
+  const std::string csv = io::output_path(out_dir, "fig3_offload_vs_gamma.csv");
+  io::write_csv(csv, {"gamma", "user_alpha", "population_V"},
                 {gammas, user_alpha, pop_v});
-  std::printf("wrote fig3_offload_vs_gamma.csv (%zu rows)\n", gammas.size());
+  std::printf("wrote %s (%zu rows)\n", csv.c_str(), gammas.size());
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

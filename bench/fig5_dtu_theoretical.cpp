@@ -26,7 +26,7 @@ namespace {
 
 void run_regime(mec::population::LoadRegime regime, char tag,
                 double paper_star, const mec::parallel::ReplicationOptions& ro,
-                mec::parallel::ThreadPool& pool) {
+                mec::parallel::ThreadPool& pool, const std::string& out_dir) {
   using namespace mec;
   const population::ScenarioConfig cfg =
       population::theoretical_scenario(regime);
@@ -70,9 +70,11 @@ void run_regime(mec::population::LoadRegime regime, char tag,
                 it.gamma_hat, it.eta);
   std::printf("\n");
 
-  io::write_csv(std::string("fig5") + tag + "_dtu_theoretical.csv",
-                {"t", "gamma", "gamma_hat", "gamma_star"},
+  const std::string csv = io::output_path(
+      out_dir, std::string("fig5") + tag + "_dtu_theoretical.csv");
+  io::write_csv(csv, {"t", "gamma", "gamma_hat", "gamma_star"},
                 {t, gamma, gamma_hat, star});
+  std::printf("wrote %s (%zu rows)\n", csv.c_str(), t.size());
 
   // Replicated DES validation of the converged thresholds: the measured
   // utilization should straddle the analytic gamma*.
@@ -125,7 +127,8 @@ int main(int argc, char** argv) try {
   using namespace mec;
   const io::Args args =
       io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"replications", "threads", "confidence"});
+  args.reject_unknown({"replications", "threads", "confidence", "out-dir"});
+  const std::string out_dir = args.get_string("out-dir", "results");
   parallel::ReplicationOptions ro;
   ro.replications = static_cast<std::size_t>(args.get_long("replications", 4));
   ro.threads = static_cast<std::size_t>(args.get_long("threads", 0));
@@ -133,9 +136,11 @@ int main(int argc, char** argv) try {
   parallel::ThreadPool pool(ro.threads);
 
   std::printf("=== Fig. 5: DTU convergence, theoretical settings ===\n\n");
-  run_regime(population::LoadRegime::kBelowService, 'a', 0.13, ro, pool);
-  run_regime(population::LoadRegime::kAtService, 'b', 0.21, ro, pool);
-  run_regime(population::LoadRegime::kAboveService, 'c', 0.28, ro, pool);
+  run_regime(population::LoadRegime::kBelowService, 'a', 0.13, ro, pool,
+             out_dir);
+  run_regime(population::LoadRegime::kAtService, 'b', 0.21, ro, pool, out_dir);
+  run_regime(population::LoadRegime::kAboveService, 'c', 0.28, ro, pool,
+             out_dir);
   fig4_bisection_illustration();
   return 0;
 } catch (const std::exception& e) {

@@ -4,8 +4,11 @@
 // stand-ins (see DESIGN.md §5 for the substitution rationale).
 #include <cmath>
 #include <cstdio>
+#include <exception>
+#include <string>
 #include <vector>
 
+#include "mec/io/args.hpp"
 #include "mec/io/ascii_plot.hpp"
 #include "mec/io/csv.hpp"
 #include "mec/random/empirical_data.hpp"
@@ -13,7 +16,7 @@
 namespace {
 
 void show(const mec::random::EmpiricalDataset& data, const char* title,
-          const char* csv_name) {
+          const std::string& csv_path) {
   using namespace mec;
   const auto [edges, mass] = data.histogram(24);
   io::PlotOptions opt;
@@ -25,26 +28,34 @@ void show(const mec::random::EmpiricalDataset& data, const char* title,
       "  n=%zu  mean=%.4f  sd=%.4f  median=%.4f  p95=%.4f  max=%.4f\n\n",
       data.size(), data.mean(), std::sqrt(data.variance()),
       data.quantile(0.5), data.quantile(0.95), data.max());
-  io::write_csv(csv_name, {"bin_left_edge", "mass"}, {edges, mass});
+  io::write_csv(csv_path, {"bin_left_edge", "mass"}, {edges, mass});
+  std::printf("wrote %s (%zu rows)\n\n", csv_path.c_str(), edges.size());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace mec;
+  const io::Args args =
+      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
+  args.reject_unknown({"out-dir"});
+  const std::string out_dir = args.get_string("out-dir", "results");
   std::printf("=== Fig. 6: statistics of the (synthetic) measured data ===\n\n");
 
   const auto times = random::synthetic_yolo_processing_times();
   show(times, "(a) local processing time (YOLOv3 on RPi 4, synthetic)",
-       "fig6a_processing_time_hist.csv");
+       io::output_path(out_dir, "fig6a_processing_time_hist.csv"));
 
   const auto latencies = random::synthetic_wifi_offload_latencies();
   show(latencies, "(b) offloading latency (WiFi upload, synthetic)",
-       "fig6b_offload_latency_hist.csv");
+       io::output_path(out_dir, "fig6b_offload_latency_hist.csv"));
 
   const auto rates = random::service_rates_from_times(times);
   std::printf(
       "derived service-rate dataset: mean = %.4f (paper's E[S] = %.4f)\n",
       rates.mean(), random::kPaperMeanServiceRate);
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -28,7 +28,7 @@ namespace {
 
 void run_regime(mec::population::LoadRegime regime, char tag,
                 double paper_star, const mec::parallel::ReplicationOptions& ro,
-                mec::parallel::ThreadPool& pool) {
+                mec::parallel::ThreadPool& pool, const std::string& out_dir) {
   using namespace mec;
   const population::ScenarioConfig cfg = population::practical_scenario(regime);
   const auto pop = population::sample_population(cfg, 21);
@@ -85,9 +85,11 @@ void run_regime(mec::population::LoadRegime regime, char tag,
       r.measured_utilization.ci.half_width, r.mean_cost.mean(),
       r.mean_cost.ci.half_width);
 
-  io::write_csv(std::string("fig7") + tag + "_dtu_practical.csv",
-                {"t", "gamma", "gamma_hat", "gamma_star"},
+  const std::string csv = io::output_path(
+      out_dir, std::string("fig7") + tag + "_dtu_practical.csv");
+  io::write_csv(csv, {"t", "gamma", "gamma_hat", "gamma_star"},
                 {t, gamma, gamma_hat, star});
+  std::printf("wrote %s (%zu rows)\n", csv.c_str(), t.size());
 }
 
 }  // namespace
@@ -96,7 +98,8 @@ int main(int argc, char** argv) try {
   using namespace mec;
   const io::Args args =
       io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"replications", "threads", "confidence"});
+  args.reject_unknown({"replications", "threads", "confidence", "out-dir"});
+  const std::string out_dir = args.get_string("out-dir", "results");
   parallel::ReplicationOptions ro;
   ro.replications = static_cast<std::size_t>(args.get_long("replications", 8));
   ro.threads = static_cast<std::size_t>(args.get_long("threads", 0));
@@ -105,9 +108,11 @@ int main(int argc, char** argv) try {
 
   std::printf(
       "=== Fig. 7: DTU convergence, practical settings (async p=0.8) ===\n\n");
-  run_regime(population::LoadRegime::kBelowService, 'a', 0.43, ro, pool);
-  run_regime(population::LoadRegime::kAtService, 'b', 0.44, ro, pool);
-  run_regime(population::LoadRegime::kAboveService, 'c', 0.46, ro, pool);
+  run_regime(population::LoadRegime::kBelowService, 'a', 0.43, ro, pool,
+             out_dir);
+  run_regime(population::LoadRegime::kAtService, 'b', 0.44, ro, pool, out_dir);
+  run_regime(population::LoadRegime::kAboveService, 'c', 0.46, ro, pool,
+             out_dir);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

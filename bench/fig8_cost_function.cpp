@@ -10,11 +10,14 @@
 //     and 2" in Fig. 8a).
 #include <cmath>
 #include <cstdio>
+#include <exception>
+#include <string>
 #include <vector>
 
 #include "mec/core/cost_model.hpp"
 #include "mec/core/edge_delay.hpp"
 #include "mec/core/threshold_oracle.hpp"
+#include "mec/io/args.hpp"
 #include "mec/io/ascii_plot.hpp"
 #include "mec/io/csv.hpp"
 
@@ -69,8 +72,12 @@ void trace_one(double theta, double g_value, double arrival_rate,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace mec;
+  const io::Args args =
+      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
+  args.reject_unknown({"out-dir"});
+  const std::string out_dir = args.get_string("out-dir", "results");
   const double gamma = std::sqrt(3.0) / 10.0;
   const core::EdgeDelay delay = core::make_reciprocal_delay();
   const double g_value = delay(gamma);
@@ -94,8 +101,12 @@ int main() {
   for (const double x : {1.0, 1.25, 1.5, 1.75, 2.0})
     std::printf("  T(%.2f) = %.6f\n", x, core::tro_cost(u, x, g_value));
 
-  io::write_csv("fig8_cost_function.csv", {"x", "cost_theta2", "cost_theta4"},
-                csv);
-  std::printf("wrote fig8_cost_function.csv\n");
+  const std::string csv_path =
+      io::output_path(out_dir, "fig8_cost_function.csv");
+  io::write_csv(csv_path, {"x", "cost_theta2", "cost_theta4"}, csv);
+  std::printf("wrote %s\n", csv_path.c_str());
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

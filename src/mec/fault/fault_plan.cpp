@@ -1,0 +1,155 @@
+#include "mec/fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mec/common/error.hpp"
+
+namespace mec::fault {
+
+FaultPlan resolve_fault_plan(std::span<const FaultAction> actions,
+                             std::uint32_t n_initial, std::uint32_t n_total,
+                             double warmup, double t_end) {
+  FaultPlan plan;
+  plan.actions.reserve(actions.size());
+
+  // Membership automaton, mirroring the engine's runtime exactly: alive
+  // devices live in a swap-remove pool so kUserDeparture's selector indexes
+  // the same victim the event loop would have picked.
+  enum State : std::uint8_t { kNotJoined, kAlive, kDead, kRetired };
+  std::vector<State> state(n_total, kNotJoined);
+  std::vector<std::uint32_t> active_ids;
+  std::vector<std::uint32_t> active_pos(n_total, 0);
+  active_ids.reserve(n_total);
+  for (std::uint32_t d = 0; d < n_initial; ++d) {
+    state[d] = kAlive;
+    active_pos[d] = static_cast<std::uint32_t>(active_ids.size());
+    active_ids.push_back(d);
+  }
+  std::uint32_t next_join = n_initial;
+
+  const auto activate = [&](std::uint32_t device) {
+    state[device] = kAlive;
+    active_pos[device] = static_cast<std::uint32_t>(active_ids.size());
+    active_ids.push_back(device);
+  };
+  const auto deactivate = [&](std::uint32_t device, State terminal) {
+    state[device] = terminal;
+    const std::uint32_t pos = active_pos[device];
+    const std::uint32_t last = active_ids.back();
+    active_ids[pos] = last;
+    active_pos[last] = pos;
+    active_ids.pop_back();
+  };
+
+  for (const FaultAction& a : actions) {
+    if (a.time > t_end) break;  // never popped: the run ends first
+    ResolvedAction r;
+    r.time = a.time;
+    r.kind = a.kind;
+    r.value = a.value;
+    r.outage_mode = a.outage_mode;
+    switch (a.kind) {
+      case FaultKind::kCapacityScale:
+      case FaultKind::kOutageBegin:
+      case FaultKind::kOutageEnd:
+        r.effective = true;
+        break;
+      case FaultKind::kDeviceCrash:
+        r.device = a.device;
+        r.effective = state[a.device] == kAlive;
+        if (r.effective) {
+          deactivate(a.device, kDead);
+          ++plan.crashes;
+        }
+        break;
+      case FaultKind::kDeviceRestart:
+        r.device = a.device;
+        r.effective = state[a.device] == kDead;
+        if (r.effective) {
+          activate(a.device);
+          ++plan.restarts;
+        }
+        break;
+      case FaultKind::kUserArrival: {
+        const std::uint32_t d = next_join++;
+        MEC_ASSERT(d < n_total);
+        r.device = d;
+        r.effective = true;
+        activate(d);
+        ++plan.churn_joined;
+        ++plan.joins;
+        break;
+      }
+      case FaultKind::kUserDeparture:
+        r.effective = !active_ids.empty();
+        if (r.effective) {
+          const std::size_t active_n = active_ids.size();
+          const std::size_t idx = std::min(
+              active_n - 1,
+              static_cast<std::size_t>(a.value *
+                                       static_cast<double>(active_n)));
+          r.device = active_ids[idx];
+          deactivate(r.device, kRetired);
+          ++plan.churn_departed;
+        }
+        break;
+    }
+    r.active_after = static_cast<std::uint32_t>(active_ids.size());
+    if (a.time >= warmup) plan.flip_trigger = true;
+    plan.actions.push_back(r);
+  }
+  return plan;
+}
+
+EnvWindowStats integrate_environment(std::span<const ResolvedAction> actions,
+                                     double warmup, double t_end,
+                                     bool measured) {
+  EnvWindowStats out;
+  if (!measured) return out;  // the window never opened: defaults throughout
+
+  double scale = 1.0;
+  bool outage = false;
+  double env_last = warmup;
+  // Scale in effect when the window opens (after every pre-warmup action;
+  // an action at exactly `warmup` lands inside the window instead).
+  double scale_at_open = 1.0;
+  double min_in_window = std::numeric_limits<double>::infinity();
+
+  for (const ResolvedAction& a : actions) {
+    const bool env_kind = a.kind == FaultKind::kCapacityScale ||
+                          a.kind == FaultKind::kOutageBegin ||
+                          a.kind == FaultKind::kOutageEnd;
+    if (a.time < warmup) {
+      if (a.kind == FaultKind::kCapacityScale) scale = a.value;
+      if (a.kind == FaultKind::kOutageBegin) outage = true;
+      if (a.kind == FaultKind::kOutageEnd) outage = false;
+      scale_at_open = scale;
+      continue;
+    }
+    if (!env_kind) continue;  // membership actions don't break segments
+    // Segment up to this action, with the pre-action values (piecewise
+    // constant between environment actions, so this is exact).
+    if (a.time > env_last) {
+      const double dt = a.time - env_last;
+      out.scale_integral += scale * dt;
+      if (scale < 1.0 || outage) out.degraded_time += dt;
+      env_last = a.time;
+    }
+    if (a.kind == FaultKind::kCapacityScale) {
+      scale = a.value;
+      min_in_window = std::min(min_in_window, a.value);
+    } else {
+      outage = a.kind == FaultKind::kOutageBegin;
+    }
+  }
+  if (t_end > env_last) {
+    const double dt = t_end - env_last;
+    out.scale_integral += scale * dt;
+    if (scale < 1.0 || outage) out.degraded_time += dt;
+  }
+  out.min_capacity_scale = std::min(scale_at_open, min_in_window);
+  return out;
+}
+
+}  // namespace mec::fault

@@ -1,0 +1,115 @@
+// Shard-aware resolution of a FaultSchedule: the fault plan.
+//
+// The runtime effect of every schedule action — whether a crash actually
+// kills anyone, which device a kUserDeparture retires, which population
+// slot a join occupies, how many devices are active afterwards — depends
+// only on the schedule itself: membership changes exclusively at schedule
+// actions, so the whole active-set evolution is a pure function of the
+// (time-sorted) action list and the horizon.  resolve_fault_plan() runs
+// that automaton once, up front, and materializes a ResolvedAction per
+// schedule action with every such dependency settled.
+//
+// The sharded engine is built on this: each shard receives only the
+// resolved actions that touch its device range (plus the global outage
+// toggles) and can apply them with no cross-shard state, while the
+// structural counters, the active-population timeline, and the
+// capacity-scale accounting are read straight off the plan — exactly as
+// the single-queue engine would have produced them, in the same order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mec/fault/fault_schedule.hpp"
+
+namespace mec::fault {
+
+/// One schedule action with its run-time resolution precomputed.
+struct ResolvedAction {
+  static constexpr std::uint32_t kNoDevice = ~std::uint32_t{0};
+
+  double time = 0.0;
+  FaultKind kind = FaultKind::kCapacityScale;
+  /// Resolved target: the crash/restart device, the retired departure
+  /// victim, or the population slot a join occupies; kNoDevice for
+  /// environment-only actions (capacity scale, outages).
+  std::uint32_t device = kNoDevice;
+  double value = 0.0;  ///< scale factor, outage penalty, or raw selector
+  OutageMode outage_mode = OutageMode::kReject;
+  /// False for no-op actions (crashing a dead device, restarting an alive
+  /// one, a departure with nobody active).  Ineffective actions still pop
+  /// as events — they count toward total_events — but change nothing.
+  bool effective = false;
+  /// Active population immediately after this action applies.
+  std::uint32_t active_after = 0;
+};
+
+/// The resolved schedule for one run: every action with time <= t_end, in
+/// schedule order, plus the structural counters the run will report.
+struct FaultPlan {
+  std::vector<ResolvedAction> actions;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t churn_joined = 0;
+  std::uint64_t churn_departed = 0;
+  /// Churn slots that join within the horizon; devices with index >=
+  /// n_initial + joins never participate.
+  std::uint32_t joins = 0;
+  /// True when any action fires inside [warmup, t_end] — such a pop would
+  /// have flipped the single-queue engine's measurement window open even
+  /// if no task event did.
+  bool flip_trigger = false;
+};
+
+/// Runs the membership automaton over `actions` (time-sorted, as
+/// FaultSchedule::actions() returns them) and resolves every action with
+/// time <= t_end.  `n_initial` devices start active; joins occupy slots
+/// n_initial, n_initial + 1, ... and must fit n_total.
+FaultPlan resolve_fault_plan(std::span<const FaultAction> actions,
+                             std::uint32_t n_initial, std::uint32_t n_total,
+                             double warmup, double t_end);
+
+/// Cursor over a plan's environment values (capacity scale, active count).
+/// advance_to() applies actions up to a limit; grid observers advance
+/// strictly-before a sample instant (left-limit semantics: an action at
+/// exactly the sample time is not yet visible), while the offload replay
+/// advances inclusively (a fault event at the same instant as a task event
+/// pops first — it was scheduled earlier, so its tie-break sequence wins).
+struct EnvWalk {
+  std::span<const ResolvedAction> actions;
+  std::size_t cursor = 0;
+  double scale = 1.0;
+  std::uint32_t active = 0;
+
+  void advance_to(double limit, bool inclusive) noexcept {
+    while (cursor < actions.size() &&
+           (inclusive ? actions[cursor].time <= limit
+                      : actions[cursor].time < limit)) {
+      if (actions[cursor].kind == FaultKind::kCapacityScale)
+        scale = actions[cursor].value;
+      active = actions[cursor].active_after;
+      ++cursor;
+    }
+  }
+};
+
+/// Capacity-scale accounting over the measurement window, reproducing the
+/// single-queue engine's arithmetic exactly: the integral accumulates one
+/// segment per environment action inside the window, in chronological
+/// order, then a closing segment to t_end.
+struct EnvWindowStats {
+  double scale_integral = 0.0;
+  double degraded_time = 0.0;   ///< window seconds with scale < 1 or outage
+  double min_capacity_scale = 1.0;
+};
+
+/// Integrates scale/outage state over [warmup, t_end].  `measured` is
+/// whether the run's measurement window ever opened; when false the
+/// single-queue engine never integrated, so everything stays at its
+/// defaults (the caller applies the whole-window fallback).
+EnvWindowStats integrate_environment(std::span<const ResolvedAction> actions,
+                                     double warmup, double t_end,
+                                     bool measured);
+
+}  // namespace mec::fault

@@ -1,6 +1,8 @@
 #include "mec/io/csv.hpp"
 
+#include <filesystem>
 #include <iomanip>
+#include <system_error>
 
 #include "mec/common/error.hpp"
 
@@ -30,6 +32,16 @@ void write_csv(const std::string& path,
     out << '\n';
   }
   if (!out) throw RuntimeError("failed writing CSV output file: " + path);
+}
+
+std::string output_path(const std::string& dir, const std::string& filename) {
+  if (dir.empty()) return filename;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    throw RuntimeError("cannot create output directory " + dir + ": " +
+                       ec.message());
+  return (std::filesystem::path(dir) / filename).string();
 }
 
 }  // namespace mec::io

@@ -16,4 +16,11 @@ void write_csv(const std::string& path,
                const std::vector<std::string>& column_names,
                const std::vector<std::vector<double>>& columns);
 
+/// Joins `dir` and `filename`, creating `dir` (and parents) if needed, so
+/// bench binaries can route their generated CSVs under an output directory
+/// (`results/` by convention — generated artifacts never live in the repo
+/// root).  An empty `dir` returns `filename` unchanged.  Throws
+/// mec::RuntimeError when the directory cannot be created.
+std::string output_path(const std::string& dir, const std::string& filename);
+
 }  // namespace mec::io

@@ -1,0 +1,42 @@
+#include "mec/parallel/shard_executor.hpp"
+
+#include <cstdlib>
+
+namespace mec::parallel {
+
+std::size_t resolve_shard_count(std::size_t requested) noexcept {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("MEC_SHARDS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 1;
+}
+
+void ShardContext::reset(std::uint32_t lo_device, std::uint32_t hi_device,
+                         bool measuring_from_start) {
+  lo = lo_device;
+  hi = hi_device;
+  queue.clear();
+  // One pending arrival per owned device, at most one in-service departure,
+  // plus headroom for in-flight offload deliveries (fixed-gamma mode).
+  queue.reserve(2 * static_cast<std::size_t>(hi - lo) + 64);
+  log.clear();
+  local_sojourns = stats::LatencySketch{};
+  offload_delays = stats::LatencySketch{};
+  events = 0;
+  offloads_in_window = 0;
+  tasks_lost = 0;
+  offloads_rejected = 0;
+  offloads_penalized = 0;
+  measuring = measuring_from_start;
+  flipped = measuring_from_start;
+  outage = false;
+  outage_mode = fault::OutageMode::kReject;
+  outage_penalty = 0.0;
+  view.clear();
+  arrival_seq.clear();
+  departure_seq.clear();
+}
+
+}  // namespace mec::parallel

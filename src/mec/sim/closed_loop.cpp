@@ -62,6 +62,7 @@ ClosedLoopResult run_closed_loop(std::span<const core::UserParams> users,
   sim_options.utilization_ewma_tau = options.utilization_ewma_tau;
   sim_options.epoch_period = options.update_period;
   sim_options.faults = options.faults;
+  sim_options.shards = options.shards;
   sim_options.on_epoch = [&](double now, double gamma_measured) {
     ++state.t;
     if (state.settled && options.resume_on_drift &&

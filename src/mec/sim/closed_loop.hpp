@@ -48,6 +48,10 @@ struct ClosedLoopOptions {
   /// exact stopping rule.
   bool resume_on_drift = false;
   double drift_margin = 0.05;
+  /// Shard count forwarded to SimulationOptions::shards (0 = defer to
+  /// MEC_SHARDS, default 1).  Thresholds mutate only at epoch barriers, so
+  /// the closed loop is bit-identical for every shard count too.
+  std::size_t shards = 0;
 };
 
 /// One broadcast epoch of the in-simulator algorithm.

@@ -1,0 +1,52 @@
+#include "mec/sim/coupling.hpp"
+
+#include <algorithm>
+
+namespace mec::sim {
+
+double GammaReplay::clamped_gamma(double rate) const {
+  return std::clamp(rate / (edge_capacity_ * walk_.scale), 0.0, 1.0);
+}
+
+void GammaReplay::consume(
+    std::span<const std::span<const OffloadRecord>> logs,
+    DeviceState* devices, stats::LatencySketch& offload_delays) {
+  cursors_.assign(logs.size(), 0);
+  for (;;) {
+    // K-way merge head: earliest record, lowest shard first at exact ties.
+    std::size_t best = logs.size();
+    double best_time = 0.0;
+    for (std::size_t s = 0; s < logs.size(); ++s) {
+      if (cursors_[s] >= logs[s].size()) continue;
+      const double t = logs[s][cursors_[s]].time;
+      if (best == logs.size() || t < best_time) {
+        best = s;
+        best_time = t;
+      }
+    }
+    if (best == logs.size()) break;
+    const OffloadRecord& r = logs[best][cursors_[best]++];
+
+    // A fault event at the same instant as a task event popped first in the
+    // single-queue engine (scheduled earlier => lower sequence number), so
+    // environment actions apply up to and including the record's time.
+    walk_.advance_to(r.time, /*inclusive=*/true);
+    const double gamma = clamped_gamma(rate_.rate_at(r.time));
+    double delay_value = (*delay_)(gamma);
+    if (r.penalized) delay_value += r.penalty;
+    rate_.record_event(r.time);
+
+    // Same associativity as the engine's queue.push(now + latency + dv).
+    const double delivery = r.time + r.latency + delay_value;
+    if (delivery <= t_end_) {
+      ++deliveries_;
+      if (delivery >= warmup_) flip_trigger_ = true;
+    }
+    if (r.measured) {
+      devices[r.device].offload_delay_sum += r.latency + delay_value;
+      offload_delays.add(r.latency + delay_value);
+    }
+  }
+}
+
+}  // namespace mec::sim

@@ -1,0 +1,141 @@
+// Edge-coupling layer: the only channel through which devices interact.
+//
+// In the paper's mean-field model users are coupled *exclusively* through
+// the edge utilization gamma (Sec. III): an offload decision depends on the
+// device's own queue and threshold, never on gamma, while gamma determines
+// only the edge processing delay g(gamma) paid by offloaded tasks.  The
+// sharded engine exploits that structure: shards simulate device dynamics
+// independently and log each offload as an OffloadRecord; the
+// gamma-dependent quantities (EWMA touchpoints, g(gamma) applications,
+// delivery completion times, offload-delay metrics) are then reproduced by
+// GammaReplay, a serial pass over the merged, time-ordered log.
+//
+// Determinism contract: EwmaRate's exponential decay is *not* decomposable
+// (exp(-a)*exp(-b) != exp(-(a+b)) in floating point), so the replay touches
+// the estimator at exactly the same instants, in exactly the same order, as
+// the single-queue engine did — a rate read followed by a record_event per
+// offload, in global time order, interleaved with a rate read at every
+// sample/epoch grid instant (grid reads happen before same-time offloads,
+// matching the flush-before-event rule).  Under that replay the K-shard run
+// is bit-identical to K = 1 for any K.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mec/common/error.hpp"
+#include "mec/core/edge_delay.hpp"
+#include "mec/fault/fault_plan.hpp"
+#include "mec/sim/device_state.hpp"
+#include "mec/stats/latency_sketch.hpp"
+
+namespace mec::sim {
+
+/// Exponentially-weighted estimator of the aggregate offload task rate.
+class EwmaRate {
+ public:
+  EwmaRate(double time_constant, double initial_rate)
+      : tau_(time_constant), rate_(initial_rate) {
+    MEC_EXPECTS(tau_ > 0.0);
+    MEC_EXPECTS(initial_rate >= 0.0);
+  }
+
+  void record_event(double now) {
+    decay_to(now);
+    rate_ += 1.0 / tau_;
+  }
+
+  double rate_at(double now) {
+    decay_to(now);
+    return rate_;
+  }
+
+ private:
+  void decay_to(double now) {
+    if (now > last_) {
+      rate_ *= std::exp(-(now - last_) / tau_);
+      last_ = now;
+    }
+  }
+  double tau_;
+  double rate_;
+  double last_ = 0.0;
+};
+
+/// One offload decision, logged by a shard leg for the central replay.
+/// Everything gamma-independent is already resolved (the wireless latency
+/// draw, the outage-penalty amount in effect, the measurement-window flag);
+/// the replay only adds the g(gamma) edge delay.
+struct OffloadRecord {
+  double time = 0.0;       ///< arrival/decision instant
+  double latency = 0.0;    ///< wireless latency sample (device RNG)
+  double penalty = 0.0;    ///< outage latency penalty in effect, else 0
+  std::uint32_t device = 0;
+  bool measured = false;   ///< decision fell inside the measurement window
+  bool penalized = false;  ///< a kPenalty outage window was open
+};
+
+/// Serial replay of the gamma-coupled quantities over merged shard logs.
+/// Lives for one run; consume() is called once per leg (all records
+/// produced by that leg), gamma_at() once per sample/epoch grid read, in
+/// strict time order.  Each shard's log is time-sorted by construction;
+/// ties across shards break by shard index (contiguous partitions put the
+/// lower device first, matching the single-queue tie-break; exact
+/// cross-shard time ties have probability zero under the model's
+/// continuous inter-event distributions).
+class GammaReplay {
+ public:
+  GammaReplay(const core::EdgeDelay& delay, double ewma_tau,
+              double initial_gamma, double edge_capacity, double warmup,
+              double t_end, std::uint32_t n_initial,
+              std::span<const fault::ResolvedAction> plan_actions)
+      : delay_(&delay),
+        rate_(ewma_tau, initial_gamma * edge_capacity),
+        edge_capacity_(edge_capacity),
+        warmup_(warmup),
+        t_end_(t_end) {
+    walk_.actions = plan_actions;
+    walk_.active = n_initial;
+  }
+
+  /// Replays every record of `logs` in merged time order: advances the
+  /// environment walk, applies g(gamma) (+ the outage penalty), touches the
+  /// EWMA, accumulates the measured per-device offload-delay sums and the
+  /// delay sketch, and counts edge deliveries landing inside the horizon.
+  void consume(std::span<const std::span<const OffloadRecord>> logs,
+               DeviceState* devices, stats::LatencySketch& offload_delays);
+
+  /// Utilization estimate at a grid instant (left limit: environment
+  /// actions at exactly `at` are not yet applied).  Mutates the EWMA decay
+  /// state, exactly like the single-queue engine's sample/epoch reads.
+  double gamma_at(double at) {
+    walk_.advance_to(at, /*inclusive=*/false);
+    return clamped_gamma(rate_.rate_at(at));
+  }
+
+  double capacity_scale() const noexcept { return walk_.scale; }
+  std::uint32_t active_devices() const noexcept { return walk_.active; }
+  /// Offload deliveries with completion time <= t_end (they pop as events
+  /// in the single-queue engine and count toward total_events).
+  std::uint64_t deliveries() const noexcept { return deliveries_; }
+  /// True when a delivery lands inside [warmup, t_end]: its pop alone
+  /// would have flipped the measurement window open.
+  bool delivery_flip_trigger() const noexcept { return flip_trigger_; }
+
+ private:
+  double clamped_gamma(double rate) const;
+
+  const core::EdgeDelay* delay_;
+  EwmaRate rate_;
+  fault::EnvWalk walk_;
+  double edge_capacity_;
+  double warmup_;
+  double t_end_;
+  std::uint64_t deliveries_ = 0;
+  bool flip_trigger_ = false;
+  std::vector<std::size_t> cursors_;  ///< per-shard scratch for the merge
+};
+
+}  // namespace mec::sim

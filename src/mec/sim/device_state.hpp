@@ -1,0 +1,61 @@
+// Device-model layer: the per-device mutable simulation state.
+//
+// This is the bottom layer of the simulation stack (see
+// docs/ARCHITECTURE.md): one local FCFS queue of arrival timestamps plus the
+// measurement accumulators, with no knowledge of policies, the edge, or
+// faults.  Its determinism contract: every field is a pure function of the
+// device's own event history, so any partition of the population across
+// shards leaves each DeviceState bit-identical as long as each device's
+// events replay in time order.
+#pragma once
+
+#include <cstdint>
+
+#include "mec/sim/ring_buffer.hpp"
+
+namespace mec::sim {
+
+/// Mutable per-device simulation state, cache-compacted: the local queue's
+/// inline ring storage and the measurement accumulators sit in one 128-byte
+/// block, so processing an event touches two adjacent cache lines instead of
+/// chasing a deque chunk.  The per-device RNG streams are batched in their
+/// own contiguous array (SimWorkspace::Impl::rngs) — the arrival hot path
+/// reads rng + device state together, and keeping the 32-byte engines packed
+/// quarters the footprint the prefetcher has to cover.
+struct alignas(64) DeviceState {
+  // Exactly two cache lines (128 bytes), 64-byte aligned: line one holds
+  // the ring buffer (scalars + 4 inline slots) and the queue integral that
+  // every event updates; line two the remaining measurement accumulators.
+  RingBuffer local_queue;  ///< arrival times of tasks in system
+  // Measurement accumulators (reset at end of warm-up):
+  double queue_integral = 0.0;
+  double last_change = 0.0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t offloaded = 0;
+  std::uint64_t local_completed = 0;
+  double local_sojourn_sum = 0.0;
+  double offload_delay_sum = 0.0;
+  double energy_sum = 0.0;
+
+  void integrate_to(double now) {
+    queue_integral +=
+        static_cast<double>(local_queue.size()) * (now - last_change);
+    last_change = now;
+  }
+  void reset_measurements(double now) {
+    queue_integral = 0.0;
+    last_change = now;
+    arrivals = offloaded = local_completed = 0;
+    local_sojourn_sum = offload_delay_sum = energy_sum = 0.0;
+  }
+  void reset_run() {
+    local_queue.clear();
+    reset_measurements(0.0);
+  }
+};
+
+static_assert(sizeof(DeviceState) == 128,
+              "DeviceState must stay exactly two cache lines; rebalance "
+              "RingBuffer::kInlineCapacity if fields change");
+
+}  // namespace mec::sim

@@ -1,0 +1,621 @@
+// The sharded simulation engine: thin composition of the layer headers.
+//
+//   device model   (device_state.hpp)  per-device queues + accumulators
+//   policy dispatch (policy_dispatch.hpp) sealed/virtual decision providers
+//   edge coupling  (coupling.hpp)      EWMA gamma + g(gamma) replay
+//   fault plan     (fault/fault_plan.hpp) resolved schedule + shard views
+//   observers      (observer.hpp)      grid barriers + metrics sinks
+//   shard executor (parallel/shard_executor.hpp) per-shard run state
+//
+// One run executes as alternating phases: parallel *legs*, where every
+// shard drains its own event queue up to the next observation-grid barrier,
+// and serial *barrier work*, where the gamma replay catches up on the
+// merged offload log, samples are recorded, and epoch callbacks fire (the
+// closed loop retunes thresholds only here, so shard legs always see a
+// frozen policy).  Results are bit-identical for every shard count —
+// including K = 1, which is the only serial path; there is no separate
+// monolithic engine left to diverge from.  The golden-trace suite pins
+// this equivalence against the pre-shard engine's exact output.
+//
+// This header is internal to mec_simulation.cpp: the templates here are
+// instantiated once per (fault mode x decision provider) pair in that TU.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mec/common/error.hpp"
+#include "mec/common/prefetch.hpp"
+#include "mec/fault/fault_plan.hpp"
+#include "mec/parallel/shard_executor.hpp"
+#include "mec/parallel/thread_pool.hpp"
+#include "mec/sim/coupling.hpp"
+#include "mec/sim/des.hpp"
+#include "mec/sim/device_state.hpp"
+#include "mec/sim/mec_simulation.hpp"
+#include "mec/sim/observer.hpp"
+#include "mec/sim/policy_dispatch.hpp"
+#include "mec/stats/latency_sketch.hpp"
+
+namespace mec::sim {
+
+struct SimWorkspace::Impl {
+  std::vector<random::Xoshiro256> rngs;  ///< batched per-device streams
+  std::vector<DeviceState> devices;
+  std::vector<const double*> threshold_ptrs;  ///< scratch for TroPointerDecide
+  std::vector<parallel::ShardContext> shards;
+  std::vector<std::span<const OffloadRecord>> log_spans;  ///< replay scratch
+  std::unique_ptr<parallel::ThreadPool> pool;  ///< lazily built when K > 1
+
+  /// Post-split per-device RNG snapshot, keyed by (seed, population size).
+  /// Splitting is ~1us per device (xoshiro long_jump), so re-deriving 1e5+
+  /// streams dominates the setup of repeated same-seed runs; restoring the
+  /// snapshot is a memcpy and bit-identical by construction.
+  std::vector<random::Xoshiro256> rng_init;
+  std::uint64_t rng_seed = 0;
+  bool rng_cached = false;
+
+  /// Sizes the global buffers for an n-device run and resets all run state
+  /// while keeping every allocation.
+  void prepare(std::size_t n) {
+    rngs.resize(n);
+    devices.resize(n);
+    for (DeviceState& d : devices) d.reset_run();
+  }
+};
+
+namespace engine {
+
+/// Immutable per-run parameters shared by every shard leg.
+template <class Decide>
+struct LegContext {
+  const core::UserParams* users;
+  DeviceState* devices;
+  random::Xoshiro256* rngs;
+  const Decide* decide;
+  const ServiceSampler* service;
+  const LatencySampler* latency;
+  double warmup;
+  double t_end;
+  std::uint32_t n_devices;
+  bool has_fixed_gamma;
+  double fixed_delay;  ///< g(fixed_gamma), hoisted off the offload path
+};
+
+/// Applies one resolved fault action inside a shard leg.  Views contain
+/// only outage toggles and *effective* membership actions for this shard's
+/// range, so no state checks are needed here — the plan already made them.
+template <class Decide>
+void apply_shard_fault(parallel::ShardContext& sc,
+                       const LegContext<Decide>& lc,
+                       const fault::ResolvedAction& a, double now) {
+  switch (a.kind) {
+    case fault::FaultKind::kOutageBegin:
+      sc.outage = true;
+      sc.outage_mode = a.outage_mode;
+      sc.outage_penalty = a.value;
+      break;
+    case fault::FaultKind::kOutageEnd:
+      sc.outage = false;
+      break;
+    case fault::FaultKind::kDeviceCrash:
+    case fault::FaultKind::kUserDeparture: {
+      DeviceState& victim = lc.devices[a.device];
+      victim.integrate_to(now);
+      if (sc.measuring) sc.tasks_lost += victim.local_queue.size();
+      victim.local_queue.clear();
+      sc.arrival_seq[a.device - sc.lo] = parallel::ShardContext::kNoEvent;
+      sc.departure_seq[a.device - sc.lo] = parallel::ShardContext::kNoEvent;
+      break;
+    }
+    case fault::FaultKind::kDeviceRestart:
+      sc.arrival_seq[a.device - sc.lo] = sc.queue.scheduled_count();
+      sc.queue.push(now + random::exponential(lc.rngs[a.device],
+                                              lc.users[a.device].arrival_rate),
+                    EventKind::kArrival, a.device);
+      break;
+    case fault::FaultKind::kUserArrival:
+      // The device's measurement clock starts at its join, not at 0.
+      lc.devices[a.device].last_change = now;
+      sc.arrival_seq[a.device - sc.lo] = sc.queue.scheduled_count();
+      sc.queue.push(now + random::exponential(lc.rngs[a.device],
+                                              lc.users[a.device].arrival_rate),
+                    EventKind::kArrival, a.device);
+      break;
+    case fault::FaultKind::kCapacityScale:
+      break;  // central-only; never enters a shard view
+  }
+}
+
+/// One shard leg: drains the shard's queue up to `limit` (exclusive at
+/// barriers, inclusive for the final leg to t_end).  This is the hot loop,
+/// instantiated per decision provider so the arrival decision inlines, and
+/// per fault mode so fault-free runs fold every fault branch away.
+template <bool WithFaults, class Decide>
+void run_leg(parallel::ShardContext& sc, const LegContext<Decide>& lc,
+             double limit, bool inclusive) {
+  EventQueue& queue = sc.queue;
+  while (!queue.empty()) {
+    {
+      const double t = queue.next_time();
+      if (t > lc.t_end) return;
+      if (inclusive ? t > limit : t >= limit) return;
+    }
+    const Event e = queue.pop();
+    if (!queue.empty()) {
+      // The next pending event is (usually) the next one processed; start
+      // pulling the state it will touch while this event is handled.  A
+      // pending kFault's `device` is a view index, so it must not index
+      // the device arrays (prefetching a wrong-but-valid slot is harmless;
+      // forming an out-of-range pointer is not).
+      const std::uint32_t upcoming = queue.next_device();
+      if (!WithFaults || upcoming < lc.n_devices) {
+        const char* dev_lines =
+            reinterpret_cast<const char*>(&lc.devices[upcoming]);
+        MEC_PREFETCH(dev_lines);
+        MEC_PREFETCH(dev_lines + 64);
+        MEC_PREFETCH(&lc.rngs[upcoming]);
+        MEC_PREFETCH(&lc.users[upcoming]);
+      }
+    }
+    const double now = e.time;
+    if (!sc.measuring && now >= lc.warmup) {
+      // First pop at or past the warm-up boundary opens this shard's
+      // measurement window.  Resetting only the owned range is equivalent
+      // to the single-queue engine's global reset: devices of other shards
+      // had no events since the global first-crossing either, and the
+      // reset value depends only on `warmup`.
+      sc.measuring = true;
+      sc.flipped = true;
+      for (std::uint32_t d = sc.lo; d < sc.hi; ++d)
+        lc.devices[d].reset_measurements(lc.warmup);
+    }
+
+    if constexpr (WithFaults) {
+      if (e.kind == EventKind::kFault) {
+        // No ++sc.events here: outage toggles sit in every shard's view, so
+        // fault pops are counted centrally, once per schedule action.
+        apply_shard_fault(sc, lc, sc.view[e.device], now);
+        continue;
+      }
+    }
+    ++sc.events;
+
+    DeviceState& dev = lc.devices[e.device];
+    random::Xoshiro256& rng = lc.rngs[e.device];
+    const core::UserParams& u = lc.users[e.device];
+
+    switch (e.kind) {
+      case EventKind::kArrival: {
+        if constexpr (WithFaults) {
+          // A stale arrival chain (pre-crash or pre-departure) is skipped
+          // without consuming RNG draws; the live chain — if the device is
+          // alive — has a matching sequence number by construction.
+          if (e.seq != sc.arrival_seq[e.device - sc.lo]) break;
+        }
+        dev.integrate_to(now);
+        if (sc.measuring) ++dev.arrivals;
+        bool offload = (*lc.decide)(e.device, dev.local_queue.size(), rng);
+        if constexpr (WithFaults) {
+          // Outage check sits *after* the decision so the Bernoulli draw at
+          // the boundary state is consumed either way (RNG alignment).
+          if (offload && sc.outage &&
+              sc.outage_mode == fault::OutageMode::kReject) {
+            offload = false;
+            if (sc.measuring) ++sc.offloads_rejected;
+          }
+        }
+        if (offload) {
+          double penalty = 0.0;
+          bool penalized = false;
+          if constexpr (WithFaults) {
+            if (sc.outage && sc.outage_mode == fault::OutageMode::kPenalty) {
+              penalty = sc.outage_penalty;
+              penalized = true;
+              if (sc.measuring) ++sc.offloads_penalized;
+            }
+          }
+          const double latency = (*lc.latency)(rng, u);
+          if (lc.has_fixed_gamma) {
+            // Pinned gamma: the edge delay is shard-local, so the delivery
+            // event and all offload metrics complete right here.
+            double delay_value = lc.fixed_delay;
+            if (penalized) delay_value += penalty;
+            if (sc.measuring) {
+              ++dev.offloaded;
+              ++sc.offloads_in_window;
+              dev.offload_delay_sum += latency + delay_value;
+              dev.energy_sum += u.energy_offload;
+              sc.offload_delays.add(latency + delay_value);
+            }
+            queue.push(now + latency + delay_value,
+                       EventKind::kOffloadDelivery, e.device);
+          } else {
+            // Tracked gamma: everything g(gamma)-dependent (edge delay,
+            // delivery time, delay metrics) is deferred to the central
+            // replay; the gamma-free parts stay shard-local.
+            sc.log.push_back(OffloadRecord{now, latency, penalty, e.device,
+                                           sc.measuring, penalized});
+            if (sc.measuring) {
+              ++dev.offloaded;
+              ++sc.offloads_in_window;
+              dev.energy_sum += u.energy_offload;
+            }
+          }
+        } else {
+          dev.local_queue.push_back(now);
+          if (sc.measuring) dev.energy_sum += u.energy_local;
+          if (dev.local_queue.size() == 1) {  // idle server: start service
+            if constexpr (WithFaults)
+              sc.departure_seq[e.device - sc.lo] = queue.scheduled_count();
+            queue.push(now + (*lc.service)(rng, u),
+                       EventKind::kLocalDeparture, e.device);
+          }
+        }
+        if constexpr (WithFaults)
+          sc.arrival_seq[e.device - sc.lo] = queue.scheduled_count();
+        queue.push(now + random::exponential(rng, u.arrival_rate),
+                   EventKind::kArrival, e.device);
+        break;
+      }
+      case EventKind::kLocalDeparture: {
+        if constexpr (WithFaults) {
+          if (e.seq != sc.departure_seq[e.device - sc.lo]) break;  // stale
+        }
+        dev.integrate_to(now);
+        MEC_ASSERT(!dev.local_queue.empty());
+        const double arrived_at = dev.local_queue.front();
+        dev.local_queue.pop_front();
+        if (sc.measuring) {
+          ++dev.local_completed;
+          // Sojourn clipped to the window start for tasks arriving in
+          // warm-up: only the portion spent inside the measurement window
+          // counts, so a long transient backlog cannot leak into the
+          // steady-state mean.
+          const double sojourn = now - std::max(arrived_at, lc.warmup);
+          dev.local_sojourn_sum += sojourn;
+          sc.local_sojourns.add(sojourn);
+        }
+        if (!dev.local_queue.empty()) {
+          if constexpr (WithFaults)
+            sc.departure_seq[e.device - sc.lo] = queue.scheduled_count();
+          queue.push(now + (*lc.service)(rng, u),
+                     EventKind::kLocalDeparture, e.device);
+        } else {
+          if constexpr (WithFaults)
+            sc.departure_seq[e.device - sc.lo] =
+                parallel::ShardContext::kNoEvent;
+        }
+        break;
+      }
+      case EventKind::kOffloadDelivery:
+        // Task completed at the edge; all accounting happened at decision
+        // time (fixed-gamma mode only — tracked-gamma deliveries are
+        // counted by the replay).
+        break;
+      case EventKind::kFault:
+        // Handled (and `continue`d) before the device references above.
+        MEC_ASSERT(WithFaults);
+        break;
+    }
+  }
+}
+
+/// Builds a shard's fault view and seeds its queue: view actions first (at
+/// equal times the environment change applies before any task event —
+/// lower sequence number), then the initial arrivals of the owned range in
+/// device order (matching the global RNG-consumption order per device).
+template <bool WithFaults>
+void init_shard(parallel::ShardContext& sc,
+                const std::vector<core::UserParams>& users,
+                std::uint32_t n_initial, std::vector<random::Xoshiro256>& rngs,
+                std::span<const fault::ResolvedAction> plan_actions) {
+  if constexpr (WithFaults) {
+    for (const fault::ResolvedAction& a : plan_actions) {
+      const bool outage_toggle = a.kind == fault::FaultKind::kOutageBegin ||
+                                 a.kind == fault::FaultKind::kOutageEnd;
+      const bool owned_membership =
+          a.effective && a.device != fault::ResolvedAction::kNoDevice &&
+          a.device >= sc.lo && a.device < sc.hi;
+      if (outage_toggle || owned_membership) sc.view.push_back(a);
+    }
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(sc.view.size()); ++i)
+      sc.queue.push(sc.view[i].time, EventKind::kFault, i);
+    sc.arrival_seq.assign(sc.hi - sc.lo, parallel::ShardContext::kNoEvent);
+    sc.departure_seq.assign(sc.hi - sc.lo, parallel::ShardContext::kNoEvent);
+  }
+  for (std::uint32_t d = sc.lo; d < sc.hi && d < n_initial; ++d) {
+    if constexpr (WithFaults)
+      sc.arrival_seq[d - sc.lo] = sc.queue.scheduled_count();
+    sc.queue.push(random::exponential(rngs[d], users[d].arrival_rate),
+                  EventKind::kArrival, d);
+  }
+}
+
+/// One full simulation run: shard setup, barrier-stepped legs, replay,
+/// observation, and the final serial aggregation (which loops devices in
+/// index order, so population means are bit-identical for every K).
+template <bool WithFaults, class Decide>
+SimulationResult run_sharded(const std::vector<core::UserParams>& users,
+                             std::size_t n_initial_devices, double capacity,
+                             const core::EdgeDelay& delay,
+                             const SimulationOptions& options,
+                             SimWorkspace::Impl& ws, const Decide& decide) {
+  const auto n_devices = static_cast<std::uint32_t>(users.size());
+  const auto n_initial = static_cast<std::uint32_t>(n_initial_devices);
+  // Nominal capacity is anchored to the initial population: churn changes
+  // the offered load, not the installed edge hardware.
+  const double edge_capacity = static_cast<double>(n_initial) * capacity;
+  const double t_end = options.warmup + options.horizon;
+  const bool has_fixed_gamma = options.fixed_gamma.has_value();
+  const double fixed_delay =
+      has_fixed_gamma ? delay(*options.fixed_gamma) : 0.0;
+
+  const std::size_t shard_count = std::min<std::size_t>(
+      parallel::resolve_shard_count(options.shards), n_devices);
+
+  ws.prepare(users.size());
+  if (ws.rng_cached && ws.rng_seed == options.seed &&
+      ws.rng_init.size() == n_devices) {
+    std::copy(ws.rng_init.begin(), ws.rng_init.end(), ws.rngs.begin());
+  } else {
+    random::Xoshiro256 master(options.seed);
+    for (std::uint32_t n = 0; n < n_devices; ++n) ws.rngs[n] = master.split();
+    ws.rng_init = ws.rngs;
+    ws.rng_seed = options.seed;
+    ws.rng_cached = true;
+  }
+
+  fault::FaultPlan plan;
+  if constexpr (WithFaults)
+    plan = fault::resolve_fault_plan(options.faults->actions(), n_initial,
+                                     n_devices, options.warmup, t_end);
+
+  const bool measuring_from_start = options.warmup == 0.0;
+  ws.shards.resize(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    parallel::ShardContext& sc = ws.shards[s];
+    sc.reset(parallel::shard_bound(n_devices, shard_count, s),
+             parallel::shard_bound(n_devices, shard_count, s + 1),
+             measuring_from_start);
+    init_shard<WithFaults>(sc, users, n_initial, ws.rngs, plan.actions);
+  }
+  if (shard_count > 1) {
+    const std::size_t lanes =
+        std::min(shard_count, parallel::resolve_thread_count(0));
+    if (!ws.pool || ws.pool->thread_count() != lanes)
+      ws.pool = std::make_unique<parallel::ThreadPool>(lanes);
+  }
+
+  const LegContext<Decide> lc{users.data(),   ws.devices.data(),
+                              ws.rngs.data(), &decide,
+                              &options.service, &options.latency,
+                              options.warmup, t_end,
+                              n_devices,      has_fixed_gamma,
+                              fixed_delay};
+  const auto run_legs = [&](double limit, bool inclusive) {
+    if (shard_count == 1) {
+      run_leg<WithFaults>(ws.shards[0], lc, limit, inclusive);
+    } else {
+      ws.pool->parallel_for_each(shard_count, [&](std::size_t s) {
+        run_leg<WithFaults>(ws.shards[s], lc, limit, inclusive);
+      });
+    }
+  };
+
+  std::optional<GammaReplay> replay;
+  if (!has_fixed_gamma)
+    replay.emplace(delay, options.utilization_ewma_tau, options.initial_gamma,
+                   edge_capacity, options.warmup, t_end, n_initial,
+                   plan.actions);
+  stats::LatencySketch local_sojourns;
+  stats::LatencySketch offload_delays;
+  // Feeds the leg's offload logs — fully drained, they cover exactly the
+  // records before the current barrier — through the replay, then frees
+  // them for the next leg.
+  const auto drain_logs = [&]() {
+    if (has_fixed_gamma) return;
+    ws.log_spans.clear();
+    for (parallel::ShardContext& sc : ws.shards)
+      ws.log_spans.emplace_back(sc.log.data(), sc.log.size());
+    replay->consume(ws.log_spans, ws.devices.data(), offload_delays);
+    for (parallel::ShardContext& sc : ws.shards) sc.log.clear();
+  };
+
+  // Environment cursor for sample reads in fixed-gamma mode (the replay
+  // carries its own in tracked mode).
+  fault::EnvWalk sample_walk;
+  sample_walk.actions = plan.actions;
+  sample_walk.active = n_initial;
+
+  TimelineRecorder recorder;
+  const ObservationGrid grid(options.sample_interval, options.epoch_period,
+                             t_end);
+  for (const GridInstant& g : grid.instants()) {
+    run_legs(g.time, /*inclusive=*/false);
+    drain_logs();
+    if (g.sample) {
+      TimelinePoint p;
+      p.time = g.time;
+      double scale = 1.0;
+      std::uint64_t active = n_devices;
+      if (has_fixed_gamma) {
+        p.utilization_estimate = *options.fixed_gamma;
+        if constexpr (WithFaults) {
+          sample_walk.advance_to(g.time, /*inclusive=*/false);
+          scale = sample_walk.scale;
+          active = sample_walk.active;
+        }
+      } else {
+        p.utilization_estimate = replay->gamma_at(g.time);
+        if constexpr (WithFaults) {
+          scale = replay->capacity_scale();
+          active = replay->active_devices();
+        }
+      }
+      double total_q = 0.0;
+      for (const DeviceState& d : ws.devices)
+        total_q += static_cast<double>(d.local_queue.size());
+      if constexpr (WithFaults) {
+        // Dead/retired queues are empty, so the sum already covers exactly
+        // the active population.
+        p.capacity_scale = scale;
+        p.active_devices = active;
+        p.mean_queue_length =
+            active == 0 ? 0.0 : total_q / static_cast<double>(active);
+      } else {
+        p.active_devices = n_devices;
+        p.mean_queue_length = total_q / static_cast<double>(n_devices);
+      }
+      std::uint64_t so_far = 0;
+      for (const parallel::ShardContext& sc : ws.shards)
+        so_far += sc.offloads_in_window;
+      p.offloads_so_far = so_far;
+      recorder.on_sample(p);
+    }
+    if (g.epoch) {
+      const double gamma = has_fixed_gamma ? *options.fixed_gamma
+                                           : replay->gamma_at(g.time);
+      options.on_epoch(g.time, gamma);
+    }
+  }
+  run_legs(t_end, /*inclusive=*/true);
+  drain_logs();
+
+  // Close the measurement window.  A shard whose own events never crossed
+  // the warm-up boundary still needs its devices reset if *any* pop did in
+  // the single-queue engine — its own, another shard's, a fault action, or
+  // an edge delivery (central in tracked-gamma mode).
+  bool flipped = measuring_from_start;
+  for (const parallel::ShardContext& sc : ws.shards) flipped |= sc.flipped;
+  if constexpr (WithFaults) flipped |= plan.flip_trigger;
+  if (!has_fixed_gamma) flipped |= replay->delivery_flip_trigger();
+  if (flipped) {
+    for (const parallel::ShardContext& sc : ws.shards) {
+      if (sc.flipped) continue;
+      for (std::uint32_t d = sc.lo; d < sc.hi; ++d)
+        ws.devices[d].reset_measurements(options.warmup);
+    }
+  }
+  for (DeviceState& d : ws.devices) d.integrate_to(t_end);
+
+  double scale_integral = options.horizon;
+  fault::EnvWindowStats env;
+  if constexpr (WithFaults) {
+    env = fault::integrate_environment(plan.actions, options.warmup, t_end,
+                                       flipped);
+    scale_integral = env.scale_integral;
+    // A run so short no event crossed the warm-up boundary (or a fully
+    // dark window): treat the whole window as nominal so the utilization
+    // denominator stays finite.
+    if (scale_integral == 0.0) scale_integral = options.horizon;
+  }
+
+  std::uint64_t events = 0;
+  std::uint64_t offloads_in_window = 0;
+  for (const parallel::ShardContext& sc : ws.shards) {
+    events += sc.events;
+    offloads_in_window += sc.offloads_in_window;
+    local_sojourns.merge(sc.local_sojourns);
+    if (has_fixed_gamma) offload_delays.merge(sc.offload_delays);
+  }
+  if constexpr (WithFaults)
+    events += plan.actions.size();  // every schedule action popped once
+  if (!has_fixed_gamma) events += replay->deliveries();
+
+  SimulationResult result;
+  result.horizon = options.horizon;
+  result.total_events = events;
+  result.local_sojourn_percentiles = std::move(local_sojourns);
+  result.offload_delay_percentiles = std::move(offload_delays);
+  result.timeline = recorder.take();
+  result.devices.reserve(n_devices);
+  const double window = options.horizon;
+
+  double cost_acc = 0.0, q_acc = 0.0, alpha_acc = 0.0;
+  std::uint32_t participating = 0;
+  // Under faults the denominator is the *time-averaged* available capacity
+  // over the window (edge_capacity * mean scale * window); fault-free it
+  // reduces to the familiar offloads / (window * N * c).
+  double gamma_denom = window * edge_capacity;
+  if constexpr (WithFaults) gamma_denom = edge_capacity * scale_integral;
+  const double gamma_measured =
+      static_cast<double>(offloads_in_window) / gamma_denom;
+  for (std::uint32_t n = 0; n < n_devices; ++n) {
+    if constexpr (WithFaults) {
+      // Churn slots that never joined report all-zero stats and must not
+      // dilute the population means (their empirical cost is not zero —
+      // the Eq.-(1) functional of an idle device is w*p_L).
+      if (n >= n_initial + plan.joins) {
+        result.devices.emplace_back();
+        continue;
+      }
+    }
+    ++participating;
+    const DeviceState& dev = ws.devices[n];
+    const core::UserParams& u = users[n];
+    DeviceStats s;
+    s.arrivals = dev.arrivals;
+    s.offloaded = dev.offloaded;
+    s.local_completed = dev.local_completed;
+    s.mean_queue_length = dev.queue_integral / window;
+    s.offload_fraction =
+        dev.arrivals > 0
+            ? static_cast<double>(dev.offloaded) /
+                  static_cast<double>(dev.arrivals)
+            : 0.0;
+    s.mean_local_sojourn =
+        dev.local_completed > 0
+            ? dev.local_sojourn_sum / static_cast<double>(dev.local_completed)
+            : 0.0;
+    s.mean_offload_delay =
+        dev.offloaded > 0
+            ? dev.offload_delay_sum / static_cast<double>(dev.offloaded)
+            : 0.0;
+    s.energy_per_task =
+        dev.arrivals > 0
+            ? dev.energy_sum / static_cast<double>(dev.arrivals)
+            : 0.0;
+    // Empirical Eq.-(1) cost: measured alpha, measured mean queue, measured
+    // per-offload delay (latency + edge processing).
+    s.empirical_cost =
+        u.weight * u.energy_local * (1.0 - s.offload_fraction) +
+        s.mean_queue_length / u.arrival_rate +
+        (u.weight * u.energy_offload + s.mean_offload_delay) *
+            s.offload_fraction;
+    cost_acc += s.empirical_cost;
+    q_acc += s.mean_queue_length;
+    alpha_acc += s.offload_fraction;
+    result.devices.push_back(s);
+  }
+  result.measured_utilization = gamma_measured;
+  result.mean_cost = cost_acc / static_cast<double>(participating);
+  result.mean_queue_length = q_acc / static_cast<double>(participating);
+  result.mean_offload_fraction = alpha_acc / static_cast<double>(participating);
+  if constexpr (WithFaults) {
+    FaultStats fs;
+    fs.crashes = plan.crashes;
+    fs.restarts = plan.restarts;
+    fs.churn_joined = plan.churn_joined;
+    fs.churn_departed = plan.churn_departed;
+    for (const parallel::ShardContext& sc : ws.shards) {
+      fs.tasks_lost += sc.tasks_lost;
+      fs.offloads_rejected += sc.offloads_rejected;
+      fs.offloads_penalized += sc.offloads_penalized;
+    }
+    fs.min_capacity_scale = env.min_capacity_scale;
+    fs.mean_capacity_scale = scale_integral / window;
+    fs.degraded_time = env.degraded_time;
+    fs.participating_devices = participating;
+    result.faults = fs;
+  }
+  return result;
+}
+
+}  // namespace engine
+}  // namespace mec::sim

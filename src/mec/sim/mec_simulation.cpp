@@ -1,234 +1,16 @@
+// Public simulation API: validation, population assembly, and dispatch into
+// the layered engine (see engine.hpp).  The event loop itself, the device
+// model, the policy fast paths, the edge coupling, and the fault plan all
+// live in their own layer headers/TUs — this file only composes them.
 #include "mec/sim/mec_simulation.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <optional>
 #include <utility>
+#include <vector>
 
 #include "mec/common/error.hpp"
-#include "mec/common/prefetch.hpp"
-#include "mec/sim/des.hpp"
-#include "mec/sim/ring_buffer.hpp"
+#include "mec/sim/engine.hpp"
 
 namespace mec::sim {
-
-ServiceSampler exponential_service() {
-  return [](random::Xoshiro256& rng, const core::UserParams& u) {
-    return random::exponential(rng, u.service_rate);
-  };
-}
-
-ServiceSampler deterministic_service() {
-  return [](random::Xoshiro256&, const core::UserParams& u) {
-    return 1.0 / u.service_rate;
-  };
-}
-
-ServiceSampler empirical_service(random::EmpiricalDataset times) {
-  MEC_EXPECTS(times.mean() > 0.0);
-  const double dataset_mean = times.mean();
-  return [times = std::move(times), dataset_mean](
-             random::Xoshiro256& rng, const core::UserParams& u) {
-    return times.resample(rng) / (dataset_mean * u.service_rate);
-  };
-}
-
-ServiceSampler erlang_service(std::size_t stages) {
-  MEC_EXPECTS(stages >= 1);
-  return [stages](random::Xoshiro256& rng, const core::UserParams& u) {
-    const double stage_rate =
-        static_cast<double>(stages) * u.service_rate;
-    double total = 0.0;
-    for (std::size_t i = 0; i < stages; ++i)
-      total += random::exponential(rng, stage_rate);
-    return total;
-  };
-}
-
-ServiceSampler hyperexponential_service(double scv) {
-  MEC_EXPECTS(scv >= 1.0);
-  // Balanced-means H2 fit (cf. queueing::hyperexponential_from_scv): branch
-  // probability p with rates 2p*s and 2(1-p)*s for mean 1/s.
-  const double p = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
-  return [p](random::Xoshiro256& rng, const core::UserParams& u) {
-    const bool first = random::bernoulli(rng, p);
-    const double rate =
-        first ? 2.0 * p * u.service_rate : 2.0 * (1.0 - p) * u.service_rate;
-    return random::exponential(rng, rate);
-  };
-}
-
-LatencySampler exponential_latency() {
-  return [](random::Xoshiro256& rng, const core::UserParams& u) {
-    if (u.offload_latency <= 0.0) return 0.0;
-    return random::exponential(rng, 1.0 / u.offload_latency);
-  };
-}
-
-LatencySampler deterministic_latency() {
-  return [](random::Xoshiro256&, const core::UserParams& u) {
-    return u.offload_latency;
-  };
-}
-
-LatencySampler empirical_latency(random::EmpiricalDataset latencies) {
-  MEC_EXPECTS(latencies.mean() > 0.0);
-  const double dataset_mean = latencies.mean();
-  return [latencies = std::move(latencies), dataset_mean](
-             random::Xoshiro256& rng, const core::UserParams& u) {
-    return latencies.resample(rng) * (u.offload_latency / dataset_mean);
-  };
-}
-
-namespace {
-
-/// Exponentially-weighted estimator of the aggregate offload task rate.
-class EwmaRate {
- public:
-  EwmaRate(double time_constant, double initial_rate)
-      : tau_(time_constant), rate_(initial_rate) {
-    MEC_EXPECTS(tau_ > 0.0);
-    MEC_EXPECTS(initial_rate >= 0.0);
-  }
-
-  void record_event(double now) {
-    decay_to(now);
-    rate_ += 1.0 / tau_;
-  }
-
-  double rate_at(double now) {
-    decay_to(now);
-    return rate_;
-  }
-
- private:
-  void decay_to(double now) {
-    if (now > last_) {
-      rate_ *= std::exp(-(now - last_) / tau_);
-      last_ = now;
-    }
-  }
-  double tau_;
-  double rate_;
-  double last_ = 0.0;
-};
-
-/// Mutable per-device simulation state, cache-compacted: the local queue's
-/// inline ring storage and the measurement accumulators sit in one ~152-byte
-/// block, so processing an event touches two adjacent cache lines instead of
-/// chasing a deque chunk.  The per-device RNG streams are batched in their
-/// own contiguous array (SimWorkspace::Impl::rngs) — the arrival hot path
-/// reads rng + device state together, and keeping the 32-byte engines packed
-/// quarters the footprint the prefetcher has to cover.
-struct alignas(64) DeviceState {
-  // Exactly two cache lines (128 bytes), 64-byte aligned: line one holds
-  // the ring buffer (scalars + 4 inline slots) and the queue integral that
-  // every event updates; line two the remaining measurement accumulators.
-  RingBuffer local_queue;  ///< arrival times of tasks in system
-  // Measurement accumulators (reset at end of warm-up):
-  double queue_integral = 0.0;
-  double last_change = 0.0;
-  std::uint64_t arrivals = 0;
-  std::uint64_t offloaded = 0;
-  std::uint64_t local_completed = 0;
-  double local_sojourn_sum = 0.0;
-  double offload_delay_sum = 0.0;
-  double energy_sum = 0.0;
-
-  void integrate_to(double now) {
-    queue_integral +=
-        static_cast<double>(local_queue.size()) * (now - last_change);
-    last_change = now;
-  }
-  void reset_measurements(double now) {
-    queue_integral = 0.0;
-    last_change = now;
-    arrivals = offloaded = local_completed = 0;
-    local_sojourn_sum = offload_delay_sum = energy_sum = 0.0;
-  }
-  void reset_run() {
-    local_queue.clear();
-    reset_measurements(0.0);
-  }
-};
-
-static_assert(sizeof(DeviceState) == 128,
-              "DeviceState must stay exactly two cache lines; rebalance "
-              "RingBuffer::kInlineCapacity if fields change");
-
-/// The TRO decision rule, shared verbatim by the sealed fast paths and
-/// (through TroPolicy / MutableTroPolicy) the virtual path: both consume
-/// exactly one Bernoulli draw at the boundary state and none elsewhere, so
-/// the paths are bit-identical for a given seed.
-inline bool tro_offload(double threshold, std::uint64_t queue_length,
-                        random::Xoshiro256& rng) {
-  const double fl = std::floor(threshold);
-  const auto floor_int = static_cast<std::uint64_t>(fl);
-  if (queue_length < floor_int) return false;
-  if (queue_length == floor_int)
-    return !random::bernoulli(rng, threshold - fl);
-  return true;
-}
-
-/// Fast path for run_tro: fixed thresholds read straight from the caller's
-/// array, no policy objects at all.
-struct TroValueDecide {
-  const double* thresholds;
-  bool operator()(std::uint32_t device, std::uint64_t queue_length,
-                  random::Xoshiro256& rng) const {
-    return tro_offload(thresholds[device], queue_length, rng);
-  }
-};
-
-/// Fast path for run(policies) when every policy is TRO-family: live
-/// threshold pointers, re-read per decision so epoch-callback retuning of
-/// MutableTroPolicy takes effect immediately.
-struct TroPointerDecide {
-  const double* const* thresholds;
-  bool operator()(std::uint32_t device, std::uint64_t queue_length,
-                  random::Xoshiro256& rng) const {
-    return tro_offload(*thresholds[device], queue_length, rng);
-  }
-};
-
-/// Generic path: one virtual call per arrival (DPO, custom policies).
-struct VirtualDecide {
-  const std::unique_ptr<OffloadPolicy>* policies;
-  bool operator()(std::uint32_t device, std::uint64_t queue_length,
-                  random::Xoshiro256& rng) const {
-    return policies[device]->offload(queue_length, rng);
-  }
-};
-
-}  // namespace
-
-struct SimWorkspace::Impl {
-  std::vector<random::Xoshiro256> rngs;  ///< batched per-device streams
-  std::vector<DeviceState> devices;
-  std::vector<const double*> threshold_ptrs;  ///< scratch for TroPointerDecide
-  EventQueue queue;
-
-  /// Post-split per-device RNG snapshot, keyed by (seed, population size).
-  /// Splitting is ~1us per device (xoshiro long_jump), so re-deriving 1e5+
-  /// streams dominates the setup of repeated same-seed runs; restoring the
-  /// snapshot is a memcpy and bit-identical by construction.
-  std::vector<random::Xoshiro256> rng_init;
-  std::uint64_t rng_seed = 0;
-  bool rng_cached = false;
-
-  /// Sizes the buffers for an n-device run and resets all run state while
-  /// keeping every allocation (vectors, ring spill blocks, the heap).
-  void prepare(std::size_t n) {
-    rngs.resize(n);
-    devices.resize(n);
-    for (DeviceState& d : devices) d.reset_run();
-    queue.clear();
-    // One pending arrival per device, at most one in-service departure, plus
-    // headroom for in-flight offload deliveries.
-    queue.reserve(2 * n + 64);
-  }
-};
 
 SimWorkspace::SimWorkspace() : impl_(std::make_unique<Impl>()) {}
 SimWorkspace::~SimWorkspace() = default;
@@ -237,500 +19,7 @@ SimWorkspace& SimWorkspace::operator=(SimWorkspace&&) noexcept = default;
 
 namespace {
 
-/// Per-run fault state, live only in the WithFaults instantiation of the
-/// event loop.  Lazy event cancellation works by remembering the sequence
-/// number of each device's one live pending arrival / local-departure event
-/// (sequence numbers are unique, so a popped event whose seq does not match
-/// is a stale chain from before a crash/restart and is skipped).
-struct FaultRuntime {
-  static constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
-  enum State : std::uint8_t { kNotJoined, kAlive, kDead, kRetired };
-
-  std::span<const fault::FaultAction> actions;
-  bool outage = false;
-  fault::OutageMode outage_mode = fault::OutageMode::kReject;
-  double outage_penalty = 0.0;
-
-  std::vector<State> state;
-  std::vector<std::uint64_t> arrival_seq;    ///< live arrival event per device
-  std::vector<std::uint64_t> departure_seq;  ///< live departure event
-  std::vector<std::uint32_t> active_ids;     ///< departure victim pool
-  std::vector<std::uint32_t> active_pos;     ///< device -> index in active_ids
-  std::uint32_t next_join = 0;  ///< next churn device slot to activate
-
-  FaultStats stats;
-  double scale_integral = 0.0;  ///< ∫ capacity_scale dt over the window
-  double env_last = 0.0;        ///< last environment integration instant
-
-  void init(std::uint32_t n_initial, std::uint32_t n_total,
-            std::span<const fault::FaultAction> schedule_actions) {
-    actions = schedule_actions;
-    state.assign(n_total, kNotJoined);
-    arrival_seq.assign(n_total, kNoEvent);
-    departure_seq.assign(n_total, kNoEvent);
-    active_ids.clear();
-    active_ids.reserve(n_total);
-    active_pos.assign(n_total, 0);
-    for (std::uint32_t d = 0; d < n_initial; ++d) {
-      state[d] = kAlive;
-      active_pos[d] = static_cast<std::uint32_t>(active_ids.size());
-      active_ids.push_back(d);
-    }
-    next_join = n_initial;
-  }
-
-  void activate(std::uint32_t device) {
-    state[device] = kAlive;
-    active_pos[device] = static_cast<std::uint32_t>(active_ids.size());
-    active_ids.push_back(device);
-  }
-
-  void deactivate(std::uint32_t device, State terminal) {
-    state[device] = terminal;
-    arrival_seq[device] = kNoEvent;
-    departure_seq[device] = kNoEvent;
-    const std::uint32_t pos = active_pos[device];
-    const std::uint32_t last = active_ids.back();
-    active_ids[pos] = last;
-    active_pos[last] = pos;
-    active_ids.pop_back();
-  }
-};
-
-/// The event loop, instantiated once per decision provider so the arrival
-/// decision inlines (no virtual dispatch on the all-TRO path), and once
-/// more per fault mode so fault-free runs pay zero overhead (WithFaults ==
-/// false folds every fault branch away and is bit-identical to the
-/// pre-fault engine).  Any decision provider must consume exactly the RNG
-/// draws the equivalent OffloadPolicy::offload() would, keeping all
-/// instantiations bit-identical.
-template <bool WithFaults, class Decide>
-SimulationResult run_simulation(const std::vector<core::UserParams>& users,
-                                std::size_t n_initial, double capacity,
-                                const core::EdgeDelay& delay,
-                                const SimulationOptions& options,
-                                SimWorkspace::Impl& ws, const Decide& decide) {
-  const auto n_devices = static_cast<std::uint32_t>(users.size());
-  // Nominal capacity is anchored to the initial population: churn changes
-  // the offered load, not the installed edge hardware.
-  const double edge_capacity = static_cast<double>(n_initial) * capacity;
-  const double t_end = options.warmup + options.horizon;
-
-  ws.prepare(users.size());
-  std::vector<random::Xoshiro256>& rngs = ws.rngs;
-  std::vector<DeviceState>& devices = ws.devices;
-  EventQueue& queue = ws.queue;
-
-  if (ws.rng_cached && ws.rng_seed == options.seed &&
-      ws.rng_init.size() == n_devices) {
-    std::copy(ws.rng_init.begin(), ws.rng_init.end(), rngs.begin());
-  } else {
-    random::Xoshiro256 master(options.seed);
-    for (std::uint32_t n = 0; n < n_devices; ++n) rngs[n] = master.split();
-    ws.rng_init = rngs;
-    ws.rng_seed = options.seed;
-    ws.rng_cached = true;
-  }
-
-  FaultRuntime fr;
-  double capacity_scale = 1.0;
-  if constexpr (WithFaults) {
-    fr.init(static_cast<std::uint32_t>(n_initial), n_devices,
-            options.faults->actions());
-    // Fault actions enter the queue first: at equal times the environment
-    // change is applied before any task event, deterministically.
-    for (std::uint32_t i = 0; i < fr.actions.size(); ++i)
-      queue.push(fr.actions[i].time, EventKind::kFault, i);
-  }
-  for (std::uint32_t n = 0; n < static_cast<std::uint32_t>(n_initial); ++n) {
-    if constexpr (WithFaults) fr.arrival_seq[n] = queue.scheduled_count();
-    queue.push(random::exponential(rngs[n], users[n].arrival_rate),
-               EventKind::kArrival, n);
-  }
-
-  EwmaRate offload_rate(options.utilization_ewma_tau,
-                        options.initial_gamma * edge_capacity);
-  const auto current_gamma = [&](double now) {
-    if (options.fixed_gamma) return *options.fixed_gamma;
-    return std::clamp(
-        offload_rate.rate_at(now) / (edge_capacity * capacity_scale), 0.0,
-        1.0);
-  };
-  // With a pinned utilization the edge delay is one constant for the whole
-  // run; hoisting it off the per-offload path skips a std::function call.
-  const bool has_fixed_gamma = options.fixed_gamma.has_value();
-  const double fixed_delay =
-      has_fixed_gamma ? delay(*options.fixed_gamma) : 0.0;
-
-  bool measuring = options.warmup == 0.0;
-  std::uint64_t offloads_in_window = 0;
-  std::uint64_t events = 0;
-  stats::LatencyPercentiles local_sojourns;
-  stats::LatencyPercentiles offload_delays;
-
-  // Accumulates the capacity-scale integral and degraded time up to `at`
-  // (measurement window only; the scale is piecewise constant between fault
-  // events, so integrating with the current value is exact).
-  const auto integrate_env = [&](double at) {
-    if constexpr (WithFaults) {
-      if (at > fr.env_last) {
-        const double dt = at - fr.env_last;
-        fr.scale_integral += capacity_scale * dt;
-        if (capacity_scale < 1.0 || fr.outage) fr.stats.degraded_time += dt;
-        fr.env_last = at;
-      }
-    }
-  };
-
-  std::vector<TimelinePoint> timeline;
-  double next_sample = options.sample_interval > 0.0
-                           ? options.sample_interval
-                           : std::numeric_limits<double>::infinity();
-  const auto record_sample = [&](double at) {
-    TimelinePoint p;
-    p.time = at;
-    p.utilization_estimate = current_gamma(at);
-    double total_q = 0.0;
-    for (const DeviceState& d : devices)
-      total_q += static_cast<double>(d.local_queue.size());
-    if constexpr (WithFaults) {
-      // Dead/retired queues are empty, so the sum already covers exactly
-      // the active population; the scale at flush time is the scale at
-      // `at` (it changes only at events, and samples flush before them).
-      p.capacity_scale = capacity_scale;
-      p.active_devices = fr.active_ids.size();
-      p.mean_queue_length =
-          fr.active_ids.empty()
-              ? 0.0
-              : total_q / static_cast<double>(fr.active_ids.size());
-    } else {
-      p.active_devices = n_devices;
-      p.mean_queue_length = total_q / static_cast<double>(n_devices);
-    }
-    p.offloads_so_far = offloads_in_window;
-    timeline.push_back(p);
-  };
-
-  double next_epoch = options.epoch_period > 0.0
-                          ? options.epoch_period
-                          : std::numeric_limits<double>::infinity();
-
-  while (!queue.empty() && queue.next_time() <= t_end) {
-    const Event e = queue.pop();
-    if (!queue.empty()) {
-      // The next pending event is (usually) the next one processed; start
-      // pulling the state it will touch while this event is handled.  A
-      // pending kFault's `device` is a schedule index, so it must not index
-      // the device arrays (prefetching a wrong-but-valid slot is harmless;
-      // forming an out-of-range pointer is not).
-      const std::uint32_t upcoming = queue.next_device();
-      if (!WithFaults || upcoming < n_devices) {
-        const char* dev_lines =
-            reinterpret_cast<const char*>(&devices[upcoming]);
-        MEC_PREFETCH(dev_lines);
-        MEC_PREFETCH(dev_lines + 64);
-        MEC_PREFETCH(&rngs[upcoming]);
-        MEC_PREFETCH(&users[upcoming]);
-      }
-    }
-    ++events;
-    const double now = e.time;
-    while (next_sample <= now && next_sample <= t_end) {
-      record_sample(next_sample);
-      next_sample += options.sample_interval;
-    }
-    while (next_epoch <= now && next_epoch <= t_end) {
-      options.on_epoch(next_epoch, current_gamma(next_epoch));
-      next_epoch += options.epoch_period;
-    }
-
-    if (!measuring && now >= options.warmup) {
-      measuring = true;
-      for (DeviceState& d : devices) d.reset_measurements(options.warmup);
-      if constexpr (WithFaults) {
-        // Start the environment integrals at the window boundary.  No fault
-        // can have fired inside (warmup, now): it would itself have been the
-        // first event past the warm-up and triggered this transition.
-        fr.env_last = options.warmup;
-        fr.stats.min_capacity_scale = capacity_scale;
-      }
-    }
-
-    if constexpr (WithFaults) {
-      if (e.kind == EventKind::kFault) {
-        const fault::FaultAction& a = fr.actions[e.device];
-        switch (a.kind) {
-          case fault::FaultKind::kCapacityScale:
-            if (measuring) {
-              integrate_env(now);
-              fr.stats.min_capacity_scale =
-                  std::min(fr.stats.min_capacity_scale, a.value);
-            }
-            capacity_scale = a.value;
-            break;
-          case fault::FaultKind::kOutageBegin:
-            if (measuring) integrate_env(now);
-            fr.outage = true;
-            fr.outage_mode = a.outage_mode;
-            fr.outage_penalty = a.value;
-            break;
-          case fault::FaultKind::kOutageEnd:
-            if (measuring) integrate_env(now);
-            fr.outage = false;
-            break;
-          case fault::FaultKind::kDeviceCrash:
-            if (fr.state[a.device] == FaultRuntime::kAlive) {
-              DeviceState& victim = devices[a.device];
-              victim.integrate_to(now);
-              if (measuring) fr.stats.tasks_lost += victim.local_queue.size();
-              victim.local_queue.clear();
-              fr.deactivate(a.device, FaultRuntime::kDead);
-              ++fr.stats.crashes;
-            }
-            break;
-          case fault::FaultKind::kDeviceRestart:
-            if (fr.state[a.device] == FaultRuntime::kDead) {
-              fr.activate(a.device);
-              ++fr.stats.restarts;
-              fr.arrival_seq[a.device] = queue.scheduled_count();
-              queue.push(now + random::exponential(
-                                   rngs[a.device], users[a.device].arrival_rate),
-                         EventKind::kArrival, a.device);
-            }
-            break;
-          case fault::FaultKind::kUserArrival: {
-            const std::uint32_t d = fr.next_join++;
-            MEC_ASSERT(d < n_devices);
-            fr.activate(d);
-            ++fr.stats.churn_joined;
-            // The device's measurement clock starts at its join, not at 0.
-            devices[d].last_change = now;
-            fr.arrival_seq[d] = queue.scheduled_count();
-            queue.push(now + random::exponential(rngs[d], users[d].arrival_rate),
-                       EventKind::kArrival, d);
-            break;
-          }
-          case fault::FaultKind::kUserDeparture:
-            if (!fr.active_ids.empty()) {
-              const auto active_n = fr.active_ids.size();
-              const auto idx = std::min(
-                  active_n - 1, static_cast<std::size_t>(
-                                    a.value * static_cast<double>(active_n)));
-              const std::uint32_t d = fr.active_ids[idx];
-              DeviceState& victim = devices[d];
-              victim.integrate_to(now);
-              if (measuring) fr.stats.tasks_lost += victim.local_queue.size();
-              victim.local_queue.clear();
-              fr.deactivate(d, FaultRuntime::kRetired);
-              ++fr.stats.churn_departed;
-            }
-            break;
-        }
-        continue;
-      }
-    }
-
-    DeviceState& dev = devices[e.device];
-    random::Xoshiro256& rng = rngs[e.device];
-    const core::UserParams& u = users[e.device];
-
-    switch (e.kind) {
-      case EventKind::kArrival: {
-        if constexpr (WithFaults) {
-          // A stale arrival chain (pre-crash or pre-departure) is skipped
-          // without consuming RNG draws; the live chain — if the device is
-          // alive — has a matching sequence number by construction.
-          if (e.seq != fr.arrival_seq[e.device]) break;
-        }
-        dev.integrate_to(now);
-        if (measuring) ++dev.arrivals;
-        bool offload = decide(e.device, dev.local_queue.size(), rng);
-        if constexpr (WithFaults) {
-          // Outage check sits *after* the decision so the Bernoulli draw at
-          // the boundary state is consumed either way (RNG alignment).
-          if (offload && fr.outage &&
-              fr.outage_mode == fault::OutageMode::kReject) {
-            offload = false;
-            if (measuring) ++fr.stats.offloads_rejected;
-          }
-        }
-        if (offload) {
-          double delay_value =
-              has_fixed_gamma ? fixed_delay : delay(current_gamma(now));
-          if constexpr (WithFaults) {
-            if (fr.outage && fr.outage_mode == fault::OutageMode::kPenalty) {
-              delay_value += fr.outage_penalty;
-              if (measuring) ++fr.stats.offloads_penalized;
-            }
-          }
-          const double latency = options.latency(rng, u);
-          if (!options.fixed_gamma) offload_rate.record_event(now);
-          if (measuring) {
-            ++dev.offloaded;
-            ++offloads_in_window;
-            dev.offload_delay_sum += latency + delay_value;
-            dev.energy_sum += u.energy_offload;
-            offload_delays.add(latency + delay_value);
-          }
-          queue.push(now + latency + delay_value, EventKind::kOffloadDelivery,
-                     e.device);
-        } else {
-          dev.local_queue.push_back(now);
-          if (measuring) dev.energy_sum += u.energy_local;
-          if (dev.local_queue.size() == 1) {  // idle server: start service
-            if constexpr (WithFaults)
-              fr.departure_seq[e.device] = queue.scheduled_count();
-            queue.push(now + options.service(rng, u),
-                       EventKind::kLocalDeparture, e.device);
-          }
-        }
-        if constexpr (WithFaults)
-          fr.arrival_seq[e.device] = queue.scheduled_count();
-        queue.push(now + random::exponential(rng, u.arrival_rate),
-                   EventKind::kArrival, e.device);
-        break;
-      }
-      case EventKind::kLocalDeparture: {
-        if constexpr (WithFaults) {
-          if (e.seq != fr.departure_seq[e.device]) break;  // stale chain
-        }
-        dev.integrate_to(now);
-        MEC_ASSERT(!dev.local_queue.empty());
-        const double arrived_at = dev.local_queue.front();
-        dev.local_queue.pop_front();
-        if (measuring) {
-          ++dev.local_completed;
-          // Sojourn clipped to the window start for tasks arriving in warm-up:
-          // only the portion spent inside the measurement window counts, so a
-          // long transient backlog cannot leak into the steady-state mean.
-          const double sojourn = now - std::max(arrived_at, options.warmup);
-          dev.local_sojourn_sum += sojourn;
-          local_sojourns.add(sojourn);
-        }
-        if (!dev.local_queue.empty()) {
-          if constexpr (WithFaults)
-            fr.departure_seq[e.device] = queue.scheduled_count();
-          queue.push(now + options.service(rng, u),
-                     EventKind::kLocalDeparture, e.device);
-        } else {
-          if constexpr (WithFaults)
-            fr.departure_seq[e.device] = FaultRuntime::kNoEvent;
-        }
-        break;
-      }
-      case EventKind::kOffloadDelivery:
-        // Task completed at the edge; all accounting happened at decision
-        // time (the delay is known then). Kept as an explicit event so
-        // in-flight work is visible to future extensions.
-        break;
-      case EventKind::kFault:
-        // Handled (and `continue`d) before the device references above; a
-        // kFault can only reach the switch in the WithFaults instantiation.
-        MEC_ASSERT(WithFaults);
-        break;
-    }
-  }
-
-  // Flush trailing samples and epochs (in the same order the event loop
-  // fires them), then close the queue-length integrals.  The epoch flush
-  // matters for the closed loop: without it, every broadcast epoch falling
-  // between the last event <= t_end and t_end — always including an epoch
-  // at t_end itself — was silently dropped, losing the final threshold
-  // update(s) of Algorithm 1.
-  while (next_sample <= t_end) {
-    record_sample(next_sample);
-    next_sample += options.sample_interval;
-  }
-  while (next_epoch <= t_end) {
-    options.on_epoch(next_epoch, current_gamma(next_epoch));
-    next_epoch += options.epoch_period;
-  }
-  for (DeviceState& d : devices) d.integrate_to(t_end);
-  if constexpr (WithFaults) {
-    if (measuring) integrate_env(t_end);
-    // A run so short no event crossed the warm-up boundary: treat the whole
-    // window as nominal so the utilization denominator stays finite.
-    if (fr.scale_integral == 0.0) fr.scale_integral = options.horizon;
-  }
-
-  SimulationResult result;
-  result.horizon = options.horizon;
-  result.total_events = events;
-  result.local_sojourn_percentiles = local_sojourns;
-  result.offload_delay_percentiles = offload_delays;
-  result.timeline = std::move(timeline);
-  result.devices.reserve(n_devices);
-  const double window = options.horizon;
-
-  double cost_acc = 0.0, q_acc = 0.0, alpha_acc = 0.0;
-  std::uint32_t participating = 0;
-  // Under faults the denominator is the *time-averaged* available capacity
-  // over the window (edge_capacity * mean scale * window); fault-free it
-  // reduces to the familiar offloads / (window * N * c).
-  double gamma_denom = window * edge_capacity;
-  if constexpr (WithFaults) gamma_denom = edge_capacity * fr.scale_integral;
-  const double gamma_measured =
-      static_cast<double>(offloads_in_window) / gamma_denom;
-  for (std::uint32_t n = 0; n < n_devices; ++n) {
-    if constexpr (WithFaults) {
-      // Churn slots that never joined report all-zero stats and must not
-      // dilute the population means (their empirical cost is not zero —
-      // the Eq.-(1) functional of an idle device is w*p_L).
-      if (fr.state[n] == FaultRuntime::kNotJoined) {
-        result.devices.emplace_back();
-        continue;
-      }
-    }
-    ++participating;
-    const DeviceState& dev = devices[n];
-    const core::UserParams& u = users[n];
-    DeviceStats s;
-    s.arrivals = dev.arrivals;
-    s.offloaded = dev.offloaded;
-    s.local_completed = dev.local_completed;
-    s.mean_queue_length = dev.queue_integral / window;
-    s.offload_fraction =
-        dev.arrivals > 0
-            ? static_cast<double>(dev.offloaded) /
-                  static_cast<double>(dev.arrivals)
-            : 0.0;
-    s.mean_local_sojourn =
-        dev.local_completed > 0
-            ? dev.local_sojourn_sum / static_cast<double>(dev.local_completed)
-            : 0.0;
-    s.mean_offload_delay =
-        dev.offloaded > 0
-            ? dev.offload_delay_sum / static_cast<double>(dev.offloaded)
-            : 0.0;
-    s.energy_per_task =
-        dev.arrivals > 0
-            ? dev.energy_sum / static_cast<double>(dev.arrivals)
-            : 0.0;
-    // Empirical Eq.-(1) cost: measured alpha, measured mean queue, measured
-    // per-offload delay (latency + edge processing).
-    s.empirical_cost =
-        u.weight * u.energy_local * (1.0 - s.offload_fraction) +
-        s.mean_queue_length / u.arrival_rate +
-        (u.weight * u.energy_offload + s.mean_offload_delay) *
-            s.offload_fraction;
-    cost_acc += s.empirical_cost;
-    q_acc += s.mean_queue_length;
-    alpha_acc += s.offload_fraction;
-    result.devices.push_back(s);
-  }
-  result.measured_utilization = gamma_measured;
-  result.mean_cost = cost_acc / static_cast<double>(participating);
-  result.mean_queue_length = q_acc / static_cast<double>(participating);
-  result.mean_offload_fraction = alpha_acc / static_cast<double>(participating);
-  if constexpr (WithFaults) {
-    fr.stats.mean_capacity_scale = fr.scale_integral / window;
-    fr.stats.participating_devices = participating;
-    result.faults = fr.stats;
-  }
-  return result;
-}
-
-/// Picks the fault-free or fault-aware instantiation of the event loop.
+/// Picks the fault-free or fault-aware instantiation of the engine.
 template <class Decide>
 SimulationResult dispatch_run(const std::vector<core::UserParams>& users,
                               std::size_t n_initial, double capacity,
@@ -738,10 +27,10 @@ SimulationResult dispatch_run(const std::vector<core::UserParams>& users,
                               const SimulationOptions& options,
                               SimWorkspace::Impl& ws, const Decide& decide) {
   if (options.faults && !options.faults->empty())
-    return run_simulation<true>(users, n_initial, capacity, delay, options, ws,
-                                decide);
-  return run_simulation<false>(users, n_initial, capacity, delay, options, ws,
-                               decide);
+    return engine::run_sharded<true>(users, n_initial, capacity, delay,
+                                     options, ws, decide);
+  return engine::run_sharded<false>(users, n_initial, capacity, delay, options,
+                                    ws, decide);
 }
 
 }  // namespace

@@ -97,6 +97,13 @@ struct SimulationOptions {
   ///     schedule order; policy/threshold spans must cover them (see
   ///     total_devices()).  Departures retire an active device for good.
   std::shared_ptr<const fault::FaultSchedule> faults;
+  /// Shard count for the run's device partition: 0 (default) defers to the
+  /// MEC_SHARDS environment variable (itself defaulting to 1), an explicit
+  /// value >= 1 wins; either way the count is capped at the population
+  /// size.  Results are bit-identical for every shard count — sharding
+  /// trades nothing but wall-clock (see parallel/shard_executor.hpp and
+  /// docs/ARCHITECTURE.md for the exactness argument).
+  std::size_t shards = 0;
 };
 
 /// Reusable per-run simulation state (device states, RNG streams, the

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "mec/stats/quantile.hpp"
+#include "mec/stats/latency_sketch.hpp"
 
 namespace mec::sim {
 
@@ -80,9 +80,10 @@ struct FaultStats {
 struct SimulationResult {
   std::vector<DeviceStats> devices;
   /// Population-level per-task latency percentiles over the measurement
-  /// window (P-square estimators; empty when no tasks of the kind occurred).
-  stats::LatencyPercentiles local_sojourn_percentiles;
-  stats::LatencyPercentiles offload_delay_percentiles;
+  /// window (mergeable log-binned sketches, so per-shard partials combine
+  /// exactly; empty when no tasks of the kind occurred).
+  stats::LatencySketch local_sojourn_percentiles;
+  stats::LatencySketch offload_delay_percentiles;
   /// Sampled system trajectory; empty unless sampling was enabled.
   std::vector<TimelinePoint> timeline;
   /// Degraded-mode accounting (all nominal when no FaultSchedule ran).

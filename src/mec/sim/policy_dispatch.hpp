@@ -1,0 +1,68 @@
+// Policy-dispatch layer: how the engine asks "offload this arrival?".
+//
+// The analytic TRO rule is shared verbatim by three interchangeable decision
+// providers — a sealed value fast path, a sealed live-pointer fast path for
+// the closed loop, and the generic virtual dispatch — instantiated into the
+// event loop as a template parameter so the all-TRO case pays no virtual
+// call.  Determinism contract: every provider consumes *exactly* the RNG
+// draws the equivalent OffloadPolicy::offload() would (one Bernoulli at the
+// boundary state, none elsewhere), so all instantiations are bit-identical
+// for a given seed, and the decision depends only on (device, queue length,
+// device RNG) — never on other devices or the edge state — which is what
+// lets shards decide independently between barriers.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+
+#include "mec/random/rng.hpp"
+#include "mec/sim/policies.hpp"
+
+namespace mec::sim {
+
+/// The TRO decision rule, shared verbatim by the sealed fast paths and
+/// (through TroPolicy / MutableTroPolicy) the virtual path: both consume
+/// exactly one Bernoulli draw at the boundary state and none elsewhere, so
+/// the paths are bit-identical for a given seed.
+inline bool tro_offload(double threshold, std::uint64_t queue_length,
+                        random::Xoshiro256& rng) {
+  const double fl = std::floor(threshold);
+  const auto floor_int = static_cast<std::uint64_t>(fl);
+  if (queue_length < floor_int) return false;
+  if (queue_length == floor_int)
+    return !random::bernoulli(rng, threshold - fl);
+  return true;
+}
+
+/// Fast path for run_tro: fixed thresholds read straight from the caller's
+/// array, no policy objects at all.
+struct TroValueDecide {
+  const double* thresholds;
+  bool operator()(std::uint32_t device, std::uint64_t queue_length,
+                  random::Xoshiro256& rng) const {
+    return tro_offload(thresholds[device], queue_length, rng);
+  }
+};
+
+/// Fast path for run(policies) when every policy is TRO-family: live
+/// threshold pointers, re-read per decision so epoch-callback retuning of
+/// MutableTroPolicy takes effect immediately.
+struct TroPointerDecide {
+  const double* const* thresholds;
+  bool operator()(std::uint32_t device, std::uint64_t queue_length,
+                  random::Xoshiro256& rng) const {
+    return tro_offload(*thresholds[device], queue_length, rng);
+  }
+};
+
+/// Generic path: one virtual call per arrival (DPO, custom policies).
+struct VirtualDecide {
+  const std::unique_ptr<OffloadPolicy>* policies;
+  bool operator()(std::uint32_t device, std::uint64_t queue_length,
+                  random::Xoshiro256& rng) const {
+    return policies[device]->offload(queue_length, rng);
+  }
+};
+
+}  // namespace mec::sim

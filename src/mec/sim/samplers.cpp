@@ -1,0 +1,81 @@
+// Service- and latency-sampler factories (the pluggable distribution layer
+// of SimulationOptions).  Split from the engine so distribution changes
+// never touch — or recompile — the event-loop translation units.
+#include <cmath>
+#include <cstddef>
+#include <utility>
+
+#include "mec/common/error.hpp"
+#include "mec/sim/mec_simulation.hpp"
+
+namespace mec::sim {
+
+ServiceSampler exponential_service() {
+  return [](random::Xoshiro256& rng, const core::UserParams& u) {
+    return random::exponential(rng, u.service_rate);
+  };
+}
+
+ServiceSampler deterministic_service() {
+  return [](random::Xoshiro256&, const core::UserParams& u) {
+    return 1.0 / u.service_rate;
+  };
+}
+
+ServiceSampler empirical_service(random::EmpiricalDataset times) {
+  MEC_EXPECTS(times.mean() > 0.0);
+  const double dataset_mean = times.mean();
+  return [times = std::move(times), dataset_mean](
+             random::Xoshiro256& rng, const core::UserParams& u) {
+    return times.resample(rng) / (dataset_mean * u.service_rate);
+  };
+}
+
+ServiceSampler erlang_service(std::size_t stages) {
+  MEC_EXPECTS(stages >= 1);
+  return [stages](random::Xoshiro256& rng, const core::UserParams& u) {
+    const double stage_rate =
+        static_cast<double>(stages) * u.service_rate;
+    double total = 0.0;
+    for (std::size_t i = 0; i < stages; ++i)
+      total += random::exponential(rng, stage_rate);
+    return total;
+  };
+}
+
+ServiceSampler hyperexponential_service(double scv) {
+  MEC_EXPECTS(scv >= 1.0);
+  // Balanced-means H2 fit (cf. queueing::hyperexponential_from_scv): branch
+  // probability p with rates 2p*s and 2(1-p)*s for mean 1/s.
+  const double p = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+  return [p](random::Xoshiro256& rng, const core::UserParams& u) {
+    const bool first = random::bernoulli(rng, p);
+    const double rate =
+        first ? 2.0 * p * u.service_rate : 2.0 * (1.0 - p) * u.service_rate;
+    return random::exponential(rng, rate);
+  };
+}
+
+LatencySampler exponential_latency() {
+  return [](random::Xoshiro256& rng, const core::UserParams& u) {
+    if (u.offload_latency <= 0.0) return 0.0;
+    return random::exponential(rng, 1.0 / u.offload_latency);
+  };
+}
+
+LatencySampler deterministic_latency() {
+  return [](random::Xoshiro256&, const core::UserParams& u) {
+    return u.offload_latency;
+  };
+}
+
+LatencySampler empirical_latency(random::EmpiricalDataset latencies) {
+  MEC_EXPECTS(latencies.mean() > 0.0);
+  const double dataset_mean = latencies.mean();
+  return [latencies = std::move(latencies), dataset_mean](
+             random::Xoshiro256& rng, const core::UserParams& u) {
+    return latencies.resample(rng) * (u.offload_latency / dataset_mean);
+  };
+}
+
+}  // namespace mec::sim

@@ -1,0 +1,70 @@
+#include "mec/stats/latency_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mec::stats {
+
+std::size_t LatencySketch::bin_of(double value) noexcept {
+  if (!(value > 0.0)) return 0;  // non-positive and NaN clamp low
+  const double scaled =
+      std::floor(std::log2(value) * static_cast<double>(kBinsPerOctave));
+  const double idx =
+      scaled - static_cast<double>(kMinExp * kBinsPerOctave);
+  if (idx <= 0.0) return 0;
+  if (idx >= static_cast<double>(kBins - 1)) return kBins - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+void LatencySketch::add(double value) noexcept {
+  if (counts_.empty()) counts_.assign(kBins, 0);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  ++counts_[bin_of(value)];
+}
+
+void LatencySketch::merge(const LatencySketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  if (counts_.empty()) counts_.assign(kBins, 0);
+  for (std::size_t i = 0; i < kBins; ++i) counts_[i] += other.counts_[i];
+}
+
+double LatencySketch::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile in the sorted sample, 1-based; ceil so q = 0.5
+  // of a 2-sample stream picks the first sample, matching the empirical
+  // inverse-CDF convention.
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(target));
+  if (rank < 1) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBins; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      // Geometric midpoint of the bin, clamped into the observed range so
+      // degenerate streams (all samples equal) are reported exactly.
+      const double exponent =
+          (static_cast<double>(i) + 0.5) /
+              static_cast<double>(kBinsPerOctave) +
+          static_cast<double>(kMinExp);
+      return std::clamp(std::exp2(exponent), min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace mec::stats

@@ -61,6 +61,11 @@ common flags:
   --regime=<low|eq|high>                          (default eq)
   --n=<users> --seed=<seed> --capacity=<c> --latency-mean=<s>
 
+sharded execution (simulate, closedloop):
+  --shards=<k>                   partition one run's devices over k event
+                                 queues (bit-identical for any k; default
+                                 honors MEC_SHARDS, then 1)
+
 fault injection (simulate, closedloop):
   --fault-schedule=<file.fault>  deterministic fault/churn schedule
                                  (also embeddable as `fault = ...` lines of
@@ -223,7 +228,7 @@ int cmd_dtu(const io::Args& args) {
 int cmd_simulate(const io::Args& args) {
   auto known = kCommonFlags;
   known.insert({"horizon", "warmup", "service", "replications", "threads",
-                "confidence", "fault-schedule"});
+                "confidence", "fault-schedule", "shards"});
   args.reject_unknown(known);
   const auto cfg = build_scenario(args);
   const auto pop = population::sample_population(
@@ -238,6 +243,7 @@ int cmd_simulate(const io::Args& args) {
   so.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
   so.fixed_gamma = mfne.gamma_star;
   so.faults = faults;
+  so.shards = static_cast<std::size_t>(args.get_long("shards", 0));
   const std::string service = args.get_string("service", "exp");
   if (service == "erlang4")
     so.service = sim::erlang_service(4);
@@ -283,7 +289,7 @@ int cmd_simulate(const io::Args& args) {
 int cmd_closedloop(const io::Args& args) {
   auto known = kCommonFlags;
   known.insert({"horizon", "period", "eta0", "epsilon", "async", "trace",
-                "fault-schedule", "drift-margin", "csv"});
+                "fault-schedule", "drift-margin", "csv", "shards"});
   args.reject_unknown(known);
   const auto cfg = build_scenario(args);
   const auto pop = population::sample_population(
@@ -297,6 +303,7 @@ int cmd_closedloop(const io::Args& args) {
   opt.eta0 = args.get_double("eta0", opt.eta0);
   opt.epsilon = args.get_double("epsilon", opt.epsilon);
   opt.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+  opt.shards = static_cast<std::size_t>(args.get_long("shards", 0));
   const double async = args.get_double("async", 1.0);
   if (async < 1.0) opt.update_gate = core::make_bernoulli_gate(async, 1);
   opt.faults = build_faults(args, cfg);
