@@ -25,8 +25,9 @@ int main(int argc, char** argv) try {
   using namespace mec;
   const io::Args args =
       io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"out-dir"});
+  args.reject_unknown({"out-dir", "stream-log"});
   const std::string out_dir = args.get_string("out-dir", "results");
+  const std::string stream_log = args.get_string("stream-log", "");
   const auto pop = population::sample_population(
       population::theoretical_scenario(population::LoadRegime::kAtService,
                                        500),
@@ -48,6 +49,12 @@ int main(int argc, char** argv) try {
     opt.update_period = period;
     opt.horizon = 150.0 * period;  // same number of epochs per row
     opt.seed = 7;
+    if (period == 5.0 && !stream_log.empty()) {
+      // Stream the representative row (the one the CSV also exports).
+      opt.stream_log = stream_log;
+      opt.sample_interval = period;
+      opt.record_timeline = false;
+    }
     const sim::ClosedLoopResult r =
         run_closed_loop(pop.users, cfg.capacity, cfg.delay, opt);
     table.add_row(
@@ -106,6 +113,8 @@ int main(int argc, char** argv) try {
       "absorbs the measurement jitter.\n"
       "wrote %s\n",
       csv_path.c_str());
+  if (!stream_log.empty())
+    std::printf("telemetry stream written to %s\n", stream_log.c_str());
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

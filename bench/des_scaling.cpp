@@ -17,11 +17,16 @@
 //   des_scaling --out=F      appends the BENCH JSON lines to file F as well
 //   des_scaling --baseline=F overrides the baseline file path (smoke mode)
 //   des_scaling --shards=K   forces K shards for the N sweep; without it the
-//                            sweep runs the engine default and then re-runs
+//                            sweep runs serial (K = 1 — the point is
+//                            per-event cost, so the engine's shard autotune
+//                            must not kick in on big boxes) and then re-runs
 //                            the largest N at K in {2, 4} to report the
 //                            sharded speedup (bit-identical results by
 //                            construction; the harness asserts the event
 //                            counts match)
+//   des_scaling --stream-log=F  after the timed sweep, replays the largest
+//                            case once with windowed telemetry streamed to
+//                            F (untimed, so the BENCH numbers stay pure)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -66,7 +71,8 @@ struct CaseResult {
   double events_per_sec = 0.0;
 };
 
-CaseResult run_case(std::size_t n, int repetitions, std::size_t shards) {
+CaseResult run_case(std::size_t n, int repetitions, std::size_t shards,
+                    const std::string& stream_log = "") {
   const auto users = make_users(n);
   // Keep total events roughly constant (~3-4M) across N so each case
   // measures per-event cost, not run length.
@@ -78,6 +84,11 @@ CaseResult run_case(std::size_t n, int repetitions, std::size_t shards) {
   options.seed = 7;
   options.fixed_gamma = 0.2;
   options.shards = shards;
+  if (!stream_log.empty()) {
+    options.stream_log = stream_log;
+    options.sample_interval = horizon / 50.0;
+    options.record_timeline = false;
+  }
   const mec::sim::MecSimulation sim(users, 10.0,
                                     mec::core::make_reciprocal_delay(),
                                     options);
@@ -151,13 +162,18 @@ double read_floor(const std::string& path) {
 int main(int argc, char** argv) {
   const mec::io::Args args =
       mec::io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"smoke", "full", "out", "baseline", "reps", "shards"});
+  args.reject_unknown(
+      {"smoke", "full", "out", "baseline", "reps", "shards", "stream-log"});
   const bool smoke = args.get_bool("smoke", false);
   const bool full = args.get_bool("full", false);
   const int reps = static_cast<int>(args.get_long("reps", 2));
   const std::string out_path = args.get_string("out", "");
-  // Shard count for the N sweep (0 = the engine default: MEC_SHARDS or 1).
-  const auto shards = static_cast<std::size_t>(args.get_long("shards", 0));
+  // Shard count for the N sweep.  Without --shards the sweep pins K = 1
+  // rather than passing 0 to the engine: 0 now means "autotune", and a
+  // big box silently sharding the base sweep would change what the bench
+  // measures (serial per-event cost) and poison the speedup column.
+  const auto shards =
+      static_cast<std::size_t>(args.get_long("shards", 1));
 
   std::vector<std::size_t> sizes;
   if (smoke) {
@@ -179,7 +195,7 @@ int main(int argc, char** argv) {
     if (out) out << line << "\n";
   }
 
-  if (!smoke && shards == 0) {
+  if (!smoke && !args.has("shards")) {
     // Shard-count axis: the same largest-N run partitioned over K event
     // queues.  Results are bit-identical for every K (asserted here on the
     // event count), so the speedup column is a pure wall-clock comparison.
@@ -197,6 +213,15 @@ int main(int argc, char** argv) {
       std::printf("shards=%zu speedup over 1: %.2fx (%.3fs -> %.3fs)\n", k,
                   base.seconds / c.seconds, base.seconds, c.seconds);
     }
+  }
+
+  if (args.has("stream-log")) {
+    // One untimed replay of the largest case with telemetry on: produces a
+    // viewable/CI-checkable artifact without touching the BENCH numbers.
+    const CaseResult& base = results.back();
+    run_case(base.n, 1, shards, args.get_string("stream-log", ""));
+    std::printf("telemetry stream written to %s\n",
+                args.get_string("stream-log", "").c_str());
   }
 
   if (smoke) {

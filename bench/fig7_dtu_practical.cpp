@@ -28,7 +28,8 @@ namespace {
 
 void run_regime(mec::population::LoadRegime regime, char tag,
                 double paper_star, const mec::parallel::ReplicationOptions& ro,
-                mec::parallel::ThreadPool& pool, const std::string& out_dir) {
+                mec::parallel::ThreadPool& pool, const std::string& out_dir,
+                const std::string& stream_log = "") {
   using namespace mec;
   const population::ScenarioConfig cfg = population::practical_scenario(regime);
   const auto pop = population::sample_population(cfg, 21);
@@ -90,6 +91,18 @@ void run_regime(mec::population::LoadRegime regime, char tag,
   io::write_csv(csv, {"t", "gamma", "gamma_hat", "gamma_star"},
                 {t, gamma, gamma_hat, star});
   std::printf("wrote %s (%zu rows)\n", csv.c_str(), t.size());
+
+  if (!stream_log.empty()) {
+    // Replications cannot share one log, so stream a single representative
+    // run of the converged thresholds (same options, base seed).
+    sim::SimulationOptions streamed = so;
+    streamed.stream_log = stream_log;
+    streamed.sample_interval = 1.0;
+    streamed.record_timeline = false;
+    sim::MecSimulation des_one(pop.users, cfg.capacity, cfg.delay, streamed);
+    (void)des_one.run_tro(dtu.thresholds);
+    std::printf("telemetry stream written to %s\n\n", stream_log.c_str());
+  }
 }
 
 }  // namespace
@@ -98,7 +111,8 @@ int main(int argc, char** argv) try {
   using namespace mec;
   const io::Args args =
       io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"replications", "threads", "confidence", "out-dir"});
+  args.reject_unknown(
+      {"replications", "threads", "confidence", "out-dir", "stream-log"});
   const std::string out_dir = args.get_string("out-dir", "results");
   parallel::ReplicationOptions ro;
   ro.replications = static_cast<std::size_t>(args.get_long("replications", 8));
@@ -110,7 +124,9 @@ int main(int argc, char** argv) try {
       "=== Fig. 7: DTU convergence, practical settings (async p=0.8) ===\n\n");
   run_regime(population::LoadRegime::kBelowService, 'a', 0.43, ro, pool,
              out_dir);
-  run_regime(population::LoadRegime::kAtService, 'b', 0.44, ro, pool, out_dir);
+  // The at-service regime is the representative streamed run.
+  run_regime(population::LoadRegime::kAtService, 'b', 0.44, ro, pool, out_dir,
+             args.get_string("stream-log", ""));
   run_regime(population::LoadRegime::kAboveService, 'c', 0.46, ro, pool,
              out_dir);
   return 0;

@@ -4,6 +4,7 @@
 // parallel replication engine's scaling across thread counts.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <vector>
 
 #include "mec/core/best_response.hpp"
@@ -94,6 +95,39 @@ void BM_DesEventThroughput(benchmark::State& state) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_DesEventThroughput)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// Same workload with windowed telemetry streamed to a .meclog (one window
+// per simulated second, in-memory timeline off).  The delta against
+// BM_DesEventThroughput is the full cost of the streaming path: counter
+// sampling, window folding, and the per-frame flush.
+void BM_DesStreamedThroughput(benchmark::State& state) {
+  const auto& pop = shared_population(10000);
+  const auto users = std::span<const core::UserParams>(
+      pop.users.data(), static_cast<std::size_t>(state.range(0)));
+  sim::SimulationOptions o;
+  o.warmup = 0.0;
+  o.horizon = 20.0;
+  o.fixed_gamma = 0.2;
+  o.sample_interval = 1.0;
+  o.stream_log = "micro_stream_bench.meclog";
+  o.record_timeline = false;
+  sim::MecSimulation sim(users, 10.0, core::make_reciprocal_delay(), o);
+  const std::vector<double> xs(users.size(), 2.0);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const sim::SimulationResult r = sim.run_tro(xs);
+    events += r.total_events;
+    benchmark::DoNotOptimize(r.mean_cost);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  std::remove("micro_stream_bench.meclog");
+}
+BENCHMARK(BM_DesStreamedThroughput)
     ->Arg(100)
     ->Arg(1000)
     ->Unit(benchmark::kMillisecond);

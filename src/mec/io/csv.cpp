@@ -41,6 +41,12 @@ std::string output_path(const std::string& dir, const std::string& filename) {
   if (ec)
     throw RuntimeError("cannot create output directory " + dir + ": " +
                        ec.message());
+  // create_directories reports success-without-error when the path already
+  // exists — even as a regular file.  Catch that here with a clear message
+  // instead of letting the caller's open fail with a confusing ENOTDIR.
+  if (!std::filesystem::is_directory(dir, ec))
+    throw RuntimeError("output directory " + dir +
+                       " exists but is not a directory");
   return (std::filesystem::path(dir) / filename).string();
 }
 

@@ -20,7 +20,8 @@ void write_csv(const std::string& path,
 /// bench binaries can route their generated CSVs under an output directory
 /// (`results/` by convention — generated artifacts never live in the repo
 /// root).  An empty `dir` returns `filename` unchanged.  Throws
-/// mec::RuntimeError when the directory cannot be created.
+/// mec::RuntimeError when the directory cannot be created (unwritable
+/// parent) or when `dir` exists but is not a directory.
 std::string output_path(const std::string& dir, const std::string& filename);
 
 }  // namespace mec::io

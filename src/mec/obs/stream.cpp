@@ -1,0 +1,87 @@
+#include "mec/obs/stream.hpp"
+
+#include <cstdio>
+
+#include "mec/common/error.hpp"
+
+namespace mec::obs {
+namespace {
+
+/// Snapshot of a cumulative sketch; all zeros while the sketch is empty
+/// (min()/max() of an empty sketch are sentinels, not data).
+void snapshot(const stats::LatencySketch* sketch, std::uint64_t& count,
+              double& min, double& max, double& p50, double& p95,
+              double& p99) {
+  if (sketch == nullptr || sketch->count() == 0) {
+    count = 0;
+    min = max = p50 = p95 = p99 = 0.0;
+    return;
+  }
+  count = sketch->count();
+  min = sketch->min();
+  max = sketch->max();
+  p50 = sketch->p50();
+  p95 = sketch->p95();
+  p99 = sketch->p99();
+}
+
+}  // namespace
+
+StreamingSink::StreamingSink(const std::string& path, const RunLogMeta& meta,
+                             bool with_counters)
+    : writer_(path, meta), with_counters_(with_counters) {}
+
+void StreamingSink::on_sample(const sim::TimelinePoint& point) {
+  staged_point_ = point;
+  staged_ = true;
+}
+
+void StreamingSink::commit_window(const WindowExtras& extras) {
+  MEC_EXPECTS_MSG(staged_, "commit_window without a staged sample");
+  MEC_EXPECTS(extras.threshold_histogram.empty() ||
+              extras.threshold_histogram.size() == kThresholdBins);
+  staged_ = false;
+
+  WindowRecord win;
+  win.time = staged_point_.time;
+  win.gamma = staged_point_.utilization_estimate;
+  win.mean_queue_length = staged_point_.mean_queue_length;
+  win.queue_second_moment = extras.queue_second_moment;
+  win.capacity_scale = staged_point_.capacity_scale;
+  win.active_devices = staged_point_.active_devices;
+  win.offloads_so_far = staged_point_.offloads_so_far;
+  win.offloads_delta = staged_point_.offloads_so_far - prev_offloads_;
+  win.events_so_far = extras.events_so_far;
+  win.events_delta = extras.events_so_far - prev_events_;
+  prev_offloads_ = staged_point_.offloads_so_far;
+  prev_events_ = extras.events_so_far;
+
+  snapshot(extras.sojourns, win.sojourn_count, win.sojourn_min,
+           win.sojourn_max, win.sojourn_p50, win.sojourn_p95, win.sojourn_p99);
+  snapshot(extras.offload_delays, win.offload_count, win.offload_min,
+           win.offload_max, win.offload_p50, win.offload_p95, win.offload_p99);
+
+  win.tasks_lost = extras.tasks_lost;
+  win.offloads_rejected = extras.offloads_rejected;
+  win.offloads_penalized = extras.offloads_penalized;
+  win.fault_events_applied = extras.fault_events_applied;
+  for (std::size_t b = 0; b < extras.threshold_histogram.size(); ++b)
+    win.threshold_histogram[b] = extras.threshold_histogram[b];
+
+  writer_.append_window(win);
+}
+
+void StreamingSink::append_counters(std::span<const CounterValue> values) {
+  if (!with_counters_) return;
+  writer_.append_counters(values);
+}
+
+void StreamingSink::finish(const RunFooter& footer) { writer_.finish(footer); }
+
+std::string meta_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace mec::obs

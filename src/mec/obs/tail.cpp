@@ -1,0 +1,201 @@
+#include "mec/obs/tail.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "mec/common/error.hpp"
+#include "mec/io/ascii_plot.hpp"
+#include "mec/io/table.hpp"
+#include "mec/obs/counters.hpp"
+#include "mec/obs/run_log.hpp"
+
+namespace mec::obs {
+namespace {
+
+std::string value_cell(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(v);
+    return os.str();
+  }
+  return io::TextTable::fmt(v, 4);
+}
+
+// Meta keys worth a line in the header (in display order).
+constexpr const char* kHeaderKeys[] = {"n_devices", "seed",   "shards",
+                                       "gamma",     "warmup", "horizon",
+                                       "window",    "faults"};
+
+void render(std::ostream& os, const std::string& path, const LogScan& scan,
+            bool ansi) {
+  if (ansi) os << "\x1b[2J\x1b[H";
+  os << "mec tail -- " << path << '\n';
+  std::string meta_line;
+  for (const char* key : kHeaderKeys) {
+    for (const auto& [k, v] : scan.meta) {
+      if (k != key) continue;
+      if (!meta_line.empty()) meta_line += "  ";
+      meta_line += k + "=" + v;
+    }
+  }
+  if (!meta_line.empty()) os << meta_line << '\n';
+  os << '\n';
+
+  if (!scan.windows.empty()) {
+    io::Series gamma;
+    gamma.label = "gamma";
+    gamma.x.reserve(scan.windows.size());
+    gamma.y.reserve(scan.windows.size());
+    for (const WindowRecord& w : scan.windows) {
+      gamma.x.push_back(w.time);
+      gamma.y.push_back(w.gamma);
+    }
+    io::PlotOptions po;
+    po.width = 64;
+    po.height = 12;
+    po.title = "gamma trajectory (" + std::to_string(scan.windows.size()) +
+               " windows)";
+    po.x_label = "time";
+    po.y_label = "gamma";
+    os << io::line_plot(std::span<const io::Series>(&gamma, 1), po) << '\n';
+
+    const WindowRecord& latest = scan.windows.back();
+    std::uint64_t total = 0;
+    std::size_t top = 0;
+    for (std::size_t b = 0; b < latest.threshold_histogram.size(); ++b) {
+      total += latest.threshold_histogram[b];
+      if (latest.threshold_histogram[b] > 0) top = b;
+    }
+    if (total > 0) {
+      std::vector<double> edges(top + 1), mass(top + 1);
+      for (std::size_t b = 0; b <= top; ++b) {
+        edges[b] = static_cast<double>(b);
+        mass[b] = static_cast<double>(latest.threshold_histogram[b]) /
+                  static_cast<double>(total);
+      }
+      io::PlotOptions po2;
+      po2.width = 48;
+      po2.title = "threshold histogram (latest window, t=" +
+                  io::TextTable::fmt(latest.time, 2) + ")";
+      po2.x_label = "floor(threshold)";
+      os << io::bar_chart(edges, mass, po2) << '\n';
+    }
+  }
+
+  if (!scan.counters.empty()) {
+    io::TextTable table("engine counters (latest sample)");
+    table.set_header({"counter", "shard", "value"});
+    for (const CounterValue& v : scan.counters.back()) {
+      table.add_row({counter_name(static_cast<Counter>(v.id)),
+                     v.shard == kGlobalShard ? std::string("-")
+                                             : std::to_string(v.shard),
+                     value_cell(v.value)});
+    }
+    os << table.to_string() << '\n';
+  }
+
+  os << "windows=" << scan.windows.size()
+     << " counter_frames=" << scan.counters.size();
+  if (scan.footer.has_value())
+    os << "  complete (events=" << scan.footer->total_events
+       << ", measured gamma=" << io::TextTable::fmt(
+              scan.footer->measured_utilization, 4)
+       << ")";
+  else if (scan.truncated)
+    os << "  partial frame at tail (run in flight or killed)";
+  else
+    os << "  no footer yet";
+  if (scan.corrupt) os << "  CORRUPT: " << scan.error;
+  os << '\n';
+}
+
+int finish(std::ostream& os, const LogScan& scan, const TailOptions& options) {
+  if (!options.csv.empty())
+    export_windows_csv(scan, options.csv, options.hist_csv);
+  if (scan.corrupt) {
+    os << "error: " << scan.error << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+int run_check(std::ostream& os, const std::string& path,
+              const TailOptions& options) {
+  const LogScan scan = scan_log(path);
+  if (scan.corrupt) {
+    os << "FAIL " << path << ": " << scan.error << '\n';
+    return 1;
+  }
+  if (!scan.footer.has_value()) {
+    os << "FAIL " << path << ": incomplete log (no footer frame"
+       << (scan.truncated ? "; truncated tail" : "") << ")\n";
+    return 1;
+  }
+  if (!options.csv.empty())
+    export_windows_csv(scan, options.csv, options.hist_csv);
+  os << "OK " << path << ": " << scan.windows.size() << " windows, "
+     << scan.counters.size() << " counter frames, "
+     << scan.footer->total_events << " events\n";
+  return 0;
+}
+
+}  // namespace
+
+int run_tail(const std::string& path, const TailOptions& options) {
+  std::ostream& os = options.out != nullptr ? *options.out : std::cout;
+  try {
+    if (options.check) return run_check(os, path, options);
+    if (!options.follow) {
+      const LogScan scan = scan_log(path);
+      render(os, path, scan, /*ansi=*/false);
+      return finish(os, scan, options);
+    }
+
+    RunLogReader reader(path);
+    LogScan scan;
+    Frame frame;
+    std::uint64_t index = 0;
+    std::uint64_t updates = 0;
+    for (;;) {
+      bool progressed = false;
+      for (;;) {
+        const ReadStatus status = reader.next(frame);
+        if (status == ReadStatus::kFrame) {
+          if (!apply_frame(scan, frame, index)) break;
+          ++index;
+          progressed = true;
+          continue;
+        }
+        if (status == ReadStatus::kCorrupt) {
+          scan.corrupt = true;
+          scan.error =
+              "corrupt frame (bad header or CRC mismatch) at frame index " +
+              std::to_string(index);
+        }
+        // kEndOfData / kTruncated: the tail may still be growing.
+        break;
+      }
+      if (progressed || updates == 0) {
+        render(os, path, scan, options.ansi);
+        ++updates;
+      }
+      const bool done = scan.footer.has_value() || scan.corrupt ||
+                        (options.max_updates > 0 &&
+                         updates >= options.max_updates);
+      if (done) return finish(os, scan, options);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.interval_ms));
+    }
+  } catch (const std::exception& e) {
+    os << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace mec::obs

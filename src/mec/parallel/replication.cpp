@@ -64,6 +64,9 @@ ReplicationResult run_replications(std::span<const core::UserParams> users,
     thread_local sim::SimWorkspace workspace;
     sim::SimulationOptions run_options = base_options;
     run_options.seed = replication_seed(base_options.seed, r);
+    // Concurrent replications must not race on one stream-log path; a
+    // caller who wants telemetry streams a single representative run.
+    run_options.stream_log.clear();
     const sim::MecSimulation simulation(users, capacity, delay,
                                         std::move(run_options));
     results[r] = simulation.run_tro(thresholds, workspace);

@@ -1,16 +1,37 @@
 #include "mec/parallel/shard_executor.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 namespace mec::parallel {
 
-std::size_t resolve_shard_count(std::size_t requested) noexcept {
+namespace {
+/// Below this population a single queue wins: the per-barrier costs
+/// (fork/join latency, replay hand-off) outweigh the parallel leg work.
+constexpr std::size_t kAutoShardMinDevices = 10000;
+/// Minimum devices per shard once sharding is on.
+constexpr std::size_t kAutoShardDevicesPerShard = 5000;
+/// Diminishing returns past this many shards (barrier is a full join).
+constexpr std::size_t kAutoShardMaxShards = 16;
+}  // namespace
+
+std::size_t auto_shard_count(std::size_t n_devices,
+                             std::size_t hardware_threads) noexcept {
+  if (hardware_threads <= 1 || n_devices < kAutoShardMinDevices) return 1;
+  const std::size_t by_population = n_devices / kAutoShardDevicesPerShard;
+  return std::clamp<std::size_t>(
+      std::min(hardware_threads, by_population), 1, kAutoShardMaxShards);
+}
+
+std::size_t resolve_shard_count(std::size_t requested,
+                                std::size_t n_devices) noexcept {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("MEC_SHARDS")) {
     const long parsed = std::strtol(env, nullptr, 10);
     if (parsed > 0) return static_cast<std::size_t>(parsed);
   }
-  return 1;
+  return auto_shard_count(n_devices, std::thread::hardware_concurrency());
 }
 
 void ShardContext::reset(std::uint32_t lo_device, std::uint32_t hi_device,

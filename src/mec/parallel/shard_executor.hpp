@@ -33,10 +33,27 @@
 
 namespace mec::parallel {
 
+/// Autotuning heuristic: the shard count for an `n_devices` run on
+/// `hardware_threads` cores when nothing was requested.  Pure so the
+/// heuristic table is unit-testable:
+///   - K = 1 below the measured break-even population (~10^4 devices;
+///     barrier overhead dominates the parallel win under it) or on a
+///     single-core box;
+///   - otherwise min(hardware_threads, n_devices / 5000) clamped to
+///     [1, 16] — each shard keeps >= ~5000 devices so its event queue
+///     amortizes the per-leg synchronization.
+/// Sharding is bit-identical for every K, so the pick trades only
+/// wall-clock, never results.
+std::size_t auto_shard_count(std::size_t n_devices,
+                             std::size_t hardware_threads) noexcept;
+
 /// Shard count for a run: an explicit request wins; 0 defers to the
 /// MEC_SHARDS environment variable (so a whole test suite can be forced
-/// onto a shard count without touching call sites), defaulting to 1.
-std::size_t resolve_shard_count(std::size_t requested) noexcept;
+/// onto a shard count without touching call sites); with neither set, the
+/// auto_shard_count heuristic picks from the population size and
+/// std::thread::hardware_concurrency().
+std::size_t resolve_shard_count(std::size_t requested,
+                                std::size_t n_devices) noexcept;
 
 /// Lower bound of shard `s` of `shards` over `n` devices (contiguous
 /// partition; shard s owns [bound(s), bound(s+1))).

@@ -63,6 +63,10 @@ ClosedLoopResult run_closed_loop(std::span<const core::UserParams> users,
   sim_options.epoch_period = options.update_period;
   sim_options.faults = options.faults;
   sim_options.shards = options.shards;
+  sim_options.sample_interval = options.sample_interval;
+  sim_options.stream_log = options.stream_log;
+  sim_options.stream_counters = options.stream_counters;
+  sim_options.record_timeline = options.record_timeline;
   sim_options.on_epoch = [&](double now, double gamma_measured) {
     ++state.t;
     if (state.settled && options.resume_on_drift &&

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "mec/core/dtu.hpp"
@@ -48,10 +49,19 @@ struct ClosedLoopOptions {
   /// exact stopping rule.
   bool resume_on_drift = false;
   double drift_margin = 0.05;
-  /// Shard count forwarded to SimulationOptions::shards (0 = defer to
-  /// MEC_SHARDS, default 1).  Thresholds mutate only at epoch barriers, so
-  /// the closed loop is bit-identical for every shard count too.
+  /// Shard count forwarded to SimulationOptions::shards (0 = explicit
+  /// MEC_SHARDS, else autotuned).  Thresholds mutate only at epoch
+  /// barriers, so the closed loop is bit-identical for every shard count.
   std::size_t shards = 0;
+  /// Observation-grid spacing forwarded to the simulator; > 0 records a
+  /// timeline and (with stream_log) cuts streamed windows.
+  double sample_interval = 0.0;
+  /// Streamed-telemetry passthrough (see SimulationOptions): the closed
+  /// loop's epoch retunes land between grid instants, so the streamed
+  /// gamma trajectory shows each broadcast taking effect.
+  std::string stream_log;
+  bool stream_counters = true;
+  bool record_timeline = true;
 };
 
 /// One broadcast epoch of the in-simulator algorithm.

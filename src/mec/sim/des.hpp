@@ -99,6 +99,15 @@ class EventQueue {
     return calendar_ ? width_ : 0.0;
   }
 
+  /// Cumulative heap<->calendar gear switches since the last clear().
+  /// Telemetry (obs::Counter::kShardGearSwitches); stays 0 in builds with
+  /// MEC_OBS_COUNTERS off — the increments live on the rare rebuild paths.
+  std::uint64_t gear_switches() const noexcept { return gear_switches_; }
+
+  /// Cumulative calendar-queue retunes (width/ring resizes) since the last
+  /// clear().  Telemetry (obs::Counter::kShardCalendarRetunes).
+  std::uint64_t calendar_retunes() const noexcept { return retunes_; }
+
  private:
   /// 16-byte node; `key` holds (seq << 22) | (device << 2) | kind.  seq is
   /// unique per event and occupies the high bits, so comparing keys compares
@@ -155,6 +164,8 @@ class EventQueue {
 
   std::size_t size_ = 0;  ///< total stored nodes across all tiers
   std::uint64_t next_seq_ = 0;
+  std::uint64_t gear_switches_ = 0;  ///< telemetry; see gear_switches()
+  std::uint64_t retunes_ = 0;        ///< telemetry; see calendar_retunes()
 };
 
 }  // namespace mec::sim

@@ -22,15 +22,20 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "mec/common/error.hpp"
+#include "mec/common/instrument.hpp"
 #include "mec/common/prefetch.hpp"
 #include "mec/fault/fault_plan.hpp"
+#include "mec/obs/counters.hpp"
+#include "mec/obs/stream.hpp"
 #include "mec/parallel/shard_executor.hpp"
 #include "mec/parallel/thread_pool.hpp"
 #include "mec/sim/coupling.hpp"
@@ -337,6 +342,40 @@ void init_shard(parallel::ShardContext& sc,
   }
 }
 
+/// Self-describing meta frame for a run's stream log: scenario shape,
+/// cadences, gamma mode, and the counter catalogue.  Values here describe
+/// the run, so they are identical for every shard count except `shards`
+/// itself; determinism tests compare window frames, not metadata.
+inline obs::RunLogMeta make_stream_meta(const SimulationOptions& options,
+                                        std::uint32_t n_devices,
+                                        std::uint32_t n_initial,
+                                        double capacity, bool with_faults,
+                                        std::size_t shard_count) {
+  obs::RunLogMeta meta;
+  meta.emplace_back("n_devices", std::to_string(n_devices));
+  meta.emplace_back("n_initial", std::to_string(n_initial));
+  meta.emplace_back("capacity", obs::meta_double(capacity));
+  meta.emplace_back("seed", std::to_string(options.seed));
+  meta.emplace_back("warmup", obs::meta_double(options.warmup));
+  meta.emplace_back("horizon", obs::meta_double(options.horizon));
+  meta.emplace_back("window", obs::meta_double(options.sample_interval));
+  meta.emplace_back("epoch_period", obs::meta_double(options.epoch_period));
+  meta.emplace_back("gamma",
+                    options.fixed_gamma.has_value()
+                        ? "fixed=" + obs::meta_double(*options.fixed_gamma)
+                        : std::string("tracked"));
+  meta.emplace_back("shards", std::to_string(shard_count));
+  meta.emplace_back("faults", with_faults ? "1" : "0");
+  std::string catalogue;
+  for (std::uint16_t id = 0; id < obs::kCounterCount; ++id) {
+    if (!catalogue.empty()) catalogue += ';';
+    catalogue += std::to_string(id) + "=" +
+                 obs::counter_name(static_cast<obs::Counter>(id));
+  }
+  meta.emplace_back("counters", catalogue);
+  return meta;
+}
+
 /// One full simulation run: shard setup, barrier-stepped legs, replay,
 /// observation, and the final serial aggregation (which loops devices in
 /// index order, so population means are bit-identical for every K).
@@ -357,7 +396,7 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
       has_fixed_gamma ? delay(*options.fixed_gamma) : 0.0;
 
   const std::size_t shard_count = std::min<std::size_t>(
-      parallel::resolve_shard_count(options.shards), n_devices);
+      parallel::resolve_shard_count(options.shards, n_devices), n_devices);
 
   ws.prepare(users.size());
   if (ws.rng_cached && ws.rng_seed == options.seed &&
@@ -392,18 +431,48 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
       ws.pool = std::make_unique<parallel::ThreadPool>(lanes);
   }
 
+  // Streaming telemetry (src/mec/obs/): a StreamingSink folds each sample
+  // instant into one window frame at the barrier.  Everything here runs at
+  // barrier cadence only — a run without a stream log takes none of these
+  // branches inside the legs themselves.
+  std::unique_ptr<obs::StreamingSink> stream;
+  std::vector<std::uint32_t> thresh_hist;    ///< per-window scratch
+  std::vector<double> leg_seconds;           ///< per-shard wall time
+  std::vector<obs::CounterValue> counter_scratch;
+  if (!options.stream_log.empty()) {
+    stream = std::make_unique<obs::StreamingSink>(
+        options.stream_log,
+        make_stream_meta(options, n_devices, n_initial, capacity, WithFaults,
+                         shard_count),
+        options.stream_counters && obs_counters_compiled());
+    thresh_hist.assign(obs::kThresholdBins, 0);
+  }
+  const bool counters_on = stream != nullptr && stream->counters_enabled();
+  if (counters_on) leg_seconds.assign(shard_count, 0.0);
+
   const LegContext<Decide> lc{users.data(),   ws.devices.data(),
                               ws.rngs.data(), &decide,
                               &options.service, &options.latency,
                               options.warmup, t_end,
                               n_devices,      has_fixed_gamma,
                               fixed_delay};
+  const auto run_one = [&](std::size_t s, double limit, bool inclusive) {
+    if (counters_on) {
+      const auto t0 = std::chrono::steady_clock::now();
+      run_leg<WithFaults>(ws.shards[s], lc, limit, inclusive);
+      leg_seconds[s] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    } else {
+      run_leg<WithFaults>(ws.shards[s], lc, limit, inclusive);
+    }
+  };
   const auto run_legs = [&](double limit, bool inclusive) {
     if (shard_count == 1) {
-      run_leg<WithFaults>(ws.shards[0], lc, limit, inclusive);
+      run_one(0, limit, inclusive);
     } else {
       ws.pool->parallel_for_each(shard_count, [&](std::size_t s) {
-        run_leg<WithFaults>(ws.shards[s], lc, limit, inclusive);
+        run_one(s, limit, inclusive);
       });
     }
   };
@@ -418,11 +487,14 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
   // Feeds the leg's offload logs — fully drained, they cover exactly the
   // records before the current barrier — through the replay, then frees
   // them for the next leg.
+  std::uint64_t replay_backlog = 0;  ///< records drained since last counters
   const auto drain_logs = [&]() {
     if (has_fixed_gamma) return;
     ws.log_spans.clear();
-    for (parallel::ShardContext& sc : ws.shards)
+    for (parallel::ShardContext& sc : ws.shards) {
       ws.log_spans.emplace_back(sc.log.data(), sc.log.size());
+      replay_backlog += sc.log.size();
+    }
     replay->consume(ws.log_spans, ws.devices.data(), offload_delays);
     for (parallel::ShardContext& sc : ws.shards) sc.log.clear();
   };
@@ -434,6 +506,16 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
   sample_walk.active = n_initial;
 
   TimelineRecorder recorder;
+  // Cursor over the resolved fault plan (time-sorted): actions strictly
+  // before a barrier have all been popped by the exclusive legs, so the
+  // count is exact — and K-invariant — at every barrier.
+  [[maybe_unused]] std::size_t fault_cursor = 0;
+  // Per-window cumulative sketch snapshots (merged in shard order; the
+  // log-binned merge is order-invariant and exact, so the snapshot equals
+  // what a single queue would have accumulated so far).
+  stats::LatencySketch window_sojourns;
+  stats::LatencySketch window_offload_delays;
+  std::uint64_t counter_prev_events = 0;
   const ObservationGrid grid(options.sample_interval, options.epoch_period,
                              t_end);
   for (const GridInstant& g : grid.instants()) {
@@ -459,8 +541,17 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
         }
       }
       double total_q = 0.0;
-      for (const DeviceState& d : ws.devices)
-        total_q += static_cast<double>(d.local_queue.size());
+      double total_q2 = 0.0;
+      if (stream != nullptr) {
+        for (const DeviceState& d : ws.devices) {
+          const double q = static_cast<double>(d.local_queue.size());
+          total_q += q;
+          total_q2 += q * q;
+        }
+      } else {
+        for (const DeviceState& d : ws.devices)
+          total_q += static_cast<double>(d.local_queue.size());
+      }
       if constexpr (WithFaults) {
         // Dead/retired queues are empty, so the sum already covers exactly
         // the active population.
@@ -476,7 +567,107 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
       for (const parallel::ShardContext& sc : ws.shards)
         so_far += sc.offloads_in_window;
       p.offloads_so_far = so_far;
-      recorder.on_sample(p);
+      if (options.record_timeline) recorder.on_sample(p);
+      if (stream != nullptr) {
+        stream->on_sample(p);
+        obs::WindowExtras extras;
+        extras.queue_second_moment =
+            p.active_devices == 0
+                ? 0.0
+                : total_q2 / static_cast<double>(p.active_devices);
+        // Cumulative event total at this barrier: shard task-event pops
+        // (order-invariant sum) + fault actions popped (cursor) + replay
+        // deliveries (serial) — each term K-invariant by construction.
+        std::uint64_t events_now = 0;
+        for (const parallel::ShardContext& sc : ws.shards)
+          events_now += sc.events;
+        if constexpr (WithFaults) {
+          while (fault_cursor < plan.actions.size() &&
+                 plan.actions[fault_cursor].time < g.time)
+            ++fault_cursor;
+          events_now += fault_cursor;
+          std::uint64_t lost = 0, rejected = 0, penalized = 0;
+          for (const parallel::ShardContext& sc : ws.shards) {
+            lost += sc.tasks_lost;
+            rejected += sc.offloads_rejected;
+            penalized += sc.offloads_penalized;
+          }
+          extras.tasks_lost = lost;
+          extras.offloads_rejected = rejected;
+          extras.offloads_penalized = penalized;
+          extras.fault_events_applied = fault_cursor;
+        }
+        if (!has_fixed_gamma) events_now += replay->deliveries();
+        extras.events_so_far = events_now;
+        window_sojourns = stats::LatencySketch{};
+        for (const parallel::ShardContext& sc : ws.shards)
+          window_sojourns.merge(sc.local_sojourns);
+        extras.sojourns = &window_sojourns;
+        if (has_fixed_gamma) {
+          window_offload_delays = stats::LatencySketch{};
+          for (const parallel::ShardContext& sc : ws.shards)
+            window_offload_delays.merge(sc.offload_delays);
+          extras.offload_delays = &window_offload_delays;
+        } else {
+          extras.offload_delays = &offload_delays;
+        }
+        std::fill(thresh_hist.begin(), thresh_hist.end(), 0u);
+        for (std::uint32_t d = 0; d < n_devices; ++d) {
+          const double th = decide.threshold_value(d);
+          if (th < 0.0) continue;
+          const std::size_t bin =
+              th >= static_cast<double>(obs::kThresholdBins - 1)
+                  ? obs::kThresholdBins - 1
+                  : static_cast<std::size_t>(th);
+          ++thresh_hist[bin];
+        }
+        extras.threshold_histogram = thresh_hist;
+        stream->commit_window(extras);
+        if (counters_on) {
+          counter_scratch.clear();
+          const auto add = [&](obs::Counter id, std::uint16_t shard,
+                               double value) {
+            counter_scratch.push_back(
+                {static_cast<std::uint16_t>(id), shard, value});
+          };
+          double leg_min = leg_seconds[0], leg_max = leg_seconds[0];
+          for (std::size_t s = 0; s < shard_count; ++s) {
+            const parallel::ShardContext& sc = ws.shards[s];
+            const auto sid = static_cast<std::uint16_t>(s);
+            add(obs::Counter::kShardEvents, sid,
+                static_cast<double>(sc.events));
+            add(obs::Counter::kShardQueueDepth, sid,
+                static_cast<double>(sc.queue.size()));
+            add(obs::Counter::kShardCalendarGear, sid,
+                sc.queue.calendar_gear() ? 1.0 : 0.0);
+            add(obs::Counter::kShardGearSwitches, sid,
+                static_cast<double>(sc.queue.gear_switches()));
+            add(obs::Counter::kShardCalendarRetunes, sid,
+                static_cast<double>(sc.queue.calendar_retunes()));
+            add(obs::Counter::kShardLegSeconds, sid, leg_seconds[s]);
+            leg_min = std::min(leg_min, leg_seconds[s]);
+            leg_max = std::max(leg_max, leg_seconds[s]);
+          }
+          add(obs::Counter::kBarrierWaitSeconds, obs::kGlobalShard,
+              shard_count > 1 ? leg_max - leg_min : 0.0);
+          add(obs::Counter::kReplayRecords, obs::kGlobalShard,
+              static_cast<double>(replay_backlog));
+          replay_backlog = 0;
+          if (!has_fixed_gamma)
+            add(obs::Counter::kReplayDeliveries, obs::kGlobalShard,
+                static_cast<double>(replay->deliveries()));
+          if constexpr (WithFaults)
+            add(obs::Counter::kFaultEventsApplied, obs::kGlobalShard,
+                static_cast<double>(fault_cursor));
+          add(obs::Counter::kEventsPerSecond, obs::kGlobalShard,
+              leg_max > 0.0 ? static_cast<double>(events_now -
+                                                  counter_prev_events) /
+                                  leg_max
+                            : 0.0);
+          counter_prev_events = events_now;
+          stream->append_counters(counter_scratch);
+        }
+      }
     }
     if (g.epoch) {
       const double gamma = has_fixed_gamma ? *options.fixed_gamma
@@ -613,6 +804,15 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
     fs.degraded_time = env.degraded_time;
     fs.participating_devices = participating;
     result.faults = fs;
+  }
+  if (stream != nullptr) {
+    obs::RunFooter footer;
+    footer.windows = stream->windows();
+    footer.total_events = result.total_events;
+    footer.measured_utilization = result.measured_utilization;
+    footer.mean_cost = result.mean_cost;
+    footer.horizon = result.horizon;
+    stream->finish(footer);
   }
   return result;
 }

@@ -54,6 +54,9 @@ MecSimulation::MecSimulation(std::span<const core::UserParams> users,
   MEC_EXPECTS_MSG(options_.epoch_period == 0.0 ||
                       static_cast<bool>(options_.on_epoch),
                   "epoch_period needs an on_epoch callback");
+  MEC_EXPECTS_MSG(options_.stream_log.empty() || options_.sample_interval > 0.0,
+                  "stream_log needs sample_interval > 0 (windows are cut at "
+                  "the observation grid)");
   if (options_.fixed_gamma)
     MEC_EXPECTS(*options_.fixed_gamma >= 0.0 && *options_.fixed_gamma <= 1.0);
   if (!options_.service) options_.service = exponential_service();
@@ -138,6 +141,9 @@ double DesUtilizationSource::utilization(std::span<const double> thresholds) {
   SimulationOptions run_options = options_;
   // Decorrelate successive DTU iterations while staying deterministic.
   run_options.seed = options_.seed + 0x9E3779B97F4A7C15ULL * ++call_count_;
+  // Successive oracle calls would clobber one stream log; streaming belongs
+  // to a directly-configured run, not the DTU's inner loop.
+  run_options.stream_log.clear();
   MecSimulation simulation(users_, capacity_, delay_, std::move(run_options));
   last_ = simulation.run_tro(thresholds, workspace_);
   return last_->measured_utilization;

@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "mec/core/dtu.hpp"
@@ -97,13 +98,31 @@ struct SimulationOptions {
   ///     schedule order; policy/threshold spans must cover them (see
   ///     total_devices()).  Departures retire an active device for good.
   std::shared_ptr<const fault::FaultSchedule> faults;
-  /// Shard count for the run's device partition: 0 (default) defers to the
-  /// MEC_SHARDS environment variable (itself defaulting to 1), an explicit
-  /// value >= 1 wins; either way the count is capped at the population
+  /// Shard count for the run's device partition: an explicit value >= 1
+  /// wins; 0 (default) defers to the MEC_SHARDS environment variable, and
+  /// with neither set the count is autotuned from the population size and
+  /// hardware_concurrency() (parallel::auto_shard_count — K = 1 below
+  /// ~10^4 devices).  Either way the count is capped at the population
   /// size.  Results are bit-identical for every shard count — sharding
   /// trades nothing but wall-clock (see parallel/shard_executor.hpp and
   /// docs/ARCHITECTURE.md for the exactness argument).
   std::size_t shards = 0;
+  /// When non-empty, the run streams windowed telemetry to this .meclog
+  /// path: one fixed-size window record per sample instant, flushed at the
+  /// observation-grid barrier (see src/mec/obs/ and docs/OBSERVABILITY.md).
+  /// Requires sample_interval > 0.  Window records are bit-identical to
+  /// the in-memory timeline for every shard count.
+  std::string stream_log;
+  /// Emit engine-counter frames (events/s per shard, queue gear switches,
+  /// barrier wait, replay backlog, ...) into the stream log.  Counter
+  /// frames are wall-clock diagnostics — useful, but not deterministic.
+  /// No effect without stream_log, or when the build has the
+  /// MEC_OBS_COUNTERS CMake option off.
+  bool stream_counters = true;
+  /// Record the in-memory SimulationResult::timeline.  Default on; long
+  /// streamed runs turn it off so telemetry memory stays O(devices + one
+  /// window) instead of O(samples).
+  bool record_timeline = true;
 };
 
 /// Reusable per-run simulation state (device states, RNG streams, the

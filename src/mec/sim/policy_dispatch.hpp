@@ -43,6 +43,11 @@ struct TroValueDecide {
                   random::Xoshiro256& rng) const {
     return tro_offload(thresholds[device], queue_length, rng);
   }
+  /// Telemetry hook (barrier-time only): the device's current threshold,
+  /// or a negative value when the policy has none.
+  double threshold_value(std::uint32_t device) const {
+    return thresholds[device];
+  }
 };
 
 /// Fast path for run(policies) when every policy is TRO-family: live
@@ -54,6 +59,9 @@ struct TroPointerDecide {
                   random::Xoshiro256& rng) const {
     return tro_offload(*thresholds[device], queue_length, rng);
   }
+  double threshold_value(std::uint32_t device) const {
+    return *thresholds[device];
+  }
 };
 
 /// Generic path: one virtual call per arrival (DPO, custom policies).
@@ -62,6 +70,10 @@ struct VirtualDecide {
   bool operator()(std::uint32_t device, std::uint64_t queue_length,
                   random::Xoshiro256& rng) const {
     return policies[device]->offload(queue_length, rng);
+  }
+  double threshold_value(std::uint32_t device) const {
+    const double* p = policies[device]->tro_threshold();
+    return p != nullptr ? *p : -1.0;
   }
 };
 

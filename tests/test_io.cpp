@@ -6,6 +6,10 @@
 #include <sstream>
 #include <vector>
 
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
 #include "mec/common/error.hpp"
 #include "mec/io/ascii_plot.hpp"
 #include "mec/io/csv.hpp"
@@ -68,6 +72,42 @@ TEST(CsvTest, ValidatesShapeAndPath) {
                ContractViolation);
   EXPECT_THROW(
       write_csv("/nonexistent-dir/x.csv", {"a"}, {{1.0}}), RuntimeError);
+}
+
+TEST(OutputPathTest, CreatesNestedDirectoriesAndJoins) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "mec_outpath_test";
+  fs::remove_all(root);
+  const std::string nested = (root / "a" / "b").string();
+  const std::string joined = output_path(nested, "file.csv");
+  EXPECT_TRUE(fs::is_directory(nested));
+  EXPECT_EQ(joined, (fs::path(nested) / "file.csv").string());
+  // Idempotent on an existing directory; empty dir passes through.
+  EXPECT_EQ(output_path(nested, "file.csv"), joined);
+  EXPECT_EQ(output_path("", "bare.csv"), "bare.csv");
+  fs::remove_all(root);
+}
+
+TEST(OutputPathTest, FailsClearlyWhenTheTargetIsUnusable) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "mec_outpath_bad";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  // A regular file squatting on the directory path: create_directories
+  // reports "already exists" without error, so output_path must catch it.
+  const fs::path squatter = root / "not_a_dir";
+  { std::ofstream out(squatter); }
+  EXPECT_THROW((void)output_path(squatter.string(), "x.csv"), RuntimeError);
+#ifdef __unix__
+  // An unwritable parent (meaningless under root, which bypasses modes).
+  if (::geteuid() != 0) {
+    fs::permissions(root, fs::perms::owner_read | fs::perms::owner_exec);
+    EXPECT_THROW((void)output_path((root / "child").string(), "x.csv"),
+                 RuntimeError);
+    fs::permissions(root, fs::perms::owner_all);
+  }
+#endif
+  fs::remove_all(root);
 }
 
 TEST(LinePlotTest, ContainsGlyphsAndLabels) {

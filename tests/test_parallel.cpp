@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "mec/common/error.hpp"
 #include "mec/core/best_response.hpp"
+#include "mec/parallel/shard_executor.hpp"
 #include "mec/parallel/thread_pool.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
@@ -38,6 +41,47 @@ TEST(ThreadPool, ResolvesThreadCounts) {
   EXPECT_GE(resolve_thread_count(0), 1u);
   EXPECT_EQ(ThreadPool(1).thread_count(), 1u);
   EXPECT_EQ(ThreadPool(5).thread_count(), 5u);
+}
+
+TEST(AutoShardCount, HeuristicTable) {
+  struct Row {
+    std::size_t n, hw, expected;
+  };
+  // Pinned table: small populations and single-core boxes stay serial; the
+  // count is min(hw, n/5000) clamped to [1, 16] once sharding pays off.
+  const Row rows[] = {
+      {100, 8, 1},       // tiny population: barrier costs dominate
+      {9999, 64, 1},     // just below the break-even floor
+      {10000, 1, 1},     // single-core box: never shard
+      {10000, 0, 1},     // hardware_concurrency() unknown (reports 0)
+      {10000, 8, 2},     // 10^4 devices: 2 shards of 5000
+      {40000, 8, 8},     // population-rich: limited by the core count
+      {40000, 4, 4},     //
+      {100000, 64, 16},  // clamped at the max (barrier is a full join)
+      {1000000, 64, 16},
+  };
+  for (const Row& row : rows)
+    EXPECT_EQ(auto_shard_count(row.n, row.hw), row.expected)
+        << "n=" << row.n << " hw=" << row.hw;
+}
+
+TEST(ResolveShardCount, ExplicitRequestBeatsEnvBeatsAuto) {
+  // CI runs this suite under MEC_SHARDS=4; restore whatever was there.
+  const char* saved = std::getenv("MEC_SHARDS");
+  const std::string restore = saved != nullptr ? saved : "";
+  // An explicit request always wins, whatever the environment says.
+  EXPECT_EQ(resolve_shard_count(3, 1000000), 3u);
+  EXPECT_EQ(resolve_shard_count(1, 1000000), 1u);
+  // 0 defers to MEC_SHARDS when set...
+  ASSERT_EQ(setenv("MEC_SHARDS", "5", 1), 0);
+  EXPECT_EQ(resolve_shard_count(0, 100), 5u);
+  EXPECT_EQ(resolve_shard_count(7, 100), 7u);  // ...unless explicit
+  // ...and to the autotune heuristic with neither (garbage env ignored).
+  ASSERT_EQ(setenv("MEC_SHARDS", "banana", 1), 0);
+  EXPECT_EQ(resolve_shard_count(0, 100), 1u);
+  ASSERT_EQ(unsetenv("MEC_SHARDS"), 0);
+  EXPECT_EQ(resolve_shard_count(0, 100), 1u);  // small n: serial either way
+  if (!restore.empty()) ASSERT_EQ(setenv("MEC_SHARDS", restore.c_str(), 1), 0);
 }
 
 TEST(ThreadPool, RunsEveryIndexExactlyOnce) {

@@ -23,6 +23,10 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "mec/baseline/dpo.hpp"
 #include "mec/common/error.hpp"
 #include "mec/core/dtu.hpp"
@@ -33,6 +37,7 @@
 #include "mec/io/csv.hpp"
 #include "mec/io/json.hpp"
 #include "mec/io/table.hpp"
+#include "mec/obs/tail.hpp"
 #include "mec/parallel/replication.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
@@ -54,6 +59,7 @@ commands:
   simulate  DES-validate the equilibrium thresholds
   closedloop  run Algorithm 1 live inside the simulator
   compare   DTU vs probabilistic baselines
+  tail      view a .meclog telemetry stream (live or post-hoc)
 
 common flags:
   --scenario=<theoretical|comparison|practical>   (default theoretical)
@@ -72,6 +78,18 @@ fault injection (simulate, closedloop):
                                  a --config file); closedloop then resumes
                                  Algorithm 1 on utilization drift, and
                                  --csv=<file> dumps the epoch trajectory.
+
+streaming telemetry (simulate, closedloop):
+  --stream-log=<run.meclog>      stream windowed metrics + engine counters
+                                 to a self-describing binary log; follow it
+                                 live with `mec tail <run.meclog> --follow`
+  --window=<seconds>             observation-grid spacing for the stream
+                                 (and the in-memory timeline; default 1.0
+                                 when --stream-log is set)
+
+tail flags:
+  mec tail <run.meclog> [--follow] [--check] [--interval=<ms>]
+                        [--csv=<file>] [--hist-csv=<file>]
 run `mec <command> --help` for command-specific flags.
 )";
 
@@ -228,7 +246,8 @@ int cmd_dtu(const io::Args& args) {
 int cmd_simulate(const io::Args& args) {
   auto known = kCommonFlags;
   known.insert({"horizon", "warmup", "service", "replications", "threads",
-                "confidence", "fault-schedule", "shards"});
+                "confidence", "fault-schedule", "shards", "stream-log",
+                "window"});
   args.reject_unknown(known);
   const auto cfg = build_scenario(args);
   const auto pop = population::sample_population(
@@ -244,6 +263,9 @@ int cmd_simulate(const io::Args& args) {
   so.fixed_gamma = mfne.gamma_star;
   so.faults = faults;
   so.shards = static_cast<std::size_t>(args.get_long("shards", 0));
+  so.stream_log = args.get_string("stream-log", "");
+  if (args.has("window") || !so.stream_log.empty())
+    so.sample_interval = args.get_double("window", 1.0);
   const std::string service = args.get_string("service", "exp");
   if (service == "erlang4")
     so.service = sim::erlang_service(4);
@@ -265,6 +287,10 @@ int cmd_simulate(const io::Args& args) {
   const auto replications =
       static_cast<std::size_t>(args.get_long("replications", 1));
   if (replications > 1) {
+    if (!so.stream_log.empty())
+      throw RuntimeError(
+          "--stream-log streams a single run; it cannot combine with "
+          "--replications > 1 (the replicas would race on one file)");
     parallel::ReplicationOptions ro;
     ro.replications = replications;
     ro.threads = static_cast<std::size_t>(args.get_long("threads", 0));
@@ -283,13 +309,17 @@ int cmd_simulate(const io::Args& args) {
   std::printf("scenario: %s  service=%s  gamma*=%.4f\n", cfg.name.c_str(),
               service.c_str(), mfne.gamma_star);
   std::printf("%s", sim::summarize(r).c_str());
+  if (!so.stream_log.empty())
+    std::printf("telemetry stream written to %s (view: mec tail %s)\n",
+                so.stream_log.c_str(), so.stream_log.c_str());
   return 0;
 }
 
 int cmd_closedloop(const io::Args& args) {
   auto known = kCommonFlags;
   known.insert({"horizon", "period", "eta0", "epsilon", "async", "trace",
-                "fault-schedule", "drift-margin", "csv", "shards"});
+                "fault-schedule", "drift-margin", "csv", "shards",
+                "stream-log", "window"});
   args.reject_unknown(known);
   const auto cfg = build_scenario(args);
   const auto pop = population::sample_population(
@@ -304,6 +334,9 @@ int cmd_closedloop(const io::Args& args) {
   opt.epsilon = args.get_double("epsilon", opt.epsilon);
   opt.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
   opt.shards = static_cast<std::size_t>(args.get_long("shards", 0));
+  opt.stream_log = args.get_string("stream-log", "");
+  if (args.has("window") || !opt.stream_log.empty())
+    opt.sample_interval = args.get_double("window", 1.0);
   const double async = args.get_double("async", 1.0);
   if (async < 1.0) opt.update_gate = core::make_bernoulli_gate(async, 1);
   opt.faults = build_faults(args, cfg);
@@ -346,6 +379,9 @@ int cmd_closedloop(const io::Args& args) {
                   {t, gm, gh, eta, mx, scale});
     std::printf("epoch trajectory written to %s\n", path.c_str());
   }
+  if (!opt.stream_log.empty())
+    std::printf("telemetry stream written to %s (view: mec tail %s)\n",
+                opt.stream_log.c_str(), opt.stream_log.c_str());
   if (args.get_bool("trace", false)) {
     std::printf("\n  time(s)  gamma_meas  gamma_hat  eta\n");
     for (const auto& e : r.epochs)
@@ -353,6 +389,27 @@ int cmd_closedloop(const io::Args& args) {
                   e.gamma_measured, e.gamma_hat, e.eta);
   }
   return 0;
+}
+
+int cmd_tail(const io::Args& args, const std::string& positional_path) {
+  args.reject_unknown({"log", "follow", "check", "interval", "csv",
+                       "hist-csv", "max-updates", "help"});
+  const std::string path =
+      positional_path.empty() ? args.get_string("log", "") : positional_path;
+  if (path.empty())
+    throw RuntimeError("usage: mec tail <run.meclog> [--follow] [--check]");
+  obs::TailOptions opt;
+  opt.follow = args.get_bool("follow", false);
+  opt.check = args.get_bool("check", false);
+  opt.interval_ms = static_cast<int>(args.get_long("interval", 500));
+  opt.csv = args.get_string("csv", "");
+  opt.hist_csv = args.get_string("hist-csv", "");
+  opt.max_updates =
+      static_cast<std::uint64_t>(args.get_long("max-updates", 0));
+#if defined(__unix__) || defined(__APPLE__)
+  opt.ansi = opt.follow && ::isatty(STDOUT_FILENO) != 0;
+#endif
+  return obs::run_tail(path, opt);
 }
 
 int cmd_compare(const io::Args& args) {
@@ -392,6 +449,14 @@ int cmd_compare(const io::Args& args) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> raw(argv + 1, argv + argc);
+  // `mec tail <path>` takes one positional operand; the flag grammar has
+  // none, so lift it out before parsing.
+  std::string tail_path;
+  if (!raw.empty() && raw[0] == "tail" && raw.size() >= 2 &&
+      raw[1].rfind("--", 0) != 0) {
+    tail_path = raw[1];
+    raw.erase(raw.begin() + 1);
+  }
   try {
     const io::Args args = io::Args::parse(raw);
     if (args.command().empty() || args.get_bool("help", false) ||
@@ -405,6 +470,7 @@ int main(int argc, char** argv) {
     if (args.command() == "simulate") return cmd_simulate(args);
     if (args.command() == "closedloop") return cmd_closedloop(args);
     if (args.command() == "compare") return cmd_compare(args);
+    if (args.command() == "tail") return cmd_tail(args, tail_path);
     std::fprintf(stderr, "unknown command '%s'\n%s", args.command().c_str(),
                  kUsage);
     return 1;
