@@ -11,6 +11,7 @@
 #include "mec/core/mfne.hpp"
 #include "mec/core/threshold_oracle.hpp"
 #include "mec/parallel/replication.hpp"
+#include "mec/parallel/sequential.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 #include "mec/queueing/threshold_queue.hpp"
@@ -167,6 +168,45 @@ BENCHMARK(BM_RunReplicationsScaling)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Sequential stopping vs a fixed budget: run-until-confident on a small DES
+// workload with a relative CI-width target.  The counter reports how many
+// replications the stopping rule actually spent per iteration — the wall
+// clock to compare against is BM_RunReplicationsScaling's fixed R = 8.
+void BM_RunUntilConfident(benchmark::State& state) {
+  static const population::Population pop = population::sample_population(
+      population::theoretical_scenario(population::LoadRegime::kAtService,
+                                       200),
+      7);
+  const core::EdgeDelay delay = core::make_reciprocal_delay();
+  sim::SimulationOptions so;
+  so.fixed_gamma = 0.2;
+  so.horizon = 40.0;
+  so.warmup = 5.0;
+  const std::vector<double> xs(pop.users.size(), 2.0);
+  parallel::SequentialOptions sq;
+  sq.target_relative = 1e-3 * static_cast<double>(state.range(0));
+  sq.min_replications = 4;
+  sq.wave = 4;
+  sq.max_replications = 256;
+  parallel::ThreadPool pool(0);
+  std::uint64_t replications = 0;
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    const parallel::SequentialResult r = parallel::run_until_confident(
+        pop.users, 10.0, delay, so, xs, sq, &pool);
+    replications += r.replications;
+    ++iterations;
+    benchmark::DoNotOptimize(r.aggregate.mean_cost.mean());
+  }
+  state.counters["reps/iter"] = static_cast<double>(replications) /
+                                static_cast<double>(iterations);
+}
+BENCHMARK(BM_RunUntilConfident)
+    ->Arg(20)  // 2% relative target
+    ->Arg(5)   // 0.5% relative target
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -20,15 +20,28 @@
 // carries a 98% confidence interval over 5*10^3 independent repetitions
 // (population redraws, each solved to its own equilibrium); DTU and the
 // variant baselines are averaged over 50 redraws.
+//
+// --sequential replaces the brute-force budget with the run-until-confident
+// engine: per cell, DTU and DPO-opt are evaluated on *common* population
+// redraws (CRN pairs), and replication waves stop as soon as the
+// spending-adjusted paired-t interval on the cost gap excludes zero.  The
+// verdict matches the fixed-R protocol on every decisive cell while
+// spending a small fraction of the replications; the table reports
+// replications-spent-per-cell next to the verdict, and --csv dumps them.
+// --smoke shrinks the population/budget for the CI gate, which asserts that
+// at least one decisive cell stopped early.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "mec/baseline/dpo.hpp"
 #include "mec/common/error.hpp"
+#include "mec/core/best_response.hpp"
 #include "mec/core/mfne.hpp"
 #include "mec/io/args.hpp"
+#include "mec/io/csv.hpp"
 #include "mec/io/table.hpp"
+#include "mec/parallel/sequential.hpp"
 #include "mec/parallel/thread_pool.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
@@ -117,27 +130,70 @@ std::string pct(double baseline_cost, double dtu_cost) {
          "%";
 }
 
+/// Sequential mode: paired DTU-vs-DPO-opt comparison on common population
+/// redraws.  Replication r draws the population from the golden-ratio seed,
+/// solves the MFNE (DTU arm) and the per-user-optimal DPO equilibrium (DPO
+/// arm) on that same draw, and the engine stops the cell once the
+/// spending-adjusted paired-t interval on the cost gap excludes zero.
+mec::parallel::CompareResult compare_cell(
+    const mec::population::ScenarioConfig& cfg, std::size_t budget,
+    mec::parallel::ThreadPool& pool) {
+  using namespace mec;
+  parallel::CompareOptions co;
+  co.confidence = 0.98;  // the paper's interval level
+  co.min_replications = 8;
+  co.wave = 16;
+  co.max_replications = budget;
+  const auto evaluate = [&cfg](std::size_t /*r*/,
+                               std::uint64_t seed) -> parallel::PairedSample {
+    const auto pop = population::sample_population(cfg, seed);
+    const core::MfneResult mfne =
+        core::solve_mfne(pop.users, cfg.delay, cfg.capacity);
+    const std::vector<double> xs(mfne.thresholds.begin(),
+                                 mfne.thresholds.end());
+    const double dtu =
+        core::average_cost(pop.users, xs, cfg.delay, mfne.gamma_star);
+    const double dpo = baseline::solve_dpo_equilibrium(pop.users, cfg.delay,
+                                                       cfg.capacity, 1e-8)
+                           .average_cost;
+    return parallel::PairedSample{dtu, dpo};
+  };
+  return parallel::compare_sequential(evaluate, co, &pool);
+}
+
+const char* verdict_text(const mec::parallel::CompareResult& r) {
+  switch (r.verdict) {
+    case mec::parallel::Verdict::kFirstLower: return "DTU cheaper";
+    case mec::parallel::Verdict::kSecondLower: return "DPO cheaper";
+    case mec::parallel::Verdict::kUndecided: return "undecided";
+  }
+  return "?";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   using namespace mec;
   const io::Args args =
       io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"replications", "threads"});
+  args.reject_unknown({"replications", "threads", "sequential", "smoke", "n",
+                       "csv", "out-dir"});
+  const bool sequential = args.get_bool("sequential", false);
+  const bool smoke = args.get_bool("smoke", false);
   // 5000 repetitions as in the paper; --replications trims it for smoke
-  // runs (>= 2 so the 98% CI over the repetitions stays well defined).
-  const int kDpoReps = static_cast<int>(args.get_long("replications", 5000));
+  // runs (>= 2 so the 98% CI over the repetitions stays well defined).  In
+  // sequential mode the same number is the per-cell budget cap, i.e. the
+  // fixed-R protocol this run races against.
+  const int kDpoReps = static_cast<int>(
+      args.get_long("replications", smoke ? 200 : 5000));
   MEC_EXPECTS_MSG(kDpoReps >= 2,
                   "--replications must be >= 2 for the DPO confidence "
                   "interval");
   constexpr int kSmallReps = 50;
+  const auto n_users =
+      static_cast<std::size_t>(args.get_long("n", smoke ? 200 : 0));
   parallel::ThreadPool pool(
       static_cast<std::size_t>(args.get_long("threads", 0)));
-
-  io::TextTable table("TABLE III: DTU Algorithm vs DPO Policy variants");
-  table.set_header({"Family", "System Setup", "DTU", "DPO-opt (98% CI)",
-                    "red.", "DPO-delay", "red.", "DPO-1rho", "red.",
-                    "Paper red."});
 
   const struct {
     const char* family;
@@ -153,11 +209,92 @@ int main(int argc, char** argv) try {
       {"practical", true, population::LoadRegime::kAboveService, "17.51%"},
   };
 
+  const auto scenario_of = [&](const auto& row) {
+    if (row.practical)
+      return n_users ? population::practical_scenario(row.regime, n_users)
+                     : population::practical_scenario(row.regime);
+    return n_users
+               ? population::theoretical_comparison_scenario(row.regime,
+                                                             n_users)
+               : population::theoretical_comparison_scenario(row.regime);
+  };
+
+  if (sequential) {
+    // The smoke gate only needs the theoretical family: its gaps are the
+    // decisive ones the early-stopping claim is about, and the cut keeps
+    // the CI wall-clock small.
+    const std::size_t n_rows = smoke ? 3 : 6;
+    io::TextTable table(
+        "TABLE III (sequential): paired DTU vs DPO-opt, run-until-confident");
+    table.set_header({"Family", "System Setup", "DTU", "DPO-opt",
+                      "gap (98% CI)", "verdict", "reps", "budget", "spent"});
+    std::vector<double> c_cell, c_practical, c_regime, c_reps, c_budget,
+        c_decided, c_lo, c_hi;
+    bool any_early_decision = false;
+    for (std::size_t i = 0; i < n_rows; ++i) {
+      const auto& row = rows[i];
+      const auto cfg = scenario_of(row);
+      const parallel::CompareResult r =
+          compare_cell(cfg, static_cast<std::size_t>(kDpoReps), pool);
+      const double spent_pct = 100.0 * static_cast<double>(r.replications) /
+                               static_cast<double>(kDpoReps);
+      any_early_decision = any_early_decision ||
+                           (r.decided() &&
+                            r.replications < static_cast<std::size_t>(
+                                                 kDpoReps));
+      table.add_row(
+          {row.family, population::to_string(row.regime),
+           io::TextTable::fmt(r.mean_a, 2), io::TextTable::fmt(r.mean_b, 2),
+           io::TextTable::fmt(r.difference.lower(), 3) + " .. " +
+               io::TextTable::fmt(r.difference.upper(), 3),
+           verdict_text(r), std::to_string(r.replications),
+           std::to_string(kDpoReps), io::TextTable::fmt(spent_pct, 1) + "%"});
+      c_cell.push_back(static_cast<double>(i));
+      c_practical.push_back(row.practical ? 1.0 : 0.0);
+      c_regime.push_back(static_cast<double>(row.regime));
+      c_reps.push_back(static_cast<double>(r.replications));
+      c_budget.push_back(static_cast<double>(kDpoReps));
+      c_decided.push_back(r.decided() ? 1.0 : 0.0);
+      c_lo.push_back(r.difference.lower());
+      c_hi.push_back(r.difference.upper());
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf(
+        "gap = DTU - DPO-opt per common population redraw; a cell stops as\n"
+        "soon as the spending-adjusted paired-t interval excludes zero, so\n"
+        "'reps' is what the verdict actually cost (vs the fixed-R budget).\n");
+    if (args.has("csv") || smoke) {
+      // A bare --csv (no value) parses as "true": fall back to the default
+      // filename rather than writing a file literally named "true".
+      std::string name = args.get_string("csv", "table3_sequential_spent.csv");
+      if (name == "true" || name.empty())
+        name = "table3_sequential_spent.csv";
+      const std::string path =
+          io::output_path(args.get_string("out-dir", "results"), name);
+      io::write_csv(path,
+                    {"cell", "practical", "regime", "replications_spent",
+                     "budget", "decided", "gap_ci_lower", "gap_ci_upper"},
+                    {c_cell, c_practical, c_regime, c_reps, c_budget,
+                     c_decided, c_lo, c_hi});
+      std::printf("per-cell replications-spent written to %s\n", path.c_str());
+    }
+    if (smoke && !any_early_decision) {
+      std::fprintf(stderr,
+                   "smoke FAIL: no cell reached a verdict below the fixed-R "
+                   "budget of %d replications\n",
+                   kDpoReps);
+      return 1;
+    }
+    return 0;
+  }
+
+  io::TextTable table("TABLE III: DTU Algorithm vs DPO Policy variants");
+  table.set_header({"Family", "System Setup", "DTU", "DPO-opt (98% CI)",
+                    "red.", "DPO-delay", "red.", "DPO-1rho", "red.",
+                    "Paper red."});
+
   for (const auto& row : rows) {
-    const auto cfg =
-        row.practical
-            ? population::practical_scenario(row.regime)
-            : population::theoretical_comparison_scenario(row.regime);
+    const auto cfg = scenario_of(row);
     const RowResult r = evaluate(cfg, kDpoReps, kSmallReps, pool);
     table.add_row(
         {row.family, population::to_string(row.regime),

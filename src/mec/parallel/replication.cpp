@@ -1,6 +1,8 @@
 #include "mec/parallel/replication.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <optional>
 #include <utility>
 
@@ -21,22 +23,20 @@ void finalize(MetricSummary& metric, double confidence) {
   if (metric.samples.count() >= 2) {
     metric.ci = stats::mean_confidence_interval(metric.samples, confidence);
   } else {
-    metric.ci =
-        stats::ConfidenceInterval{metric.samples.mean(), 0.0, confidence};
+    // A single replication carries no width information: NaN (printed as
+    // n/a), never 0 — a degenerate run must not masquerade as a perfectly
+    // certain one.
+    metric.ci = stats::ConfidenceInterval{
+        metric.samples.mean(), std::numeric_limits<double>::quiet_NaN(),
+        confidence};
   }
 }
 
 }  // namespace
 
-ReplicationResult run_replications(std::span<const core::UserParams> users,
-                                   double capacity,
-                                   const core::EdgeDelay& delay,
-                                   const sim::SimulationOptions& base_options,
-                                   std::span<const double> thresholds,
-                                   const ReplicationOptions& options,
-                                   ThreadPool* pool) {
-  MEC_EXPECTS(options.replications >= 1);
-  MEC_EXPECTS(options.confidence > 0.0 && options.confidence < 1.0);
+void check_replication_config(std::span<const core::UserParams> users,
+                              const sim::SimulationOptions& base_options,
+                              std::span<const double> thresholds) {
   // With churn in the fault schedule, the thresholds span must also cover
   // the joining devices (appended after the initial population).
   std::size_t expected_thresholds = users.size();
@@ -44,23 +44,24 @@ ReplicationResult run_replications(std::span<const core::UserParams> users,
       base_options.faults->churn_arrivals();
   MEC_EXPECTS(expected_thresholds == thresholds.size());
   MEC_EXPECTS_MSG(base_options.epoch_period == 0.0,
-                  "run_replications cannot share an on_epoch callback across "
-                  "concurrent replications");
+                  "replication engines cannot share an on_epoch callback "
+                  "across concurrent replications");
+}
 
-  const std::size_t r_total = options.replications;
-  std::vector<sim::SimulationResult> results(r_total);
-
-  std::optional<ThreadPool> own_pool;
-  if (pool == nullptr) {
-    own_pool.emplace(options.threads);
-    pool = &*own_pool;
-  }
-  pool->parallel_for_each(r_total, [&](std::size_t r) {
+void run_replication_range(std::span<const core::UserParams> users,
+                           double capacity, const core::EdgeDelay& delay,
+                           const sim::SimulationOptions& base_options,
+                           std::span<const double> thresholds,
+                           std::size_t first, std::size_t last,
+                           std::span<sim::SimulationResult> results,
+                           ThreadPool& pool) {
+  MEC_EXPECTS(first <= last && last <= results.size());
+  pool.parallel_for_each(last - first, [&](std::size_t i) {
+    const std::size_t r = first + i;
     // One workspace per worker thread, reused across replications (and
-    // across run_replications calls on the same pool): successive
-    // same-shape runs are then allocation-free.  Reuse cannot change
-    // results — the workspace is fully reset at run start (verified by the
-    // equivalence tests).
+    // across calls on the same pool): successive same-shape runs are then
+    // allocation-free.  Reuse cannot change results — the workspace is
+    // fully reset at run start (verified by the equivalence tests).
     thread_local sim::SimWorkspace workspace;
     sim::SimulationOptions run_options = base_options;
     run_options.seed = replication_seed(base_options.seed, r);
@@ -71,11 +72,16 @@ ReplicationResult run_replications(std::span<const core::UserParams> users,
                                         std::move(run_options));
     results[r] = simulation.run_tro(thresholds, workspace);
   });
+}
 
+ReplicationResult aggregate_replications(
+    std::span<const sim::SimulationResult> results, double confidence) {
+  MEC_EXPECTS(!results.empty());
+  MEC_EXPECTS(confidence > 0.0 && confidence < 1.0);
   // Serial merge in replication order keeps the aggregates independent of
   // the thread count (and of the pool's dynamic chunk assignment).
   ReplicationResult out;
-  out.replications = r_total;
+  out.replications = results.size();
   out.faults = results.front().faults;  // same trajectory every replication
   out.faults.tasks_lost = 0;
   out.faults.offloads_rejected = 0;
@@ -94,12 +100,38 @@ ReplicationResult run_replications(std::span<const core::UserParams> users,
         [](const sim::DeviceStats& d) { return d.mean_offload_delay; }));
     out.total_events += r.total_events;
   }
-  finalize(out.mean_cost, options.confidence);
-  finalize(out.mean_queue_length, options.confidence);
-  finalize(out.mean_offload_fraction, options.confidence);
-  finalize(out.measured_utilization, options.confidence);
-  finalize(out.mean_local_sojourn, options.confidence);
-  finalize(out.mean_offload_delay, options.confidence);
+  finalize(out.mean_cost, confidence);
+  finalize(out.mean_queue_length, confidence);
+  finalize(out.mean_offload_fraction, confidence);
+  finalize(out.measured_utilization, confidence);
+  finalize(out.mean_local_sojourn, confidence);
+  finalize(out.mean_offload_delay, confidence);
+  return out;
+}
+
+ReplicationResult run_replications(std::span<const core::UserParams> users,
+                                   double capacity,
+                                   const core::EdgeDelay& delay,
+                                   const sim::SimulationOptions& base_options,
+                                   std::span<const double> thresholds,
+                                   const ReplicationOptions& options,
+                                   ThreadPool* pool) {
+  MEC_EXPECTS(options.replications >= 1);
+  MEC_EXPECTS(options.confidence > 0.0 && options.confidence < 1.0);
+  check_replication_config(users, base_options, thresholds);
+
+  const std::size_t r_total = options.replications;
+  std::vector<sim::SimulationResult> results(r_total);
+
+  std::optional<ThreadPool> own_pool;
+  if (pool == nullptr) {
+    own_pool.emplace(options.threads);
+    pool = &*own_pool;
+  }
+  run_replication_range(users, capacity, delay, base_options, thresholds, 0,
+                        r_total, results, *pool);
+
+  ReplicationResult out = aggregate_replications(results, options.confidence);
   if (options.keep_runs) out.runs = std::move(results);
   return out;
 }
@@ -107,8 +139,14 @@ ReplicationResult run_replications(std::span<const core::UserParams> users,
 std::string summarize(const ReplicationResult& result) {
   const auto line = [](const char* name, const MetricSummary& m) {
     char buf[160];
-    std::snprintf(buf, sizeof buf, "  %-24s %10.6f +/- %.6f  (%.0f%% CI)\n",
-                  name, m.ci.mean, m.ci.half_width, m.ci.confidence * 100.0);
+    if (std::isnan(m.ci.half_width))
+      std::snprintf(buf, sizeof buf,
+                    "  %-24s %10.6f +/- n/a  (%.0f%% CI, R=1)\n", name,
+                    m.ci.mean, m.ci.confidence * 100.0);
+    else
+      std::snprintf(buf, sizeof buf, "  %-24s %10.6f +/- %.6f  (%.0f%% CI)\n",
+                    name, m.ci.mean, m.ci.half_width,
+                    m.ci.confidence * 100.0);
     return std::string(buf);
   };
   std::string out = "replications: " + std::to_string(result.replications) +

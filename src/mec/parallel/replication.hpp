@@ -34,13 +34,14 @@ std::uint64_t replication_seed(std::uint64_t base_seed,
 
 struct ReplicationOptions {
   std::size_t replications = 8;  ///< R >= 1 independent runs
-  std::size_t threads = 1;       ///< 0 selects the hardware concurrency
+  std::size_t threads = 0;       ///< 0 selects the hardware concurrency
   double confidence = 0.95;      ///< CI level, in (0, 1)
   bool keep_runs = false;        ///< retain every SimulationResult in `runs`
 };
 
 /// One scalar metric across replications: the replication-level samples plus
-/// the two-sided Student-t/normal interval (degenerate half_width 0 at R=1).
+/// the two-sided Student-t/normal interval (half_width NaN at R=1 — a
+/// single run carries no width information).
 struct MetricSummary {
   stats::RunningSummary samples;
   stats::ConfidenceInterval ci{0.0, 0.0, 0.0};
@@ -82,6 +83,34 @@ ReplicationResult run_replications(std::span<const core::UserParams> users,
                                    std::span<const double> thresholds,
                                    const ReplicationOptions& options,
                                    ThreadPool* pool = nullptr);
+
+/// Validates a replication configuration: the thresholds span must cover the
+/// population (plus churn joiners when the options carry a FaultSchedule)
+/// and base_options must not install an epoch callback.  Shared by
+/// run_replications and the sequential engine.
+void check_replication_config(std::span<const core::UserParams> users,
+                              const sim::SimulationOptions& base_options,
+                              std::span<const double> thresholds);
+
+/// Runs replications [first, last) — replication r seeded with
+/// replication_seed(base_options.seed, r), independent of first/last —
+/// across `pool`, writing each result into results[r].
+/// Requires first <= last <= results.size().
+void run_replication_range(std::span<const core::UserParams> users,
+                           double capacity, const core::EdgeDelay& delay,
+                           const sim::SimulationOptions& base_options,
+                           std::span<const double> thresholds,
+                           std::size_t first, std::size_t last,
+                           std::span<sim::SimulationResult> results,
+                           ThreadPool& pool);
+
+/// Serial in-replication-order merge of per-replication results into the
+/// aggregate (the second half of run_replications).  Because the merge only
+/// sees the results array, the aggregate over results[0..R) is bit-identical
+/// whether the runs were produced in one batch or grown wave by wave, on any
+/// thread count.  Requires a non-empty span.
+ReplicationResult aggregate_replications(
+    std::span<const sim::SimulationResult> results, double confidence);
 
 /// Multi-line human-readable mean +/- half-width table of the aggregates.
 std::string summarize(const ReplicationResult& result);

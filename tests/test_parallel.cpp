@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -41,6 +42,16 @@ TEST(ThreadPool, ResolvesThreadCounts) {
   EXPECT_GE(resolve_thread_count(0), 1u);
   EXPECT_EQ(ThreadPool(1).thread_count(), 1u);
   EXPECT_EQ(ThreadPool(5).thread_count(), 5u);
+}
+
+TEST(ReplicationOptions, DefaultThreadsSelectHardwareConcurrency) {
+  // The documented default: threads = 0 defers to the hardware, exactly as
+  // ThreadPool(0) does.  Pinned so the default cannot silently drift back
+  // to single-threaded.
+  const ReplicationOptions opt;
+  EXPECT_EQ(opt.threads, 0u);
+  EXPECT_EQ(resolve_thread_count(opt.threads),
+            ThreadPool(0).thread_count());
 }
 
 TEST(AutoShardCount, HeuristicTable) {
@@ -81,7 +92,9 @@ TEST(ResolveShardCount, ExplicitRequestBeatsEnvBeatsAuto) {
   EXPECT_EQ(resolve_shard_count(0, 100), 1u);
   ASSERT_EQ(unsetenv("MEC_SHARDS"), 0);
   EXPECT_EQ(resolve_shard_count(0, 100), 1u);  // small n: serial either way
-  if (!restore.empty()) ASSERT_EQ(setenv("MEC_SHARDS", restore.c_str(), 1), 0);
+  if (!restore.empty()) {
+    ASSERT_EQ(setenv("MEC_SHARDS", restore.c_str(), 1), 0);
+  }
 }
 
 TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
@@ -245,7 +258,11 @@ TEST(RunReplications, SingleReplicationHasDegenerateInterval) {
   const ReplicationResult r = run_replications(
       users, 10.0, core::make_reciprocal_delay(), short_options(), xs, opt);
   EXPECT_EQ(r.mean_cost.samples.count(), 1u);
-  EXPECT_DOUBLE_EQ(r.mean_cost.ci.half_width, 0.0);
+  // One replication cannot estimate a dispersion: the half-width is NaN
+  // ("not available"), never a fabricated 0 that would claim certainty.
+  EXPECT_TRUE(std::isnan(r.mean_cost.ci.half_width));
+  const std::string text = summarize(r);
+  EXPECT_NE(text.find("n/a"), std::string::npos);
 }
 
 TEST(RunReplications, RejectsInvalidConfigurations) {

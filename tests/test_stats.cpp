@@ -132,6 +132,86 @@ TEST(StudentTQuantile, MatchesTableValues) {
   EXPECT_NEAR(student_t_quantile(0.95, 5), 2.015, 2e-2);
 }
 
+TEST(StudentTQuantile, SmallDofMatchesClassicTable) {
+  // The dof where the Cornish–Fisher expansion used to be badly wrong:
+  // it gave ~7.6 instead of 12.706 at dof=1 and ~3.6 instead of 4.303 at
+  // dof=2, shrinking every R<=5 replication interval.
+  EXPECT_NEAR(student_t_quantile(0.975, 1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_quantile(0.975, 2), 4.303, 1e-3);
+  EXPECT_NEAR(student_t_quantile(0.975, 3), 3.182, 1e-3);
+  EXPECT_NEAR(student_t_quantile(0.975, 4), 2.776, 1e-3);
+}
+
+TEST(StudentTQuantile, GoldenTableDof1To30) {
+  // Reference quantiles computed with mpmath (50-digit arithmetic) at
+  // p in {0.95, 0.975, 0.995} for dof 1..30.  The issue's acceptance bar is
+  // 1e-3 relative error; the incomplete-beta inversion delivers ~1e-9, so
+  // assert 1e-6 to leave headroom for libm differences.
+  static const double kGolden[30][3] = {
+      {6.313751515, 12.70620474, 63.65674116},
+      {2.91998558, 4.30265273, 9.924843201},
+      {2.353363435, 3.182446305, 5.84090931},
+      {2.131846786, 2.776445105, 4.604094871},
+      {2.015048373, 2.570581836, 4.032142984},
+      {1.943180281, 2.446911851, 3.707428021},
+      {1.894578605, 2.364624252, 3.499483297},
+      {1.859548038, 2.306004135, 3.355387331},
+      {1.833112933, 2.262157163, 3.249835542},
+      {1.812461123, 2.228138852, 3.169272673},
+      {1.795884819, 2.20098516, 3.105806516},
+      {1.782287556, 2.17881283, 3.054539589},
+      {1.770933396, 2.160368656, 3.012275839},
+      {1.761310136, 2.144786688, 2.976842734},
+      {1.753050356, 2.131449546, 2.946712883},
+      {1.745883676, 2.119905299, 2.920781622},
+      {1.739606726, 2.109815578, 2.89823052},
+      {1.734063607, 2.10092204, 2.878440473},
+      {1.729132812, 2.093024054, 2.860934606},
+      {1.724718243, 2.085963447, 2.84533971},
+      {1.720742903, 2.079613845, 2.831359558},
+      {1.717144374, 2.073873068, 2.818756061},
+      {1.713871528, 2.06865761, 2.807335684},
+      {1.71088208, 2.063898562, 2.796939505},
+      {1.708140761, 2.059538553, 2.787435814},
+      {1.70561792, 2.055529439, 2.778714533},
+      {1.703288446, 2.051830516, 2.770682957},
+      {1.701130934, 2.048407142, 2.763262455},
+      {1.699127027, 2.045229642, 2.756385904},
+      {1.697260887, 2.042272456, 2.749995654}};
+  static const double kLevels[3] = {0.95, 0.975, 0.995};
+  for (std::size_t dof = 1; dof <= 30; ++dof) {
+    for (int j = 0; j < 3; ++j) {
+      const double expected = kGolden[dof - 1][j];
+      const double actual = student_t_quantile(kLevels[j], dof);
+      EXPECT_NEAR(actual / expected, 1.0, 1e-6)
+          << "dof=" << dof << " p=" << kLevels[j];
+    }
+  }
+}
+
+TEST(StudentTQuantile, LowerTailMirrorsUpperTail) {
+  for (const std::size_t dof : {std::size_t{1}, std::size_t{3},
+                                std::size_t{7}, std::size_t{25}}) {
+    EXPECT_NEAR(student_t_quantile(0.025, dof),
+                -student_t_quantile(0.975, dof), 1e-9);
+    EXPECT_NEAR(student_t_quantile(0.5, dof), 0.0, 1e-12);
+  }
+}
+
+TEST(NormalQuantile, ExtremeTailsStayFinite) {
+  // The Halley refinement multiplies by exp(x^2/2), which overflows past
+  // |x| ~ 37.6; the guard must keep the Acklam estimate instead of
+  // producing inf/nan.  Reference values from mpmath: Phi^{-1}(1e-300) and
+  // Phi^{-1} of the largest double below 1 (1 - 2^-53, which is what the
+  // literal 1 - 1e-16 rounds to).
+  const double lo = normal_quantile(1e-300);
+  EXPECT_TRUE(std::isfinite(lo));
+  EXPECT_NEAR(lo, -37.0470962993612, 1e-6);
+  const double hi = normal_quantile(1.0 - 1e-16);
+  EXPECT_TRUE(std::isfinite(hi));
+  EXPECT_NEAR(hi, 8.20953615160139, 1e-6);
+}
+
 TEST(StudentTQuantile, ApproachesNormalForLargeDof) {
   EXPECT_NEAR(student_t_quantile(0.975, 100000), normal_quantile(0.975),
               1e-4);
@@ -172,6 +252,68 @@ TEST(MeanConfidenceInterval, WiderAtHigherConfidence) {
   for (int i = 0; i < 50; ++i) s.add(random::uniform01(rng));
   EXPECT_LT(mean_confidence_interval(s, 0.90).half_width,
             mean_confidence_interval(s, 0.99).half_width);
+}
+
+TEST(MeanConfidenceInterval, SmallRCoverageMatchesNominal) {
+  // The regression this PR fixes: with the old Cornish–Fisher quantile the
+  // dof=2 multiplier was ~3.4 instead of 4.303, so 95% intervals over R=3
+  // replications covered the true mean only ~93% of the time.  20000 trials
+  // give a standard error of ~0.0015 on the coverage estimate, so a 0.01
+  // tolerance separates the buggy ~0.93 from the nominal 0.95.
+  random::Xoshiro256 rng(5);
+  for (const int replications : {3, 5}) {
+    int covered = 0;
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t) {
+      RunningSummary s;
+      for (int r = 0; r < replications; ++r)
+        s.add(random::standard_normal(rng));
+      covered += mean_confidence_interval(s, 0.95).contains(0.0);
+    }
+    EXPECT_NEAR(static_cast<double>(covered) / trials, 0.95, 0.01)
+        << "R=" << replications;
+  }
+}
+
+TEST(PairedDifferenceInterval, MatchesIntervalOfDifferences) {
+  const std::vector<double> a{1.4, 2.6, 3.5, 4.5, 5.2};
+  const std::vector<double> b{1.0, 2.0, 3.0, 4.0, 5.0};
+  RunningSummary diff;
+  for (std::size_t i = 0; i < a.size(); ++i) diff.add(a[i] - b[i]);
+  const ConfidenceInterval expected = mean_confidence_interval(diff, 0.95);
+  const ConfidenceInterval ci = paired_difference_interval(a, b, 0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, expected.mean);
+  EXPECT_DOUBLE_EQ(ci.half_width, expected.half_width);
+  EXPECT_THROW(paired_difference_interval(a, std::vector<double>{1.0}, 0.95),
+               ContractViolation);
+}
+
+TEST(AlphaSpending, GeometricScheduleIsBoundedByAlpha) {
+  EXPECT_DOUBLE_EQ(alpha_spending_level(0.05, 1), 0.025);
+  EXPECT_DOUBLE_EQ(alpha_spending_level(0.05, 2), 0.0125);
+  double total = 0.0;
+  for (std::size_t look = 1; look <= 60; ++look) {
+    const double level = alpha_spending_level(0.05, look);
+    EXPECT_GT(level, 0.0);
+    total += level;
+  }
+  EXPECT_LE(total, 0.05 + 1e-15);
+  // Deep looks underflow gracefully instead of producing 0 or a denormal
+  // that breaks the quantile's domain contract.
+  EXPECT_GT(alpha_spending_level(0.05, 2000), 0.0);
+}
+
+TEST(SpendingAdjustedQuantile, WidensWithLooksAndStaysFinite) {
+  // Every interim look must pay a premium over the fixed-sample quantile,
+  // and the premium grows with the look index.
+  const double fixed = student_t_quantile(0.975, 7);
+  double prev = fixed;
+  for (std::size_t look = 1; look <= 40; ++look) {
+    const double q = spending_adjusted_quantile(0.95, look, 7);
+    EXPECT_TRUE(std::isfinite(q)) << "look=" << look;
+    EXPECT_GT(q, prev) << "look=" << look;
+    prev = q;
+  }
 }
 
 }  // namespace

@@ -10,14 +10,20 @@
 //   mec simulate --scenario=.. --regime=.. [--horizon=..] [--warmup=..]
 //                [--service=<exp|erlang4|hyperexp4|empirical>]
 //                [--replications=R] [--threads=T] [--confidence=0.95]
+//                [--target-ci=W | --target-rel=F] [--max-replications=..]
+//                [--wave=..] [--metric=..]
 //       Simulate the MFNE thresholds in the discrete-event simulator.
 //       With R > 1, runs R independent replications (seed_r = seed +
 //       golden-ratio * (r+1)) across T threads and reports mean +/- CI;
-//       the aggregate is bit-identical for every T.
+//       the aggregate is bit-identical for every T.  With a --target-ci /
+//       --target-rel, replications instead grow in waves until the metric's
+//       CI half-width meets the target (sequential stopping); any stopped
+//       run is replayable by --replications=<stopped R>.
 //   mec compare  --scenario=.. --regime=..
 //       DTU vs the probabilistic baselines on one population.
 //
 // Common flags: --n (population size), --seed, --capacity, --latency-mean.
+#include <algorithm>
 #include <cstdio>
 #include <set>
 #include <string>
@@ -39,6 +45,7 @@
 #include "mec/io/table.hpp"
 #include "mec/obs/tail.hpp"
 #include "mec/parallel/replication.hpp"
+#include "mec/parallel/sequential.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 #include "mec/population/scenario_text.hpp"
@@ -78,6 +85,15 @@ fault injection (simulate, closedloop):
                                  a --config file); closedloop then resumes
                                  Algorithm 1 on utilization drift, and
                                  --csv=<file> dumps the epoch trajectory.
+
+sequential stopping (simulate):
+  --target-ci=<w>                grow replications in waves until the CI
+                                 half-width of --metric is <= w
+  --target-rel=<f>               ... or <= f * |mean| (either or both)
+  --metric=<mean-cost|queue-length|offload-fraction|utilization|
+            local-sojourn|offload-delay>          (default mean-cost)
+  --max-replications=<cap> --wave=<step>          (defaults 512, 8)
+  --replications then sets the minimum before the first look
 
 streaming telemetry (simulate, closedloop):
   --stream-log=<run.meclog>      stream windowed metrics + engine counters
@@ -247,7 +263,8 @@ int cmd_simulate(const io::Args& args) {
   auto known = kCommonFlags;
   known.insert({"horizon", "warmup", "service", "replications", "threads",
                 "confidence", "fault-schedule", "shards", "stream-log",
-                "window"});
+                "window", "target-ci", "target-rel", "max-replications",
+                "wave", "metric"});
   args.reject_unknown(known);
   const auto cfg = build_scenario(args);
   const auto pop = population::sample_population(
@@ -286,6 +303,36 @@ int cmd_simulate(const io::Args& args) {
   }
   const auto replications =
       static_cast<std::size_t>(args.get_long("replications", 1));
+  const bool sequential = args.has("target-ci") || args.has("target-rel");
+  if (sequential) {
+    if (!so.stream_log.empty())
+      throw RuntimeError(
+          "--stream-log streams a single run; it cannot combine with "
+          "sequential replication (the replicas would race on one file)");
+    parallel::SequentialOptions sq;
+    sq.metric = parallel::parse_metric(args.get_string("metric", "mean-cost"));
+    sq.confidence = args.get_double("confidence", 0.95);
+    sq.target_half_width = args.get_double("target-ci", 0.0);
+    sq.target_relative = args.get_double("target-rel", 0.0);
+    if (args.has("replications"))
+      sq.min_replications = std::max<std::size_t>(replications, 2);
+    sq.max_replications = static_cast<std::size_t>(
+        args.get_long("max-replications", 512));
+    sq.wave = static_cast<std::size_t>(args.get_long("wave", 8));
+    sq.threads = static_cast<std::size_t>(args.get_long("threads", 0));
+    const parallel::SequentialResult r = parallel::run_until_confident(
+        pop.users, cfg.capacity, cfg.delay, so, xs, sq);
+    std::printf("scenario: %s  service=%s  gamma*=%.4f  threads=%zu\n",
+                cfg.name.c_str(), service.c_str(), mfne.gamma_star,
+                parallel::resolve_thread_count(sq.threads));
+    std::printf("%s", parallel::summarize(r, sq.metric).c_str());
+    std::printf("%s", parallel::summarize(r.aggregate).c_str());
+    std::printf(
+        "replay: mec simulate ... --replications=%zu reproduces this "
+        "aggregate bit-identically\n",
+        r.replications);
+    return 0;
+  }
   if (replications > 1) {
     if (!so.stream_log.empty())
       throw RuntimeError(
