@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/runner.hpp"
 #include "mec/core/dtu.hpp"
 #include "mec/core/mfne.hpp"
 #include "mec/io/table.hpp"
@@ -12,10 +13,14 @@
 #include "mec/population/scenario.hpp"
 #include "mec/stats/summary.hpp"
 
-int main() {
+namespace {
+
+int run(mec::bench::Context& ctx) {
   using namespace mec;
-  const auto cfg = population::practical_scenario(
-      population::LoadRegime::kAtService, 1000);
+  const std::size_t n = ctx.smoke() ? 200 : 1000;
+  const std::uint64_t gate_seeds = ctx.smoke() ? 2 : 5;
+  const auto cfg =
+      population::practical_scenario(population::LoadRegime::kAtService, n);
   const auto pop = population::sample_population(cfg, 8);
   const double star =
       core::solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star;
@@ -24,13 +29,14 @@ int main() {
   std::printf("=== Ablation: asynchronous update probability ===\n");
   std::printf("practical E[A]=E[S] population, gamma* = %.5f\n\n", star);
 
-  io::TextTable table("DTU under asynchronous updates (5 gate seeds each)");
+  io::TextTable table("DTU under asynchronous updates (" +
+                      std::to_string(gate_seeds) + " gate seeds each)");
   table.set_header({"update prob", "mean iterations", "mean |gamma - gamma*|",
                     "all converged"});
   for (const double p : {1.0, 0.8, 0.5, 0.25, 0.1}) {
     stats::RunningSummary iters, err;
     bool all_converged = true;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (std::uint64_t seed = 1; seed <= gate_seeds; ++seed) {
       core::DtuOptions opt;
       if (p < 1.0) opt.update_gate = core::make_bernoulli_gate(p, seed);
       const core::DtuResult r = run_dtu(pop.users, cfg.delay, source, opt);
@@ -49,3 +55,11 @@ int main() {
       "— the gate only delays, never destabilizes, Algorithm 1.\n");
   return 0;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"ablation_async",
+     "Ablation X4: DTU convergence under asynchronous participation",
+     {},
+     run});
+
+}  // namespace

@@ -7,30 +7,31 @@
 // bench sweeps that separation.
 #include <cmath>
 #include <cstdio>
-#include <exception>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/core/mfne.hpp"
 #include "mec/fault/fault_schedule.hpp"
-#include "mec/io/args.hpp"
 #include "mec/io/csv.hpp"
 #include "mec/io/table.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 #include "mec/sim/closed_loop.hpp"
 
-int main(int argc, char** argv) try {
+namespace {
+
+int run(mec::bench::Context& ctx) {
   using namespace mec;
-  const io::Args args =
-      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"out-dir", "stream-log"});
-  const std::string out_dir = args.get_string("out-dir", "results");
-  const std::string stream_log = args.get_string("stream-log", "");
+  const std::string stream_log = ctx.get_path("stream-log");
+  const std::vector<double> periods =
+      ctx.smoke() ? std::vector<double>{1.0, 5.0}
+                  : std::vector<double>{1.0, 2.0, 5.0, 10.0, 20.0};
+  const double epochs_per_row = ctx.smoke() ? 30.0 : 150.0;
   const auto pop = population::sample_population(
       population::theoretical_scenario(population::LoadRegime::kAtService,
-                                       500),
+                                       ctx.smoke() ? 200 : 500),
       61);
   const auto& cfg = pop.config;
   const double star =
@@ -44,10 +45,10 @@ int main(int argc, char** argv) try {
   table.set_header({"update period (s)", "epochs", "settled", "gamma_hat",
                     "|gamma_hat - gamma*|", "run-wide gamma"});
   std::vector<double> csv_time, csv_meas, csv_hat;
-  for (const double period : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+  for (const double period : periods) {
     sim::ClosedLoopOptions opt;
     opt.update_period = period;
-    opt.horizon = 150.0 * period;  // same number of epochs per row
+    opt.horizon = epochs_per_row * period;  // same number of epochs per row
     opt.seed = 7;
     if (period == 5.0 && !stream_log.empty()) {
       // Stream the representative row (the one the CSV also exports).
@@ -72,8 +73,7 @@ int main(int argc, char** argv) try {
     }
   }
   std::printf("%s\n", table.to_string().c_str());
-  const std::string csv_path =
-      io::output_path(out_dir, "ablation_closed_loop.csv");
+  const std::string csv_path = ctx.output_path("ablation_closed_loop.csv");
   io::write_csv(csv_path, {"time_s", "gamma_measured", "gamma_hat"},
                 {csv_time, csv_meas, csv_hat});
 
@@ -81,19 +81,22 @@ int main(int argc, char** argv) try {
   // stopping rule freezes thresholds once settled; with resume_on_drift the
   // loop re-opens when the measured utilization strays from the frozen
   // estimate and re-converges toward the *degraded* system's equilibrium.
+  const double brownout_at = ctx.smoke() ? 100.0 : 400.0;
+  const double brownout_horizon = ctx.smoke() ? 200.0 : 800.0;
   const double star_degraded =
       core::solve_mfne(pop.users, cfg.delay, 0.6 * cfg.capacity).gamma_star;
   auto schedule = std::make_shared<fault::FaultSchedule>();
-  schedule->add_capacity_scale(400.0, 0.6);
+  schedule->add_capacity_scale(brownout_at, 0.6);
   io::TextTable fault_table(
-      "brown-out at t=400 s (capacity x0.6); degraded gamma* = " +
+      "brown-out at t=" + io::TextTable::fmt(brownout_at, 0) +
+      " s (capacity x0.6); degraded gamma* = " +
       io::TextTable::fmt(star_degraded, 4));
   fault_table.set_header({"resume on drift", "drift resumes", "gamma_hat",
                           "|gamma_hat - degraded gamma*|"});
   for (const bool resume : {false, true}) {
     sim::ClosedLoopOptions opt;
     opt.update_period = 5.0;
-    opt.horizon = 800.0;
+    opt.horizon = brownout_horizon;
     opt.seed = 7;
     opt.faults = schedule;
     opt.resume_on_drift = resume;
@@ -116,7 +119,13 @@ int main(int argc, char** argv) try {
   if (!stream_log.empty())
     std::printf("telemetry stream written to %s\n", stream_log.c_str());
   return 0;
-} catch (const std::exception& e) {
-  std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"ablation_closed_loop",
+     "Ablation X11: closed-loop DTU inside one continuous simulation",
+     {{"stream-log", mec::bench::FlagKind::kPath, "",
+       "stream the period=5 row's telemetry to this .meclog"}},
+     run});
+
+}  // namespace

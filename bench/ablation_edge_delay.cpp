@@ -4,16 +4,20 @@
 // linear and power-law shapes with matched g(0.5).
 #include <cstdio>
 
+#include "bench/runner.hpp"
 #include "mec/core/dtu.hpp"
 #include "mec/core/mfne.hpp"
 #include "mec/io/table.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 
-int main() {
+namespace {
+
+int run(mec::bench::Context& ctx) {
   using namespace mec;
+  const std::size_t n = ctx.smoke() ? 500 : 5000;
   auto cfg = population::theoretical_scenario(
-      population::LoadRegime::kAboveService, 5000);
+      population::LoadRegime::kAboveService, n);
   const auto pop = population::sample_population(cfg, 17);
 
   // All candidates agree at gamma = 0.5 with the paper's reciprocal delay:
@@ -59,3 +63,11 @@ int main() {
       "monotone continuous g.\n");
   return 0;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"ablation_edge_delay",
+     "Ablation X3: MFNE and DTU sensitivity to the edge-delay shape",
+     {},
+     run});
+
+}  // namespace

@@ -7,13 +7,12 @@
 // threshold policy dominates the probabilistic one across the whole
 // frontier, not just at w = 1.
 #include <cstdio>
-#include <exception>
 #include <string>
 #include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/baseline/dpo.hpp"
 #include "mec/core/mfne.hpp"
-#include "mec/io/args.hpp"
 #include "mec/io/csv.hpp"
 #include "mec/io/table.hpp"
 #include "mec/population/population.hpp"
@@ -67,16 +66,15 @@ FrontierPoint dpo_split(std::span<const mec::core::UserParams> users,
   return p;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) try {
+int run(mec::bench::Context& ctx) {
   using namespace mec;
-  const io::Args args =
-      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"out-dir"});
-  const std::string out_dir = args.get_string("out-dir", "results");
+  const std::size_t n = ctx.smoke() ? 300 : 1000;
+  const std::vector<double> weights =
+      ctx.smoke() ? std::vector<double>{0.25, 1.0, 4.0}
+                  : std::vector<double>{0.0625, 0.125, 0.25, 0.5, 1.0, 2.0,
+                                        4.0, 8.0};
   auto cfg = population::theoretical_comparison_scenario(
-      population::LoadRegime::kAtService, 1000);
+      population::LoadRegime::kAtService, n);
   auto pop = population::sample_population(cfg, 13);
 
   std::printf("=== Ablation: energy-delay trade-off (w sweep) ===\n");
@@ -86,7 +84,7 @@ int main(int argc, char** argv) try {
   table.set_header({"w", "TRO delay", "TRO energy", "DPO delay", "DPO energy",
                     "TRO cost", "DPO cost"});
   std::vector<double> ws, td, te, dd, de;
-  for (const double w : {0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+  for (const double w : weights) {
     auto users = pop.users;
     for (auto& u : users) u.weight = w;
 
@@ -117,7 +115,7 @@ int main(int argc, char** argv) try {
   }
   std::printf("%s\n", table.to_string().c_str());
   const std::string csv_path =
-      io::output_path(out_dir, "ablation_energy_delay_tradeoff.csv");
+      ctx.output_path("ablation_energy_delay_tradeoff.csv");
   io::write_csv(csv_path,
                 {"w", "tro_delay", "tro_energy", "dpo_delay", "dpo_energy"},
                 {ws, td, te, dd, de});
@@ -128,7 +126,12 @@ int main(int argc, char** argv) try {
       "wrote %s\n",
       csv_path.c_str());
   return 0;
-} catch (const std::exception& e) {
-  std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"ablation_energy_delay_tradeoff",
+     "Ablation X8: TRO vs DPO Pareto frontier across the weight sweep",
+     {},
+     run});
+
+}  // namespace

@@ -6,27 +6,25 @@
 // approach the same MFNE, the fluid path monotonically, the DTU path with
 // the bisection overshoot pattern whose envelope the fluid curve tracks.
 #include <cstdio>
-#include <exception>
 #include <string>
 #include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/core/dtu.hpp"
 #include "mec/core/fluid_model.hpp"
 #include "mec/core/mfne.hpp"
-#include "mec/io/args.hpp"
 #include "mec/io/ascii_plot.hpp"
 #include "mec/io/csv.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 
-int main(int argc, char** argv) try {
+namespace {
+
+int run(mec::bench::Context& ctx) {
   using namespace mec;
-  const io::Args args =
-      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"out-dir"});
-  const std::string out_dir = args.get_string("out-dir", "results");
+  const std::size_t n = ctx.smoke() ? 500 : 3000;
   const auto cfg = population::theoretical_scenario(
-      population::LoadRegime::kAboveService, 3000);
+      population::LoadRegime::kAboveService, n);
   const auto pop = population::sample_population(cfg, 41);
   const double star =
       core::solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star;
@@ -75,12 +73,16 @@ int main(int argc, char** argv) try {
   std::printf("fluid endpoint:  %.5f\nDTU endpoint:    %.5f\nMFNE:            %.5f\n",
               fluid.back().y, dtu.final_gamma_hat, star);
 
-  const std::string csv_path =
-      io::output_path(out_dir, "ablation_fluid_vs_dtu.csv");
+  const std::string csv_path = ctx.output_path("ablation_fluid_vs_dtu.csv");
   io::write_csv(csv_path, {"fluid_t", "fluid_gamma"}, {ft, fy});
   std::printf("wrote %s\n", csv_path.c_str());
   return 0;
-} catch (const std::exception& e) {
-  std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"ablation_fluid_vs_dtu",
+     "Ablation X10: continuous fluid dynamic vs discrete DTU iterates",
+     {},
+     run});
+
+}  // namespace

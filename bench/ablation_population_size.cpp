@@ -6,7 +6,9 @@
 // spread.
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/core/mean_field_integral.hpp"
 #include "mec/core/mfne.hpp"
 #include "mec/io/table.hpp"
@@ -14,9 +16,17 @@
 #include "mec/population/scenario.hpp"
 #include "mec/stats/summary.hpp"
 
-int main() {
+namespace {
+
+int run(mec::bench::Context& ctx) {
   using namespace mec;
   const auto regime = population::LoadRegime::kAtService;
+  const std::uint64_t draws = ctx.smoke() ? 5 : 20;
+  const std::size_t qmc_nodes = ctx.smoke() ? (1 << 12) : (1 << 16);
+  const std::vector<std::size_t> sizes =
+      ctx.smoke() ? std::vector<std::size_t>{100, 316, 1000, 3162}
+                  : std::vector<std::size_t>{100, 316, 1000, 3162, 10000,
+                                             31623};
 
   core::MeanFieldModel model;
   model.arrival = core::uniform_inverse_cdf(0.0, 6.0);
@@ -27,18 +37,20 @@ int main() {
   model.capacity = 10.0;
   model.delay = core::make_reciprocal_delay();
   const double limit =
-      core::mean_field_equilibrium(model, 1 << 16).gamma_star;
+      core::mean_field_equilibrium(model, qmc_nodes).gamma_star;
 
   std::printf("=== Ablation: finite-N gap to the mean-field MFNE ===\n");
-  std::printf("mean-field limit (QMC, 65536 nodes): gamma* = %.5f\n\n", limit);
+  std::printf("mean-field limit (QMC, %zu nodes): gamma* = %.5f\n\n",
+              qmc_nodes, limit);
 
-  io::TextTable table("sampled-population equilibrium vs N (20 draws each)");
+  io::TextTable table("sampled-population equilibrium vs N (" +
+                      std::to_string(draws) + " draws each)");
   table.set_header({"N", "mean gamma*_N", "sd over draws", "|mean - limit|",
                     "sd * sqrt(N)"});
-  for (const std::size_t n : {100u, 316u, 1000u, 3162u, 10000u, 31623u}) {
+  for (const std::size_t n : sizes) {
     const auto cfg = population::theoretical_scenario(regime, n);
     stats::RunningSummary stars;
-    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    for (std::uint64_t seed = 1; seed <= draws; ++seed) {
       const auto pop = population::sample_population(cfg, seed);
       stars.add(
           core::solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star);
@@ -57,3 +69,11 @@ int main() {
       "~0.005 of the large-system limit.\n");
   return 0;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"ablation_population_size",
+     "Ablation X2: finite-N concentration around the mean-field MFNE",
+     {},
+     run});
+
+}  // namespace

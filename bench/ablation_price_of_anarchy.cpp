@@ -3,7 +3,9 @@
 // equilibrium against the congestion-priced planner solution across load
 // regimes and edge-delay steepness, reporting the price of anarchy.
 #include <cstdio>
+#include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/core/best_response.hpp"
 #include "mec/core/mfne.hpp"
 #include "mec/core/social_optimum.hpp"
@@ -11,8 +13,11 @@
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 
-int main() {
+namespace {
+
+int run(mec::bench::Context& ctx) {
   using namespace mec;
+  const std::size_t n = ctx.smoke() ? 500 : 3000;
   std::printf("=== Ablation: price of anarchy of the MFNE ===\n\n");
 
   io::TextTable table("Nash vs planner across regimes and delay steepness");
@@ -32,7 +37,7 @@ int main() {
   for (const auto regime : {population::LoadRegime::kBelowService,
                             population::LoadRegime::kAtService,
                             population::LoadRegime::kAboveService}) {
-    const auto cfg = population::theoretical_scenario(regime, 3000);
+    const auto cfg = population::theoretical_scenario(regime, n);
     const auto pop = population::sample_population(cfg, 11);
     for (const auto& d : delays) {
       const core::MfneResult nash =
@@ -60,3 +65,11 @@ int main() {
       "congestion-priced broadcast (g + g'*a*mean_alpha/c) would close.\n");
   return 0;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"ablation_price_of_anarchy",
+     "Ablation X7: price of anarchy of the MFNE vs a planner solution",
+     {},
+     run});
+
+}  // namespace

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/core/general_service.hpp"
 #include "mec/core/mfne.hpp"
 #include "mec/core/threshold_oracle.hpp"
@@ -18,16 +19,16 @@
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 
-int main() {
+namespace {
+
+int run(mec::bench::Context& ctx) {
   using namespace mec;
+  const std::size_t n = ctx.smoke() ? 100 : 300;  // CTMC solves are O(n^3)
   const auto cfg = population::theoretical_scenario(
-      population::LoadRegime::kAtService, 300);  // CTMC solves are O(n^3)
+      population::LoadRegime::kAtService, n);
   const auto pop = population::sample_population(cfg, 23);
 
-  const struct {
-    const char* label;
-    queueing::PhaseType shape;
-  } laws[] = {
+  const std::vector<std::pair<const char*, queueing::PhaseType>> all_laws = {
       {"Erlang-8  (SCV 0.125)", queueing::erlang_phase(8, 1.0)},
       {"Erlang-4  (SCV 0.25)", queueing::erlang_phase(4, 1.0)},
       {"Erlang-2  (SCV 0.5)", queueing::erlang_phase(2, 1.0)},
@@ -36,6 +37,10 @@ int main() {
       {"H2 (SCV 4)", queueing::hyperexponential_from_scv(1.0, 4.0)},
       {"H2 (SCV 8)", queueing::hyperexponential_from_scv(1.0, 8.0)},
   };
+  const std::vector<std::pair<const char*, queueing::PhaseType>> laws =
+      ctx.smoke() ? std::vector<std::pair<const char*, queueing::PhaseType>>{
+                        all_laws[1], all_laws[3], all_laws[5]}
+                  : all_laws;
 
   std::printf("=== Ablation: service-time distribution (exact phase-type) ===\n");
   std::printf("population: %zu users of %s\n\n", pop.size(),
@@ -48,9 +53,9 @@ int main() {
   io::TextTable table("equilibrium vs service variability");
   table.set_header({"service law", "gamma* (aware)", "cost (aware)",
                     "cost (exp-oracle)", "mismatch penalty"});
-  for (const auto& law : laws) {
+  for (const auto& [label, shape] : laws) {
     const core::PhaseTypeEquilibrium aware = core::solve_phase_type_equilibrium(
-        pop.users, law.shape, cfg.delay, cfg.capacity, 1e-4);
+        pop.users, shape, cfg.delay, cfg.capacity, 1e-4);
 
     // Mismatched: exponential Lemma-1 thresholds, true phase-type queue,
     // at the utilization those thresholds actually induce.
@@ -63,7 +68,7 @@ int main() {
         const auto x = static_cast<double>(core::best_threshold(u, g));
         acc += u.arrival_rate *
                queueing::tro_metrics_phase_type(
-                   u.arrival_rate, law.shape.scaled_to_mean(1.0 / u.service_rate),
+                   u.arrival_rate, shape.scaled_to_mean(1.0 / u.service_rate),
                    x)
                    .offload_probability;
       }
@@ -75,12 +80,12 @@ int main() {
     double cost_mis = 0.0;
     for (const auto& u : pop.users)
       cost_mis += core::phase_type_cost(
-          u, law.shape, static_cast<double>(core::best_threshold(u, g_mis)),
+          u, shape, static_cast<double>(core::best_threshold(u, g_mis)),
           g_mis);
     cost_mis /= static_cast<double>(pop.size());
 
     table.add_row(
-        {law.label, io::TextTable::fmt(aware.gamma_star, 4),
+        {label, io::TextTable::fmt(aware.gamma_star, 4),
          io::TextTable::fmt(aware.average_cost, 4),
          io::TextTable::fmt(cost_mis, 4),
          io::TextTable::fmt(
@@ -103,3 +108,11 @@ int main() {
       "paper's mean-rate-only practical DTU works on real traces.\n");
   return 0;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"ablation_service_distribution",
+     "Ablation X6: exact phase-type equilibria vs service-law variability",
+     {},
+     run});
+
+}  // namespace

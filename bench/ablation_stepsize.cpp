@@ -7,17 +7,28 @@
 // achieved.
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/core/dtu.hpp"
 #include "mec/core/mfne.hpp"
 #include "mec/io/table.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 
-int main() {
+namespace {
+
+int run(mec::bench::Context& ctx) {
   using namespace mec;
-  const auto cfg = population::theoretical_scenario(
-      population::LoadRegime::kAtService, 5000);
+  const std::size_t n = ctx.smoke() ? 500 : 5000;
+  const std::vector<double> eta0s =
+      ctx.smoke() ? std::vector<double>{0.1} : std::vector<double>{0.5, 0.25,
+                                                                   0.1, 0.05};
+  const std::vector<double> epsilons =
+      ctx.smoke() ? std::vector<double>{0.05, 0.01}
+                  : std::vector<double>{0.05, 0.01, 0.002};
+  const auto cfg =
+      population::theoretical_scenario(population::LoadRegime::kAtService, n);
   const auto pop = population::sample_population(cfg, 99);
   const double star =
       core::solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star;
@@ -29,8 +40,8 @@ int main() {
   io::TextTable table("iterations and final error vs (eta0, epsilon)");
   table.set_header({"eta0", "epsilon", "iterations", "|gamma_hat - gamma*|",
                     "converged"});
-  for (const double eta0 : {0.5, 0.25, 0.1, 0.05}) {
-    for (const double eps : {0.05, 0.01, 0.002}) {
+  for (const double eta0 : eta0s) {
+    for (const double eps : epsilons) {
       core::DtuOptions opt;
       opt.eta0 = eta0;
       opt.epsilon = eps;
@@ -49,3 +60,11 @@ int main() {
       "~20-iteration Fig. 5 traces correspond to (0.1, 0.01).\n");
   return 0;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"ablation_stepsize",
+     "Ablation X1: DTU iterations/accuracy vs step size and epsilon",
+     {},
+     run});
+
+}  // namespace

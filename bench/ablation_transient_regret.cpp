@@ -10,26 +10,24 @@
 // more (pay spiky early regret), slower ones linger longer off-equilibrium.
 #include <cmath>
 #include <cstdio>
-#include <exception>
 #include <string>
 #include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/core/dtu.hpp"
 #include "mec/core/mfne.hpp"
-#include "mec/io/args.hpp"
 #include "mec/io/csv.hpp"
 #include "mec/io/table.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 
-int main(int argc, char** argv) try {
+namespace {
+
+int run(mec::bench::Context& ctx) {
   using namespace mec;
-  const io::Args args =
-      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"out-dir"});
-  const std::string out_dir = args.get_string("out-dir", "results");
+  const std::size_t n = ctx.smoke() ? 500 : 3000;
   const auto cfg = population::theoretical_scenario(
-      population::LoadRegime::kAboveService, 3000);
+      population::LoadRegime::kAboveService, n);
   const auto pop = population::sample_population(cfg, 31);
 
   const core::MfneResult mfne =
@@ -75,7 +73,7 @@ int main(int argc, char** argv) try {
   }
   std::printf("%s\n", table.to_string().c_str());
   const std::string csv_path =
-      io::output_path(out_dir, "ablation_transient_regret.csv");
+      ctx.output_path("ablation_transient_regret.csv");
   io::write_csv(csv_path, {"t", "realized_cost"}, {csv_t, csv_cost});
   std::printf(
       "Reading: the stop rule fires after ~eta0/epsilon step halvings, so\n"
@@ -89,7 +87,12 @@ int main(int argc, char** argv) try {
       "wrote %s\n",
       csv_path.c_str());
   return 0;
-} catch (const std::exception& e) {
-  std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"ablation_transient_regret",
+     "Ablation X9: cumulative transient regret of DTU vs step schedule",
+     {},
+     run});
+
+}  // namespace

@@ -29,17 +29,16 @@
 //                            F (untimed, so the BENCH numbers stay pure)
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <iostream>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/core/edge_delay.hpp"
 #include "mec/core/user.hpp"
-#include "mec/io/args.hpp"
 #include "mec/io/json.hpp"
 #include "mec/random/rng.hpp"
 #include "mec/sim/mec_simulation.hpp"
@@ -118,9 +117,8 @@ CaseResult run_case(std::size_t n, int repetitions, std::size_t shards,
   return best;
 }
 
-std::string bench_line(const CaseResult& c) {
-  const mec::io::Json json = mec::io::Json::object({
-      {"name", mec::io::Json::string("des_scaling")},
+void emit_case(mec::bench::Context& ctx, const CaseResult& c) {
+  ctx.emit_bench({
       {"n", mec::io::Json::integer(static_cast<long long>(c.n))},
       {"shards", mec::io::Json::integer(static_cast<long long>(c.shards))},
       {"horizon", mec::io::Json::number(c.horizon)},
@@ -128,7 +126,6 @@ std::string bench_line(const CaseResult& c) {
       {"seconds", mec::io::Json::number(c.seconds)},
       {"events_per_sec", mec::io::Json::number(c.events_per_sec)},
   });
-  return "BENCH " + json.dump();
 }
 
 /// Reads `"events_per_sec_floor": <number>` from the baseline JSON file.
@@ -136,44 +133,31 @@ std::string bench_line(const CaseResult& c) {
 /// layer is deliberately write-only JSON.
 double read_floor(const std::string& path) {
   std::ifstream in(path);
-  if (!in) {
-    std::cerr << "des_scaling: cannot open baseline file " << path << "\n";
-    std::exit(2);
-  }
+  if (!in)
+    throw std::runtime_error("des_scaling: cannot open baseline file " + path);
   std::stringstream buffer;
   buffer << in.rdbuf();
   const std::string text = buffer.str();
   const std::string key = "\"events_per_sec_floor\"";
   const std::size_t at = text.find(key);
-  if (at == std::string::npos) {
-    std::cerr << "des_scaling: no events_per_sec_floor in " << path << "\n";
-    std::exit(2);
-  }
+  if (at == std::string::npos)
+    throw std::runtime_error("des_scaling: no events_per_sec_floor in " +
+                             path);
   const std::size_t colon = text.find(':', at + key.size());
-  if (colon == std::string::npos) {
-    std::cerr << "des_scaling: malformed baseline " << path << "\n";
-    std::exit(2);
-  }
+  if (colon == std::string::npos)
+    throw std::runtime_error("des_scaling: malformed baseline " + path);
   return std::strtod(text.c_str() + colon + 1, nullptr);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const mec::io::Args args =
-      mec::io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown(
-      {"smoke", "full", "out", "baseline", "reps", "shards", "stream-log"});
-  const bool smoke = args.get_bool("smoke", false);
-  const bool full = args.get_bool("full", false);
-  const int reps = static_cast<int>(args.get_long("reps", 2));
-  const std::string out_path = args.get_string("out", "");
+int run(mec::bench::Context& ctx) {
+  const bool smoke = ctx.smoke();
+  const bool full = ctx.get_bool("full");
+  const int reps = static_cast<int>(ctx.get_long("reps"));
   // Shard count for the N sweep.  Without --shards the sweep pins K = 1
   // rather than passing 0 to the engine: 0 now means "autotune", and a
   // big box silently sharding the base sweep would change what the bench
   // measures (serial per-event cost) and poison the speedup column.
-  const auto shards =
-      static_cast<std::size_t>(args.get_long("shards", 1));
+  const auto shards = static_cast<std::size_t>(ctx.get_long("shards"));
 
   std::vector<std::size_t> sizes;
   if (smoke) {
@@ -183,59 +167,64 @@ int main(int argc, char** argv) {
     if (full) sizes.push_back(1000000);
   }
 
-  std::ofstream out;
-  if (!out_path.empty()) out.open(out_path, std::ios::app);
-
   std::vector<CaseResult> results;
   for (const std::size_t n : sizes) {
     const CaseResult c = run_case(n, reps, shards);
     results.push_back(c);
-    const std::string line = bench_line(c);
-    std::cout << line << "\n" << std::flush;
-    if (out) out << line << "\n";
+    emit_case(ctx, c);
   }
 
-  if (!smoke && !args.has("shards")) {
+  if (!smoke && !ctx.has("shards")) {
     // Shard-count axis: the same largest-N run partitioned over K event
     // queues.  Results are bit-identical for every K (asserted here on the
     // event count), so the speedup column is a pure wall-clock comparison.
     const CaseResult& base = results.back();
     for (const std::size_t k : {2u, 4u}) {
       const CaseResult c = run_case(base.n, reps, k);
-      const std::string line = bench_line(c);
-      std::cout << line << "\n" << std::flush;
-      if (out) out << line << "\n";
-      if (c.events != base.events) {
-        std::cerr << "des_scaling: sharded run diverged (" << c.events
-                  << " events at K=" << k << " vs " << base.events << ")\n";
-        return 1;
-      }
+      emit_case(ctx, c);
+      if (c.events != base.events)
+        throw std::runtime_error(
+            "des_scaling: sharded run diverged (" +
+            std::to_string(c.events) + " events at K=" + std::to_string(k) +
+            " vs " + std::to_string(base.events) + ")");
       std::printf("shards=%zu speedup over 1: %.2fx (%.3fs -> %.3fs)\n", k,
                   base.seconds / c.seconds, base.seconds, c.seconds);
     }
   }
 
-  if (args.has("stream-log")) {
+  const std::string stream_log = ctx.get_path("stream-log");
+  if (!stream_log.empty()) {
     // One untimed replay of the largest case with telemetry on: produces a
     // viewable/CI-checkable artifact without touching the BENCH numbers.
-    const CaseResult& base = results.back();
-    run_case(base.n, 1, shards, args.get_string("stream-log", ""));
-    std::printf("telemetry stream written to %s\n",
-                args.get_string("stream-log", "").c_str());
+    run_case(results.back().n, 1, shards, stream_log);
+    std::printf("telemetry stream written to %s\n", stream_log.c_str());
   }
 
   if (smoke) {
-    const std::string baseline =
-        args.get_string("baseline", "des_scaling_baseline.json");
-    const double floor = read_floor(baseline);
+    const double floor = read_floor(ctx.get_path("baseline"));
     const double measured = results.front().events_per_sec;
     std::printf("smoke: %.3g events/s vs floor %.3g\n", measured, floor);
-    if (measured < floor) {
-      std::cerr << "des_scaling --smoke: events/sec regressed below the "
-                   "baseline floor ("
-                << measured << " < " << floor << ")\n";
-      return 1;
-    }
+    if (measured < floor)
+      throw std::runtime_error(
+          "des_scaling --smoke: events/sec regressed below the baseline "
+          "floor (" +
+          std::to_string(measured) + " < " + std::to_string(floor) + ")");
   }
   return 0;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"des_scaling",
+     "DES event-throughput across population sizes (BENCH JSON lines)",
+     {{"full", mec::bench::FlagKind::kBool, "false", "add the N = 1e6 case"},
+      {"reps", mec::bench::FlagKind::kLong, "2",
+       "timed repetitions per case (best kept)"},
+      {"shards", mec::bench::FlagKind::kLong, "1",
+       "force K shards for the sweep (skips the speedup column)"},
+      {"baseline", mec::bench::FlagKind::kPath, "des_scaling_baseline.json",
+       "events/sec floor file for --smoke"},
+      {"stream-log", mec::bench::FlagKind::kPath, "",
+       "untimed replay of the largest case streamed to this .meclog"}},
+     run});
+
+}  // namespace

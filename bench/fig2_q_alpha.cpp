@@ -5,21 +5,18 @@
 // Output: the two series as ASCII plots plus a CSV
 // (fig2_q_alpha.csv) with a fine grid for external plotting.
 #include <cstdio>
-#include <exception>
 #include <string>
 #include <vector>
 
-#include "mec/io/args.hpp"
+#include "bench/runner.hpp"
 #include "mec/io/ascii_plot.hpp"
 #include "mec/io/csv.hpp"
 #include "mec/queueing/threshold_queue.hpp"
 
-int main(int argc, char** argv) try {
+namespace {
+
+int run(mec::bench::Context& ctx) {
   using namespace mec;
-  const io::Args args =
-      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"out-dir"});
-  const std::string out_dir = args.get_string("out-dir", "results");
   constexpr double kTheta = 4.0;  // paper's Fig. 2 setting
   constexpr double kXMax = 10.0;
   constexpr double kStep = 0.05;
@@ -62,11 +59,16 @@ int main(int argc, char** argv) try {
       "both curves are continuous in x, including at integer thresholds.\n",
       1.0 - 1.0 / kTheta);
 
-  const std::string csv = io::output_path(out_dir, "fig2_q_alpha.csv");
+  const std::string csv = ctx.output_path("fig2_q_alpha.csv");
   io::write_csv(csv, {"x", "Q", "alpha"}, {xs, q, alpha});
   std::printf("wrote %s (%zu rows)\n", csv.c_str(), xs.size());
   return 0;
-} catch (const std::exception& e) {
-  std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"fig2_q_alpha",
+     "Fig. 2: Q(x) and alpha(x) vs threshold at theta = 4",
+     {},
+     run});
+
+}  // namespace

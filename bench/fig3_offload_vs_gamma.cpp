@@ -7,25 +7,22 @@
 // average V(gamma) is nevertheless continuous.  The bench prints both the
 // single-user staircase and the smooth population average.
 #include <cstdio>
-#include <exception>
 #include <string>
 #include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/core/best_response.hpp"
 #include "mec/core/threshold_oracle.hpp"
-#include "mec/io/args.hpp"
 #include "mec/io/ascii_plot.hpp"
 #include "mec/io/csv.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 #include "mec/queueing/threshold_queue.hpp"
 
-int main(int argc, char** argv) try {
+namespace {
+
+int run(mec::bench::Context& ctx) {
   using namespace mec;
-  const io::Args args =
-      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"out-dir"});
-  const std::string out_dir = args.get_string("out-dir", "results");
 
   // A representative user from the theoretical setting.
   core::UserParams user;
@@ -36,9 +33,10 @@ int main(int argc, char** argv) try {
   user.energy_offload = 0.5;
   const core::EdgeDelay delay = core::make_reciprocal_delay();
 
+  const std::size_t n = ctx.smoke() ? 500 : 5000;
+  const double grid_step = ctx.smoke() ? 0.02 : 0.005;
   const auto pop = population::sample_population(
-      population::theoretical_scenario(population::LoadRegime::kAtService,
-                                       5000),
+      population::theoretical_scenario(population::LoadRegime::kAtService, n),
       42);
 
   std::vector<double> gammas, user_alpha, pop_v;
@@ -46,7 +44,7 @@ int main(int argc, char** argv) try {
   std::printf("=== Fig. 3: offload probability vs server utilization ===\n\n");
   std::printf("single user (a=%.1f, s=%.1f): threshold jumps\n",
               user.arrival_rate, user.service_rate);
-  for (double gamma = 0.0; gamma <= 1.0 + 1e-12; gamma += 0.005) {
+  for (double gamma = 0.0; gamma <= 1.0 + 1e-12; gamma += grid_step) {
     const double g = delay(std::min(gamma, 1.0));
     const std::int64_t x = core::best_threshold(user, g);
     const double alpha = queueing::tro_offload_probability(
@@ -81,12 +79,17 @@ int main(int argc, char** argv) try {
                                     opt)
                           .c_str());
 
-  const std::string csv = io::output_path(out_dir, "fig3_offload_vs_gamma.csv");
+  const std::string csv = ctx.output_path("fig3_offload_vs_gamma.csv");
   io::write_csv(csv, {"gamma", "user_alpha", "population_V"},
                 {gammas, user_alpha, pop_v});
   std::printf("wrote %s (%zu rows)\n", csv.c_str(), gammas.size());
   return 0;
-} catch (const std::exception& e) {
-  std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"fig3_offload_vs_gamma",
+     "Fig. 3: per-user offload staircase vs continuous V(gamma)",
+     {},
+     run});
+
+}  // namespace

@@ -12,9 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/core/dtu.hpp"
 #include "mec/core/mfne.hpp"
-#include "mec/io/args.hpp"
 #include "mec/io/ascii_plot.hpp"
 #include "mec/io/csv.hpp"
 #include "mec/parallel/replication.hpp"
@@ -24,13 +24,14 @@
 
 namespace {
 
-void run_regime(mec::population::LoadRegime regime, char tag,
-                double paper_star, const mec::parallel::ReplicationOptions& ro,
-                mec::parallel::ThreadPool& pool, const std::string& out_dir,
+void run_regime(mec::bench::Context& ctx, mec::population::LoadRegime regime,
+                char tag, double paper_star,
+                const mec::parallel::ReplicationOptions& ro,
+                mec::parallel::ThreadPool& pool,
                 const std::string& stream_log = "") {
   using namespace mec;
-  const population::ScenarioConfig cfg =
-      population::theoretical_scenario(regime);
+  const population::ScenarioConfig cfg = population::theoretical_scenario(
+      regime, ctx.smoke() ? 1000 : 10000);
   const auto pop = population::sample_population(cfg, 7);
 
   const core::MfneResult mfne =
@@ -71,8 +72,8 @@ void run_regime(mec::population::LoadRegime regime, char tag,
                 it.gamma_hat, it.eta);
   std::printf("\n");
 
-  const std::string csv = io::output_path(
-      out_dir, std::string("fig5") + tag + "_dtu_theoretical.csv");
+  const std::string csv =
+      ctx.output_path(std::string("fig5") + tag + "_dtu_theoretical.csv");
   io::write_csv(csv, {"t", "gamma", "gamma_hat", "gamma_star"},
                 {t, gamma, gamma_hat, star});
   std::printf("wrote %s (%zu rows)\n", csv.c_str(), t.size());
@@ -81,8 +82,8 @@ void run_regime(mec::population::LoadRegime regime, char tag,
   // utilization should straddle the analytic gamma*.
   sim::SimulationOptions so;
   so.fixed_gamma = mfne.gamma_star;
-  so.horizon = 60.0;
-  so.warmup = 10.0;
+  so.horizon = ctx.smoke() ? 20.0 : 60.0;
+  so.warmup = ctx.smoke() ? 4.0 : 10.0;
   so.seed = 42;
   const parallel::ReplicationResult des = parallel::run_replications(
       pop.users, cfg.capacity, cfg.delay, so, dtu.thresholds, ro, &pool);
@@ -134,32 +135,36 @@ void fig4_bisection_illustration() {
   std::printf("\n");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) try {
+int run(mec::bench::Context& ctx) {
   using namespace mec;
-  const io::Args args =
-      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown(
-      {"replications", "threads", "confidence", "out-dir", "stream-log"});
-  const std::string out_dir = args.get_string("out-dir", "results");
   parallel::ReplicationOptions ro;
-  ro.replications = static_cast<std::size_t>(args.get_long("replications", 4));
-  ro.threads = static_cast<std::size_t>(args.get_long("threads", 0));
-  ro.confidence = args.get_double("confidence", 0.95);
+  ro.replications =
+      static_cast<std::size_t>(ctx.get_long("replications"));
+  if (ctx.smoke() && !ctx.has("replications")) ro.replications = 2;
+  ro.threads = static_cast<std::size_t>(ctx.get_long("threads"));
+  ro.confidence = ctx.get_double("confidence");
   parallel::ThreadPool pool(ro.threads);
 
   std::printf("=== Fig. 5: DTU convergence, theoretical settings ===\n\n");
-  run_regime(population::LoadRegime::kBelowService, 'a', 0.13, ro, pool,
-             out_dir);
+  run_regime(ctx, population::LoadRegime::kBelowService, 'a', 0.13, ro, pool);
   // The at-service regime is the representative streamed run.
-  run_regime(population::LoadRegime::kAtService, 'b', 0.21, ro, pool, out_dir,
-             args.get_string("stream-log", ""));
-  run_regime(population::LoadRegime::kAboveService, 'c', 0.28, ro, pool,
-             out_dir);
+  run_regime(ctx, population::LoadRegime::kAtService, 'b', 0.21, ro, pool,
+             ctx.get_path("stream-log"));
+  run_regime(ctx, population::LoadRegime::kAboveService, 'c', 0.28, ro, pool);
   fig4_bisection_illustration();
   return 0;
-} catch (const std::exception& e) {
-  std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"fig5_dtu_theoretical",
+     "Fig. 5: DTU convergence under the theoretical settings + DES check",
+     {{"replications", mec::bench::FlagKind::kLong, "4",
+       "independent DES replications"},
+      {"threads", mec::bench::FlagKind::kLong, "0",
+       "worker threads (0 = hardware)"},
+      {"confidence", mec::bench::FlagKind::kDouble, "0.95", "CI level"},
+      {"stream-log", mec::bench::FlagKind::kPath, "",
+       "stream the Fig. 5b representative run to this .meclog"}},
+     run});
+
+}  // namespace

@@ -4,11 +4,9 @@
 // stand-ins (see DESIGN.md §5 for the substitution rationale).
 #include <cmath>
 #include <cstdio>
-#include <exception>
 #include <string>
-#include <vector>
 
-#include "mec/io/args.hpp"
+#include "bench/runner.hpp"
 #include "mec/io/ascii_plot.hpp"
 #include "mec/io/csv.hpp"
 #include "mec/random/empirical_data.hpp"
@@ -32,30 +30,29 @@ void show(const mec::random::EmpiricalDataset& data, const char* title,
   std::printf("wrote %s (%zu rows)\n\n", csv_path.c_str(), edges.size());
 }
 
-}  // namespace
-
-int main(int argc, char** argv) try {
+int run(mec::bench::Context& ctx) {
   using namespace mec;
-  const io::Args args =
-      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"out-dir"});
-  const std::string out_dir = args.get_string("out-dir", "results");
   std::printf("=== Fig. 6: statistics of the (synthetic) measured data ===\n\n");
 
   const auto times = random::synthetic_yolo_processing_times();
   show(times, "(a) local processing time (YOLOv3 on RPi 4, synthetic)",
-       io::output_path(out_dir, "fig6a_processing_time_hist.csv"));
+       ctx.output_path("fig6a_processing_time_hist.csv"));
 
   const auto latencies = random::synthetic_wifi_offload_latencies();
   show(latencies, "(b) offloading latency (WiFi upload, synthetic)",
-       io::output_path(out_dir, "fig6b_offload_latency_hist.csv"));
+       ctx.output_path("fig6b_offload_latency_hist.csv"));
 
   const auto rates = random::service_rates_from_times(times);
   std::printf(
       "derived service-rate dataset: mean = %.4f (paper's E[S] = %.4f)\n",
       rates.mean(), random::kPaperMeanServiceRate);
   return 0;
-} catch (const std::exception& e) {
-  std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"fig6_data_histograms",
+     "Fig. 6: histograms of the (synthetic) measured datasets",
+     {},
+     run});
+
+}  // namespace

@@ -13,9 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/core/dtu.hpp"
 #include "mec/core/mfne.hpp"
-#include "mec/io/args.hpp"
 #include "mec/io/ascii_plot.hpp"
 #include "mec/io/csv.hpp"
 #include "mec/parallel/replication.hpp"
@@ -26,12 +26,15 @@
 
 namespace {
 
-void run_regime(mec::population::LoadRegime regime, char tag,
-                double paper_star, const mec::parallel::ReplicationOptions& ro,
-                mec::parallel::ThreadPool& pool, const std::string& out_dir,
+void run_regime(mec::bench::Context& ctx, mec::population::LoadRegime regime,
+                char tag, double paper_star,
+                const mec::parallel::ReplicationOptions& ro,
+                mec::parallel::ThreadPool& pool,
                 const std::string& stream_log = "") {
   using namespace mec;
-  const population::ScenarioConfig cfg = population::practical_scenario(regime);
+  const std::size_t n = ctx.smoke() ? 200 : 1000;
+  const population::ScenarioConfig cfg =
+      population::practical_scenario(regime, n);
   const auto pop = population::sample_population(cfg, 21);
 
   const core::MfneResult mfne =
@@ -74,8 +77,8 @@ void run_regime(mec::population::LoadRegime regime, char tag,
   so.service = sim::empirical_service(random::synthetic_yolo_processing_times());
   so.latency = sim::empirical_latency(random::synthetic_wifi_offload_latencies());
   so.fixed_gamma = mfne.gamma_star;
-  so.horizon = 150.0;
-  so.warmup = 15.0;
+  so.horizon = ctx.smoke() ? 40.0 : 150.0;
+  so.warmup = ctx.smoke() ? 5.0 : 15.0;
   so.seed = 42;
   const parallel::ReplicationResult r = parallel::run_replications(
       pop.users, cfg.capacity, cfg.delay, so, dtu.thresholds, ro, &pool);
@@ -86,8 +89,8 @@ void run_regime(mec::population::LoadRegime regime, char tag,
       r.measured_utilization.ci.half_width, r.mean_cost.mean(),
       r.mean_cost.ci.half_width);
 
-  const std::string csv = io::output_path(
-      out_dir, std::string("fig7") + tag + "_dtu_practical.csv");
+  const std::string csv =
+      ctx.output_path(std::string("fig7") + tag + "_dtu_practical.csv");
   io::write_csv(csv, {"t", "gamma", "gamma_hat", "gamma_star"},
                 {t, gamma, gamma_hat, star});
   std::printf("wrote %s (%zu rows)\n", csv.c_str(), t.size());
@@ -105,32 +108,36 @@ void run_regime(mec::population::LoadRegime regime, char tag,
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) try {
+int run(mec::bench::Context& ctx) {
   using namespace mec;
-  const io::Args args =
-      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown(
-      {"replications", "threads", "confidence", "out-dir", "stream-log"});
-  const std::string out_dir = args.get_string("out-dir", "results");
   parallel::ReplicationOptions ro;
-  ro.replications = static_cast<std::size_t>(args.get_long("replications", 8));
-  ro.threads = static_cast<std::size_t>(args.get_long("threads", 0));
-  ro.confidence = args.get_double("confidence", 0.95);
+  ro.replications =
+      static_cast<std::size_t>(ctx.get_long("replications"));
+  if (ctx.smoke() && !ctx.has("replications")) ro.replications = 2;
+  ro.threads = static_cast<std::size_t>(ctx.get_long("threads"));
+  ro.confidence = ctx.get_double("confidence");
   parallel::ThreadPool pool(ro.threads);
 
   std::printf(
       "=== Fig. 7: DTU convergence, practical settings (async p=0.8) ===\n\n");
-  run_regime(population::LoadRegime::kBelowService, 'a', 0.43, ro, pool,
-             out_dir);
+  run_regime(ctx, population::LoadRegime::kBelowService, 'a', 0.43, ro, pool);
   // The at-service regime is the representative streamed run.
-  run_regime(population::LoadRegime::kAtService, 'b', 0.44, ro, pool, out_dir,
-             args.get_string("stream-log", ""));
-  run_regime(population::LoadRegime::kAboveService, 'c', 0.46, ro, pool,
-             out_dir);
+  run_regime(ctx, population::LoadRegime::kAtService, 'b', 0.44, ro, pool,
+             ctx.get_path("stream-log"));
+  run_regime(ctx, population::LoadRegime::kAboveService, 'c', 0.46, ro, pool);
   return 0;
-} catch (const std::exception& e) {
-  std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"fig7_dtu_practical",
+     "Fig. 7: async DTU convergence under the practical settings + DES check",
+     {{"replications", mec::bench::FlagKind::kLong, "8",
+       "independent DES replications"},
+      {"threads", mec::bench::FlagKind::kLong, "0",
+       "worker threads (0 = hardware)"},
+      {"confidence", mec::bench::FlagKind::kDouble, "0.95", "CI level"},
+      {"stream-log", mec::bench::FlagKind::kPath, "",
+       "stream the Fig. 7b representative run to this .meclog"}},
+     run});
+
+}  // namespace

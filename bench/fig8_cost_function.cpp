@@ -10,14 +10,13 @@
 //     and 2" in Fig. 8a).
 #include <cmath>
 #include <cstdio>
-#include <exception>
 #include <string>
 #include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/core/cost_model.hpp"
 #include "mec/core/edge_delay.hpp"
 #include "mec/core/threshold_oracle.hpp"
-#include "mec/io/args.hpp"
 #include "mec/io/ascii_plot.hpp"
 #include "mec/io/csv.hpp"
 
@@ -70,14 +69,8 @@ void trace_one(double theta, double g_value, double arrival_rate,
   csv_columns.push_back(cost);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) try {
+int run(mec::bench::Context& ctx) {
   using namespace mec;
-  const io::Args args =
-      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"out-dir"});
-  const std::string out_dir = args.get_string("out-dir", "results");
   const double gamma = std::sqrt(3.0) / 10.0;
   const core::EdgeDelay delay = core::make_reciprocal_delay();
   const double g_value = delay(gamma);
@@ -101,12 +94,16 @@ int main(int argc, char** argv) try {
   for (const double x : {1.0, 1.25, 1.5, 1.75, 2.0})
     std::printf("  T(%.2f) = %.6f\n", x, core::tro_cost(u, x, g_value));
 
-  const std::string csv_path =
-      io::output_path(out_dir, "fig8_cost_function.csv");
+  const std::string csv_path = ctx.output_path("fig8_cost_function.csv");
   io::write_csv(csv_path, {"x", "cost_theta2", "cost_theta4"}, csv);
   std::printf("wrote %s\n", csv_path.c_str());
   return 0;
-} catch (const std::exception& e) {
-  std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"fig8_cost_function",
+     "Fig. 8: per-user cost T(x|gamma) vs threshold, flat-argmin check",
+     {},
+     run});
+
+}  // namespace

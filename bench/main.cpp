@@ -1,0 +1,4 @@
+// Entry point of the unified bench binary; see runner.hpp for the registry.
+#include "bench/runner.hpp"
+
+int main(int argc, char** argv) { return mec::bench::run_main(argc, argv); }

@@ -5,8 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/core/best_response.hpp"
 #include "mec/core/mfne.hpp"
 #include "mec/core/threshold_oracle.hpp"
@@ -233,6 +236,39 @@ BENCHMARK(BM_ParallelBestResponse)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
-}  // namespace
+// google-benchmark keeps its own flag parser, so the experiment hands it a
+// synthetic argv: the runner's --filter maps to --benchmark_filter, and
+// --smoke pins the two cheapest closed-form benchmarks so the CI smoke
+// matrix stays fast.
+int run(mec::bench::Context& ctx) {
+  std::string filter = ctx.get_string("filter");
+  if (filter.empty() && ctx.smoke())
+    filter = "BM_TroMetrics|BM_BestThresholdOracle";
 
-BENCHMARK_MAIN();
+  std::vector<std::string> argv_storage = {"micro_benchmarks"};
+  if (!filter.empty())
+    argv_storage.push_back("--benchmark_filter=" + filter);
+  std::vector<char*> argv;
+  argv.reserve(argv_storage.size());
+  for (std::string& arg : argv_storage) argv.push_back(arg.data());
+  int argc = static_cast<int>(argv.size());
+
+  benchmark::Initialize(&argc, argv.data());
+  if (benchmark::ReportUnrecognizedArguments(argc, argv.data()))
+    throw std::runtime_error("micro_benchmarks: bad benchmark arguments");
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (ran == 0)
+    throw std::runtime_error("micro_benchmarks: filter '" + filter +
+                             "' matched no benchmarks");
+  return 0;
+}
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"micro_benchmarks",
+     "Ablation X5: google-benchmark micro-benchmarks of the hot paths",
+     {{"filter", mec::bench::FlagKind::kString, "",
+       "regex passed to --benchmark_filter (smoke pins the closed forms)"}},
+     run});
+
+}  // namespace

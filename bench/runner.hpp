@@ -1,0 +1,120 @@
+// Shared harness for the reproduction benches.
+//
+// Every experiment that reproduces a paper figure/table (or an ablation) is
+// a *registered function*, not a standalone main: it declares its flags as
+// typed specs, receives a validated Context, and the runner supplies the
+// scaffold every bench used to hand-roll — Args parsing, automatic
+// unknown-flag rejection, bare-value-flag rejection, `--out-dir` routing
+// through io::output_path, uniform `BENCH {...}` JSON emission, the
+// try/catch exit-code wrapper, and `--list` / `--smoke` / `--help`.
+//
+//   mec_bench --list                 enumerate registered experiments
+//   mec_bench <name> [flags]         run one experiment
+//   mec_bench <name> --smoke         shrunken deterministic run for CI
+//   mec_bench <name> --help          show the experiment's flag table
+//
+// Common flags (every experiment): --smoke, --out-dir=<dir> (default
+// "results"), --out=<file> (append BENCH JSON lines), --help.
+//
+// Registration happens at static-initialization time from each experiment's
+// translation unit:
+//
+//   namespace {
+//   int run(mec::bench::Context& ctx) { ... }
+//   const bool kReg = mec::bench::register_experiment(
+//       {"fig2_q_alpha", "Fig. 2: Q(x) and alpha(x) vs threshold x",
+//        {{"grid-step", mec::bench::FlagKind::kDouble, "0.05", "x grid"}},
+//        run});
+//   }  // namespace
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mec/io/args.hpp"
+#include "mec/io/json.hpp"
+
+namespace mec::bench {
+
+enum class FlagKind { kString, kLong, kDouble, kBool, kPath };
+
+/// One declared flag.  `default_value` is textual (what --help shows and
+/// what the typed getters parse when the flag is absent); for kString and
+/// kPath an empty default means "unset".
+struct FlagSpec {
+  std::string name;
+  FlagKind kind = FlagKind::kString;
+  std::string default_value;
+  std::string help;
+};
+
+class Context;
+using BenchFn = std::function<int(Context&)>;
+
+struct Experiment {
+  std::string name;
+  std::string summary;  ///< one line, shown by --list
+  std::vector<FlagSpec> flags;
+  BenchFn fn;
+};
+
+/// Validated view of one experiment invocation.  Typed getters check the
+/// requested flag against the declared specs (name and kind), so an
+/// experiment cannot read a flag it never declared.
+class Context {
+ public:
+  Context(const Experiment& experiment, const io::Args& args);
+
+  const std::string& name() const noexcept { return experiment_.name; }
+  /// CI smoke mode: experiments shrink their workload but keep the shape.
+  bool smoke() const noexcept { return smoke_; }
+  const std::string& out_dir() const noexcept { return out_dir_; }
+  /// Routes `filename` under --out-dir (created on demand).
+  std::string output_path(const std::string& filename) const;
+
+  bool has(const std::string& flag) const;
+  std::string get_string(const std::string& flag) const;
+  std::string get_path(const std::string& flag) const;
+  long get_long(const std::string& flag) const;
+  double get_double(const std::string& flag) const;
+  bool get_bool(const std::string& flag) const;
+
+  /// Emits one uniform machine-parsable result line to stdout —
+  /// `BENCH {"bench":"<name>", ...fields}` — and appends it to the --out
+  /// file when one was given.
+  void emit_bench(std::map<std::string, io::Json> fields) const;
+
+ private:
+  const FlagSpec& spec(const std::string& flag, FlagKind kind) const;
+
+  const Experiment& experiment_;
+  const io::Args& args_;
+  bool smoke_ = false;
+  std::string out_dir_;
+  std::string out_file_;
+};
+
+/// Adds an experiment to the global registry; call from a namespace-scope
+/// initializer.  Throws mec::RuntimeError on a duplicate name, an empty
+/// name, or a declared flag that collides with a common runner flag.
+bool register_experiment(Experiment experiment);
+
+/// Registered experiments, sorted by name.
+std::vector<const Experiment*> experiments();
+
+/// Looks up one experiment; nullptr when unknown.
+const Experiment* find_experiment(const std::string& name);
+
+/// Full flag universe for an experiment: its declared flags plus the
+/// runner's common flags.
+std::set<std::string> known_flags(const Experiment& experiment);
+
+/// The runner entry point: parses argv, dispatches --list/--help or the
+/// named experiment, validates flags (unknown flags and bare value-typed
+/// flags exit non-zero), and maps exceptions to exit code 1.
+int run_main(int argc, const char* const* argv);
+
+}  // namespace mec::bench

@@ -1,0 +1,117 @@
+// Declarative sweep campaigns for the bench runner.
+//
+// A sweep spec is a small line-oriented text file (same `key = value` style
+// as the `.mec` scenario and `.fault` schedule formats) describing a grid
+// over scenario x fault schedule x policy x shard count x replication:
+//
+//     # campaign.sweep
+//     out-dir      = results/campaign
+//     seed         = 42
+//     warmup       = 20
+//     horizon      = 200
+//     window       = 5            # .meclog sample interval, seconds
+//     replications = 2
+//     scenario = theoretical:eq:2000     # axis keys repeat to add values
+//     scenario = practical:high:500
+//     fault    = none
+//     fault    = scenarios/brownout.fault
+//     policy   = tro                     # tro | dpo | fixed:<x>
+//     policy   = dpo
+//     shards   = 1
+//     shards   = 4
+//
+// Scenario tokens are `theoretical|comparison|practical:<low|eq|high>[:<n>]`
+// presets or a path to a `.mec` config file.  Fault tokens are `none`, a
+// path to a `.fault` file, or `embedded` (the scenario's own `fault =`
+// lines).  '#' starts a comment; blank lines are ignored; every `scenario`
+// line is required to exist (the other axes default to none/tro/1).
+//
+// Execution is *resumable*: each cell streams one `.meclog` run log, and a
+// cell whose output already exists, is complete (footer frame present, no
+// corruption), and matches the cell's seed/horizon/shards is skipped.  Cell
+// seeds are derived from the campaign seed with the golden-ratio
+// replication_seed scheme and the cell's position in the deterministic
+// enumeration order — never from how many cells ran before it — so an
+// interrupted campaign resumed later is byte-identical to one run fresh.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mec::bench {
+
+/// Parsed sweep campaign description.
+struct SweepSpec {
+  std::string out_dir = "results/sweep";
+  std::uint64_t seed = 1;
+  double warmup = 20.0;
+  double horizon = 200.0;
+  double window = 5.0;  ///< .meclog sample interval (must be > 0)
+  std::size_t replications = 1;
+  std::vector<std::string> scenarios;  ///< required, at least one token
+  std::vector<std::string> faults;     ///< defaults to {"none"}
+  std::vector<std::string> policies;   ///< defaults to {"tro"}
+  std::vector<std::size_t> shards;     ///< defaults to {1}
+};
+
+/// Parses a sweep spec from config text. Throws mec::RuntimeError with a
+/// line-numbered message on any syntax or semantic problem.
+SweepSpec parse_sweep_spec(const std::string& text);
+
+/// Reads and parses a sweep spec file.
+SweepSpec load_sweep_spec_file(const std::string& path);
+
+/// One grid cell of a campaign.
+struct SweepCell {
+  std::size_t index = 0;  ///< position in enumeration order (seed input)
+  std::string scenario;   ///< scenario token, verbatim from the spec
+  std::string fault;      ///< fault token
+  std::string policy;     ///< policy token
+  std::size_t shard_count = 1;
+  std::size_t replication = 0;
+  std::uint64_t seed = 0;  ///< replication_seed(spec.seed, index)
+  std::string label;       ///< filesystem-safe stem, e.g. s0-..__p0-tro__k1__r0
+  std::string path;        ///< <out-dir>/<label>.meclog
+};
+
+/// Deterministic lexicographic enumeration of the grid: scenario is the
+/// outermost axis, then fault, policy, shards, replication.
+std::vector<SweepCell> enumerate_cells(const SweepSpec& spec);
+
+/// True when the cell's output file holds a complete run log (footer frame,
+/// no corruption) whose seed / warmup / horizon / window / shards metadata
+/// all match the cell — the resume-skip test.
+bool cell_output_valid(const SweepCell& cell, const SweepSpec& spec);
+
+struct SweepRunOptions {
+  bool force = false;    ///< rerun every cell even when its output is valid
+  bool dry_run = false;  ///< enumerate and classify only; run nothing
+  /// Invoked per cell after it is classified (and, unless dry_run, after it
+  /// ran). `executed` is false for resume-skipped cells.
+  std::function<void(const SweepCell&, bool executed)> on_cell;
+};
+
+struct SweepReport {
+  std::size_t total = 0;
+  std::size_t executed = 0;
+  std::size_t skipped = 0;  ///< valid outputs left untouched (resume)
+};
+
+/// Runs (or resumes) a campaign. Policy equilibria are solved once per
+/// scenario and reused across that scenario's cells. Throws
+/// mec::RuntimeError on unresolvable tokens or I/O failure.
+SweepReport run_sweep(const SweepSpec& spec,
+                      const SweepRunOptions& options = {});
+
+class Context;
+
+/// Body of the `sweep` experiment (`mec_bench sweep --spec=FILE ...`).  The
+/// registration itself lives in sweep_experiment.cpp, a TU compiled into the
+/// mec_bench binary: registrations in a static library would be dropped by
+/// the linker, and tests want this layer without the registry side effect.
+int run_sweep_experiment(Context& ctx);
+
+}  // namespace mec::bench

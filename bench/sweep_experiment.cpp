@@ -1,0 +1,20 @@
+// Registers the declarative sweep driver as the `sweep` experiment.  Kept
+// out of sweep.cpp so mec_bench_core (a static library) carries no
+// registration side effects — the linker would silently drop them anyway.
+#include "bench/runner.hpp"
+#include "bench/sweep.hpp"
+
+namespace {
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"sweep",
+     "Run a declarative scenario x fault x policy x shards campaign, resumably",
+     {{"spec", mec::bench::FlagKind::kPath, "",
+       "sweep spec file (see bench/sweep.hpp)"},
+      {"force", mec::bench::FlagKind::kBool, "false",
+       "rerun cells with valid outputs"},
+      {"dry-run", mec::bench::FlagKind::kBool, "false",
+       "classify cells without running"}},
+     mec::bench::run_sweep_experiment});
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/core/mean_field_integral.hpp"
 #include "mec/core/mfne.hpp"
 #include "mec/io/table.hpp"
@@ -16,8 +17,13 @@
 #include "mec/population/scenario.hpp"
 #include "mec/stats/summary.hpp"
 
-int main() {
+namespace {
+
+int run(mec::bench::Context& ctx) {
   using namespace mec;
+  const std::size_t n = ctx.smoke() ? 1000 : 10'000;
+  const std::uint64_t draws = ctx.smoke() ? 2 : 5;
+  const std::size_t qmc_nodes = ctx.smoke() ? (1 << 12) : (1 << 15);
 
   io::TextTable table("TABLE I: MFNE under theoretical settings");
   table.set_header({"System Setup", "NE (sampled, N=10^4)", "NE (mean-field QMC)",
@@ -35,11 +41,11 @@ int main() {
 
   for (const auto& row : rows) {
     const population::ScenarioConfig cfg =
-        population::theoretical_scenario(row.regime);
+        population::theoretical_scenario(row.regime, n);
 
-    // (1) Sampled populations, 5 independent draws.
+    // (1) Sampled populations, independent draws.
     stats::RunningSummary stars;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (std::uint64_t seed = 1; seed <= draws; ++seed) {
       const auto pop = population::sample_population(cfg, seed);
       stars.add(
           core::solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star);
@@ -56,7 +62,7 @@ int main() {
     model.capacity = cfg.capacity;
     model.delay = cfg.delay;
     const double qmc =
-        core::mean_field_equilibrium(model, 1 << 15).gamma_star;
+        core::mean_field_equilibrium(model, qmc_nodes).gamma_star;
 
     table.add_row({population::to_string(row.regime),
                    io::TextTable::fmt(stars.mean(), 2) + " (+/- " +
@@ -71,3 +77,11 @@ int main() {
       10.0);
   return 0;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"table1_mfne_theoretical",
+     "Table I: MFNE utilization under the theoretical settings",
+     {},
+     run});
+
+}  // namespace

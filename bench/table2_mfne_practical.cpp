@@ -9,14 +9,19 @@
 // offload fractions down.
 #include <cstdio>
 
+#include "bench/runner.hpp"
 #include "mec/core/mfne.hpp"
 #include "mec/io/table.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 #include "mec/stats/summary.hpp"
 
-int main() {
+namespace {
+
+int run(mec::bench::Context& ctx) {
   using namespace mec;
+  const std::uint64_t draws = ctx.smoke() ? 2 : 5;
+  const std::size_t n = ctx.smoke() ? 300 : 1000;
 
   io::TextTable table("TABLE II: MFNE under practical settings");
   table.set_header({"System Setup", "NE (sampled, N=10^3)", "Paper"});
@@ -32,9 +37,9 @@ int main() {
 
   for (const auto& row : rows) {
     const population::ScenarioConfig cfg =
-        population::practical_scenario(row.regime);
+        population::practical_scenario(row.regime, n);
     stats::RunningSummary stars;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (std::uint64_t seed = 1; seed <= draws; ++seed) {
       const auto pop = population::sample_population(cfg, seed);
       stars.add(
           core::solve_mfne(pop.users, cfg.delay, cfg.capacity).gamma_star);
@@ -46,7 +51,7 @@ int main() {
   }
 
   const auto cfg =
-      population::practical_scenario(population::LoadRegime::kAtService);
+      population::practical_scenario(population::LoadRegime::kAtService, n);
   std::printf("%s\n", table.to_string().c_str());
   std::printf(
       "Settings: S, T resampled from the measured datasets (E[S]=%.4f,\n"
@@ -55,3 +60,11 @@ int main() {
       cfg.service.mean(), cfg.latency.mean(), cfg.capacity, cfg.n_users);
   return 0;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"table2_mfne_practical",
+     "Table II: MFNE utilization under the practical settings",
+     {},
+     run});
+
+}  // namespace

@@ -31,14 +31,15 @@
 // --smoke shrinks the population/budget for the CI gate, which asserts that
 // at least one decisive cell stopped early.
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "bench/runner.hpp"
 #include "mec/baseline/dpo.hpp"
 #include "mec/common/error.hpp"
 #include "mec/core/best_response.hpp"
 #include "mec/core/mfne.hpp"
-#include "mec/io/args.hpp"
 #include "mec/io/csv.hpp"
 #include "mec/io/table.hpp"
 #include "mec/parallel/sequential.hpp"
@@ -170,30 +171,26 @@ const char* verdict_text(const mec::parallel::CompareResult& r) {
   return "?";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) try {
+int run(mec::bench::Context& ctx) {
   using namespace mec;
-  const io::Args args =
-      io::Args::parse(std::vector<std::string>(argv + 1, argv + argc));
-  args.reject_unknown({"replications", "threads", "sequential", "smoke", "n",
-                       "csv", "out-dir"});
-  const bool sequential = args.get_bool("sequential", false);
-  const bool smoke = args.get_bool("smoke", false);
+  const bool sequential = ctx.get_bool("sequential");
+  const bool smoke = ctx.smoke();
   // 5000 repetitions as in the paper; --replications trims it for smoke
   // runs (>= 2 so the 98% CI over the repetitions stays well defined).  In
   // sequential mode the same number is the per-cell budget cap, i.e. the
   // fixed-R protocol this run races against.
-  const int kDpoReps = static_cast<int>(
-      args.get_long("replications", smoke ? 200 : 5000));
+  const long reps_flag = ctx.get_long("replications");
+  const int kDpoReps =
+      reps_flag > 0 ? static_cast<int>(reps_flag) : (smoke ? 200 : 5000);
   MEC_EXPECTS_MSG(kDpoReps >= 2,
                   "--replications must be >= 2 for the DPO confidence "
                   "interval");
   constexpr int kSmallReps = 50;
-  const auto n_users =
-      static_cast<std::size_t>(args.get_long("n", smoke ? 200 : 0));
+  const long n_flag = ctx.get_long("n");
+  const auto n_users = static_cast<std::size_t>(
+      n_flag > 0 ? n_flag : (smoke ? 200 : 0));
   parallel::ThreadPool pool(
-      static_cast<std::size_t>(args.get_long("threads", 0)));
+      static_cast<std::size_t>(ctx.get_long("threads")));
 
   const struct {
     const char* family;
@@ -263,14 +260,12 @@ int main(int argc, char** argv) try {
         "gap = DTU - DPO-opt per common population redraw; a cell stops as\n"
         "soon as the spending-adjusted paired-t interval excludes zero, so\n"
         "'reps' is what the verdict actually cost (vs the fixed-R budget).\n");
-    if (args.has("csv") || smoke) {
-      // A bare --csv (no value) parses as "true": fall back to the default
-      // filename rather than writing a file literally named "true".
-      std::string name = args.get_string("csv", "table3_sequential_spent.csv");
-      if (name == "true" || name.empty())
-        name = "table3_sequential_spent.csv";
-      const std::string path =
-          io::output_path(args.get_string("out-dir", "results"), name);
+    if (ctx.has("csv") || smoke) {
+      // The runner rejects a bare --csv outright, so a present flag always
+      // carries a real filename; smoke falls back to the default name.
+      std::string name = ctx.get_path("csv");
+      if (name.empty()) name = "table3_sequential_spent.csv";
+      const std::string path = ctx.output_path(name);
       io::write_csv(path,
                     {"cell", "practical", "regime", "replications_spent",
                      "budget", "decided", "gap_ci_lower", "gap_ci_upper"},
@@ -278,13 +273,11 @@ int main(int argc, char** argv) try {
                      c_decided, c_lo, c_hi});
       std::printf("per-cell replications-spent written to %s\n", path.c_str());
     }
-    if (smoke && !any_early_decision) {
-      std::fprintf(stderr,
-                   "smoke FAIL: no cell reached a verdict below the fixed-R "
-                   "budget of %d replications\n",
-                   kDpoReps);
-      return 1;
-    }
+    if (smoke && !any_early_decision)
+      throw std::runtime_error(
+          "smoke FAIL: no cell reached a verdict below the fixed-R budget "
+          "of " +
+          std::to_string(kDpoReps) + " replications");
     return 0;
   }
 
@@ -317,7 +310,21 @@ int main(int argc, char** argv) try {
       "(DPO - DTU)/DTU, the paper's convention (e.g. (3.04-2.33)/2.33 =\n"
       "30.76%%).\n");
   return 0;
-} catch (const std::exception& e) {
-  std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
 }
+
+[[maybe_unused]] const bool kRegistered = mec::bench::register_experiment(
+    {"table3_dtu_vs_dpo",
+     "Table III: DTU vs DPO baselines, fixed-R or sequential stopping",
+     {{"replications", mec::bench::FlagKind::kLong, "0",
+       "DPO repetition budget (0 = 200 smoke / 5000 full)"},
+      {"threads", mec::bench::FlagKind::kLong, "0",
+       "worker threads (0 = hardware)"},
+      {"sequential", mec::bench::FlagKind::kBool, "false",
+       "paired run-until-confident protocol instead of fixed-R"},
+      {"n", mec::bench::FlagKind::kLong, "0",
+       "population size override (0 = scenario default / 200 smoke)"},
+      {"csv", mec::bench::FlagKind::kPath, "",
+       "sequential mode: replications-spent CSV filename"}},
+     run});
+
+}  // namespace

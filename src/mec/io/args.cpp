@@ -1,6 +1,8 @@
 #include "mec/io/args.hpp"
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 #include "mec/common/error.hpp"
@@ -20,17 +22,21 @@ Args Args::parse(const std::vector<std::string>& argv) {
       throw RuntimeError("unexpected positional argument: " + token);
     std::string name = token.substr(2);
     std::string value = "true";
+    bool bare = true;
     const auto eq = name.find('=');
     if (eq != std::string::npos) {
       value = name.substr(eq + 1);
       name = name.substr(0, eq);
+      bare = false;
     } else if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
       value = argv[++i];
+      bare = false;
     }
     if (name.empty()) throw RuntimeError("empty flag name");
     if (out.flags_.contains(name))
       throw RuntimeError("duplicate flag: --" + name);
     out.flags_[name] = value;
+    if (bare) out.bare_.insert(name);
   }
   return out;
 }
@@ -39,10 +45,24 @@ bool Args::has(const std::string& name) const {
   return flags_.contains(name);
 }
 
+bool Args::was_bare(const std::string& name) const {
+  return bare_.contains(name);
+}
+
 std::string Args::get_string(const std::string& name,
                              const std::string& fallback) const {
   const auto it = flags_.find(name);
   return it == flags_.end() ? fallback : it->second;
+}
+
+std::string Args::get_path(const std::string& name,
+                           const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (bare_.contains(name))
+    throw RuntimeError("flag --" + name +
+                       " expects a value (e.g. --" + name + "=FILE)");
+  return it->second;
 }
 
 double Args::get_double(const std::string& name, double fallback) const {
@@ -68,6 +88,19 @@ long Args::get_long(const std::string& name, long fallback) const {
     if (pos != it->second.size()) throw std::invalid_argument("trailing");
     return v;
   } catch (const std::exception&) {
+    // "1e6"-style scientific notation: accepted when it denotes an exact
+    // integer that a long (and a double mantissa) can represent.
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(it->second, &pos);
+      if (pos == it->second.size() && std::isfinite(v) &&
+          v == std::floor(v) &&
+          v >= static_cast<double>(std::numeric_limits<long>::min()) &&
+          v <= 9.2233720368547738e18 /* below LONG_MAX rounding */ &&
+          static_cast<double>(static_cast<long>(v)) == v)
+        return static_cast<long>(v);
+    } catch (const std::exception&) {
+    }
     throw RuntimeError("flag --" + name + " expects an integer, got '" +
                        it->second + "'");
   }

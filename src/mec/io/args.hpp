@@ -2,7 +2,10 @@
 //
 // Grammar: <command> [--flag=value | --flag value | --switch] ...
 // Values are retrieved typed, with defaults; unknown flags are an error so
-// typos never silently fall back to defaults.
+// typos never silently fall back to defaults.  A flag given without a value
+// (`--switch`) is recorded as the boolean sentinel "true" *and* remembered
+// as bare, so value-typed getters (get_path) can reject it instead of
+// treating "true" as a filename.
 #pragma once
 
 #include <map>
@@ -24,12 +27,21 @@ class Args {
 
   bool has(const std::string& name) const;
 
+  /// True when the flag was given as a bare switch (`--flag`, no value).
+  bool was_bare(const std::string& name) const;
+
   /// Typed getters; throw mec::RuntimeError when the value does not parse.
   std::string get_string(const std::string& name,
                          const std::string& fallback) const;
   double get_double(const std::string& name, double fallback) const;
+  /// Accepts plain integers and exact-integer scientific notation ("1e6");
+  /// rejects fractional values and trailing garbage.
   long get_long(const std::string& name, long fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
+  /// Like get_string, but a bare `--flag` (no value) is an error rather
+  /// than the "true" sentinel — use for filenames and other paths.
+  std::string get_path(const std::string& name,
+                       const std::string& fallback = "") const;
 
   /// Throws mec::RuntimeError if any provided flag is not in `known`
   /// (catches typos).
@@ -38,6 +50,7 @@ class Args {
  private:
   std::string command_;
   std::map<std::string, std::string> flags_;  // switches map to "true"
+  std::set<std::string> bare_;                // flags given without a value
 };
 
 }  // namespace mec::io

@@ -70,5 +70,38 @@ TEST(ArgsParse, SpaceSeparatedValueStopsAtNextFlag) {
   EXPECT_EQ(a.get_long("other", 0), 1);
 }
 
+TEST(ArgsParse, TracksWhichFlagsWereBare) {
+  const Args a = Args::parse({"cmd", "--switch", "--val=x", "--spaced", "y"});
+  EXPECT_TRUE(a.was_bare("switch"));
+  EXPECT_FALSE(a.was_bare("val"));
+  EXPECT_FALSE(a.was_bare("spaced"));
+  EXPECT_FALSE(a.was_bare("absent"));
+}
+
+TEST(ArgsTyped, GetPathRejectsBareFlags) {
+  // `--csv` with no value must not become a file literally named "true".
+  const Args a = Args::parse({"cmd", "--csv", "--log=run.meclog"});
+  EXPECT_THROW(a.get_path("csv"), RuntimeError);
+  EXPECT_EQ(a.get_path("log"), "run.meclog");
+  EXPECT_EQ(a.get_path("absent"), "");
+  EXPECT_EQ(a.get_path("absent", "dflt"), "dflt");
+}
+
+TEST(ArgsTyped, LongAcceptsExactIntegerScientificNotation) {
+  const Args a = Args::parse({"cmd", "--n=1e6", "--m=1.5e1", "--cap=2.5E3"});
+  EXPECT_EQ(a.get_long("n", 0), 1000000);
+  EXPECT_EQ(a.get_long("m", 0), 15);
+  EXPECT_EQ(a.get_long("cap", 0), 2500);
+}
+
+TEST(ArgsTyped, LongStillRejectsNonIntegersAndGarbage) {
+  const Args a = Args::parse({"cmd", "--frac=1.5e0", "--junk=1e6x",
+                              "--huge=1e20", "--inf=1e999"});
+  EXPECT_THROW(a.get_long("frac", 0), RuntimeError);  // 1.5 not an integer
+  EXPECT_THROW(a.get_long("junk", 0), RuntimeError);  // trailing garbage
+  EXPECT_THROW(a.get_long("huge", 0), RuntimeError);  // out of long range
+  EXPECT_THROW(a.get_long("inf", 0), RuntimeError);
+}
+
 }  // namespace
 }  // namespace mec::io

@@ -1,0 +1,311 @@
+// Tests for the shared bench runner (typed flag registry, rejection rules,
+// exit codes) and the declarative sweep driver (spec parsing, deterministic
+// enumeration, resume-skip, and byte-identical fresh-vs-resumed campaigns).
+#include "bench/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/sweep.hpp"
+#include "mec/common/error.hpp"
+#include "mec/io/args.hpp"
+#include "mec/parallel/replication.hpp"
+
+namespace mec::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+int run_argv(std::vector<std::string> argv) {
+  argv.insert(argv.begin(), "mec_bench");
+  std::vector<const char*> raw;
+  raw.reserve(argv.size());
+  for (const std::string& a : argv) raw.push_back(a.c_str());
+  return run_main(static_cast<int>(raw.size()), raw.data());
+}
+
+fs::path temp_dir(const std::string& leaf) {
+  const fs::path dir = fs::path(::testing::TempDir()) / leaf;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string read_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// One registration shared by the runner tests below.  The experiment echoes
+// its typed flags into globals so the tests can observe what the Context
+// delivered.
+struct Seen {
+  bool ran = false;
+  bool smoke = false;
+  long count = 0;
+  double rate = 0.0;
+  bool fast = false;
+  std::string file;
+};
+Seen g_seen;
+
+int probe_run(Context& ctx) {
+  g_seen.ran = true;
+  g_seen.smoke = ctx.smoke();
+  g_seen.count = ctx.get_long("count");
+  g_seen.rate = ctx.get_double("rate");
+  g_seen.fast = ctx.get_bool("fast");
+  g_seen.file = ctx.get_path("file");
+  return 0;
+}
+
+[[maybe_unused]] const bool kProbe = register_experiment(
+    {"probe",
+     "test probe experiment",
+     {{"count", FlagKind::kLong, "3", "a long"},
+      {"rate", FlagKind::kDouble, "0.5", "a double"},
+      {"fast", FlagKind::kBool, "false", "a switch"},
+      {"file", FlagKind::kPath, "", "a path"}},
+     probe_run});
+
+TEST(BenchRunner, ListIncludesRegisteredExperiments) {
+  bool found = false;
+  for (const Experiment* e : experiments())
+    if (e->name == "probe") found = true;
+  EXPECT_TRUE(found);
+  EXPECT_NE(find_experiment("probe"), nullptr);
+  EXPECT_EQ(find_experiment("nonesuch"), nullptr);
+  EXPECT_EQ(run_argv({"--list"}), 0);
+}
+
+TEST(BenchRunner, UnknownExperimentExitsTwo) {
+  EXPECT_EQ(run_argv({"nonesuch"}), 2);
+  EXPECT_EQ(run_argv({}), 2);
+}
+
+TEST(BenchRunner, TypedFlagsReachTheExperiment) {
+  g_seen = {};
+  EXPECT_EQ(run_argv({"probe", "--count=7", "--rate", "1.25", "--fast",
+                      "--file=x.csv", "--smoke"}),
+            0);
+  EXPECT_TRUE(g_seen.ran);
+  EXPECT_TRUE(g_seen.smoke);
+  EXPECT_EQ(g_seen.count, 7);
+  EXPECT_DOUBLE_EQ(g_seen.rate, 1.25);
+  EXPECT_TRUE(g_seen.fast);
+  EXPECT_EQ(g_seen.file, "x.csv");
+}
+
+TEST(BenchRunner, DefaultsApplyWhenFlagsAbsent) {
+  g_seen = {};
+  EXPECT_EQ(run_argv({"probe"}), 0);
+  EXPECT_FALSE(g_seen.smoke);
+  EXPECT_EQ(g_seen.count, 3);
+  EXPECT_DOUBLE_EQ(g_seen.rate, 0.5);
+  EXPECT_FALSE(g_seen.fast);
+  EXPECT_EQ(g_seen.file, "");
+}
+
+TEST(BenchRunner, TypoedFlagIsRejectedNotSwallowed) {
+  g_seen = {};
+  EXPECT_NE(run_argv({"probe", "--cout=7"}), 0);
+  EXPECT_FALSE(g_seen.ran);  // rejected before the experiment body ran
+}
+
+TEST(BenchRunner, BareValueTypedFlagIsRejected) {
+  // `--file` without a value used to silently become the string "true".
+  g_seen = {};
+  EXPECT_NE(run_argv({"probe", "--file"}), 0);
+  EXPECT_FALSE(g_seen.ran);
+  EXPECT_NE(run_argv({"probe", "--count"}), 0);
+  // A bare declared *bool* stays fine.
+  EXPECT_EQ(run_argv({"probe", "--fast"}), 0);
+}
+
+TEST(BenchRunner, MistypedValuesAreRejectedEagerly) {
+  g_seen = {};
+  EXPECT_NE(run_argv({"probe", "--count=many"}), 0);
+  EXPECT_NE(run_argv({"probe", "--rate=fast"}), 0);
+  EXPECT_FALSE(g_seen.ran);
+}
+
+TEST(BenchRunner, HelpExitsZeroWithoutRunning) {
+  g_seen = {};
+  EXPECT_EQ(run_argv({"probe", "--help"}), 0);
+  EXPECT_FALSE(g_seen.ran);
+}
+
+TEST(BenchRunner, RegistrationRejectsDuplicatesAndCollisions) {
+  Experiment dup{"probe", "again", {}, probe_run};
+  EXPECT_THROW(register_experiment(dup), RuntimeError);
+  Experiment unnamed{"", "no name", {}, probe_run};
+  EXPECT_THROW(register_experiment(unnamed), RuntimeError);
+  Experiment collides{"collides",
+                      "declares a common flag",
+                      {{"smoke", FlagKind::kBool, "false", "clash"}},
+                      probe_run};
+  EXPECT_THROW(register_experiment(collides), RuntimeError);
+}
+
+TEST(BenchRunner, ContextRefusesUndeclaredFlagReads) {
+  const Experiment* probe = find_experiment("probe");
+  ASSERT_NE(probe, nullptr);
+  const io::Args args = io::Args::parse({"probe"});
+  Context ctx(*probe, args);
+  EXPECT_THROW(ctx.get_long("undeclared"), RuntimeError);
+  EXPECT_THROW(ctx.has("undeclared"), RuntimeError);
+  // Declared but with the wrong kind is a contract violation.
+  EXPECT_THROW(ctx.get_long("rate"), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep driver
+// ---------------------------------------------------------------------------
+
+constexpr const char* kTinySpec = R"(# tiny campaign
+seed = 11
+warmup = 2
+horizon = 10
+window = 5
+replications = 2
+scenario = theoretical:eq:50
+policy = tro
+policy = fixed:0.3
+shards = 1
+shards = 2
+)";
+
+TEST(SweepSpec, ParsesKeysAndAxes) {
+  const SweepSpec spec = parse_sweep_spec(kTinySpec);
+  EXPECT_EQ(spec.seed, 11u);
+  EXPECT_DOUBLE_EQ(spec.warmup, 2.0);
+  EXPECT_DOUBLE_EQ(spec.horizon, 10.0);
+  EXPECT_DOUBLE_EQ(spec.window, 5.0);
+  EXPECT_EQ(spec.replications, 2u);
+  ASSERT_EQ(spec.scenarios.size(), 1u);
+  EXPECT_EQ(spec.policies, (std::vector<std::string>{"tro", "fixed:0.3"}));
+  EXPECT_EQ(spec.shards, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(spec.faults, std::vector<std::string>{"none"});  // default axis
+}
+
+TEST(SweepSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_sweep_spec("horizon"), RuntimeError);  // no '='
+  EXPECT_THROW(parse_sweep_spec("bogus = 1\n"), RuntimeError);
+  EXPECT_THROW(parse_sweep_spec("seed = 1\nseed = 2\n"), RuntimeError);
+  EXPECT_THROW(parse_sweep_spec("shards = 1\nshards = 1\n"), RuntimeError);
+  EXPECT_THROW(parse_sweep_spec("policy = warp\n"), RuntimeError);
+  EXPECT_THROW(parse_sweep_spec("scenario = theoretical:sideways\n"),
+               RuntimeError);
+  EXPECT_THROW(parse_sweep_spec("horizon = -5\n"), RuntimeError);
+}
+
+TEST(SweepSpec, EnumerationIsDeterministicAndGridKeyed) {
+  SweepSpec spec = parse_sweep_spec(kTinySpec);
+  const std::vector<SweepCell> cells = enumerate_cells(spec);
+  // 1 scenario x 1 fault x 2 policies x 2 shard counts x 2 replications.
+  ASSERT_EQ(cells.size(), 8u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    // Seeds are a pure function of (base seed, grid index), so a resumed
+    // campaign re-derives the same seed for any subset of cells.
+    EXPECT_EQ(cells[i].seed, parallel::replication_seed(spec.seed, i));
+    EXPECT_EQ(cells[i].path,
+              spec.out_dir + "/" + cells[i].label + ".meclog");
+  }
+  // Shards is the second-innermost axis; replication the innermost.
+  EXPECT_EQ(cells[0].shard_count, 1u);
+  EXPECT_EQ(cells[0].replication, 0u);
+  EXPECT_EQ(cells[1].replication, 1u);
+  EXPECT_EQ(cells[2].shard_count, 2u);
+  EXPECT_EQ(cells[4].policy, "fixed:0.3");
+  const std::vector<SweepCell> again = enumerate_cells(spec);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].label, again[i].label);
+    EXPECT_EQ(cells[i].seed, again[i].seed);
+  }
+}
+
+TEST(SweepRun, ResumeSkipsCompletedCells) {
+  const fs::path dir = temp_dir("sweep_resume");
+  SweepSpec spec = parse_sweep_spec(kTinySpec);
+  spec.out_dir = (dir / "out").string();
+
+  const SweepReport fresh = run_sweep(spec);
+  EXPECT_EQ(fresh.total, 8u);
+  EXPECT_EQ(fresh.executed, 8u);
+  EXPECT_EQ(fresh.skipped, 0u);
+
+  const SweepReport resumed = run_sweep(spec);
+  EXPECT_EQ(resumed.executed, 0u);
+  EXPECT_EQ(resumed.skipped, 8u);
+
+  // A truncated output (simulated crash mid-cell) is re-run, not trusted.
+  const std::vector<SweepCell> cells = enumerate_cells(spec);
+  const std::string victim = cells[3].path;
+  const std::string bytes = read_bytes(victim);
+  ASSERT_GT(bytes.size(), 16u);
+  std::ofstream(victim, std::ios::binary)
+      << bytes.substr(0, bytes.size() / 2);
+  const SweepReport repaired = run_sweep(spec);
+  EXPECT_EQ(repaired.executed, 1u);
+  EXPECT_EQ(repaired.skipped, 7u);
+  EXPECT_EQ(read_bytes(victim), bytes);  // and repaired byte-identically
+
+  // force reruns everything.
+  SweepRunOptions force;
+  force.force = true;
+  const SweepReport forced = run_sweep(spec, force);
+  EXPECT_EQ(forced.executed, 8u);
+
+  // dry_run classifies without touching anything.
+  SweepRunOptions dry;
+  dry.dry_run = true;
+  std::size_t seen = 0;
+  dry.on_cell = [&](const SweepCell&, bool executed) {
+    ++seen;
+    EXPECT_FALSE(executed);
+  };
+  const SweepReport classified = run_sweep(spec, dry);
+  EXPECT_EQ(classified.executed, 0u);
+  EXPECT_EQ(seen, 8u);
+}
+
+TEST(SweepRun, ResumedCampaignIsByteIdenticalToFreshOne) {
+  const fs::path dir = temp_dir("sweep_identical");
+  SweepSpec spec = parse_sweep_spec(kTinySpec);
+
+  // Campaign A: every cell in one fresh pass.
+  spec.out_dir = (dir / "fresh").string();
+  run_sweep(spec);
+  const std::vector<SweepCell> cells = enumerate_cells(spec);
+
+  // Campaign B: the same grid, interrupted and resumed — drop two cells
+  // (one per policy) and let the resume pass re-execute just those.
+  SweepSpec resumed_spec = spec;
+  resumed_spec.out_dir = (dir / "resumed").string();
+  run_sweep(resumed_spec);
+  const std::vector<SweepCell> resumed_cells = enumerate_cells(resumed_spec);
+  fs::remove(resumed_cells[1].path);
+  fs::remove(resumed_cells[6].path);
+  const SweepReport report = run_sweep(resumed_spec);
+  EXPECT_EQ(report.executed, 2u);
+  EXPECT_EQ(report.skipped, 6u);
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string fresh_bytes = read_bytes(cells[i].path);
+    ASSERT_FALSE(fresh_bytes.empty());
+    EXPECT_EQ(fresh_bytes, read_bytes(resumed_cells[i].path))
+        << "cell " << cells[i].label << " diverged after resume";
+  }
+}
+
+}  // namespace
+}  // namespace mec::bench

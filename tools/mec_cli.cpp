@@ -119,7 +119,7 @@ population::LoadRegime parse_regime(const std::string& name) {
 population::ScenarioConfig build_scenario(const io::Args& args) {
   if (args.has("config")) {
     population::ScenarioConfig cfg =
-        population::load_scenario_file(args.get_string("config", ""));
+        population::load_scenario_file(args.get_path("config"));
     if (args.has("n"))
       cfg.n_users = static_cast<std::size_t>(args.get_long("n", 1));
     if (args.has("capacity")) cfg.capacity = args.get_double("capacity", 0.0);
@@ -157,7 +157,7 @@ std::shared_ptr<const fault::FaultSchedule> build_faults(
     const io::Args& args, const population::ScenarioConfig& cfg) {
   if (args.has("fault-schedule"))
     return std::make_shared<const fault::FaultSchedule>(
-        fault::load_fault_schedule_file(args.get_string("fault-schedule", ""),
+        fault::load_fault_schedule_file(args.get_path("fault-schedule"),
                                         &cfg));
   if (!cfg.fault_lines.empty()) {
     std::string text;
@@ -280,7 +280,7 @@ int cmd_simulate(const io::Args& args) {
   so.fixed_gamma = mfne.gamma_star;
   so.faults = faults;
   so.shards = static_cast<std::size_t>(args.get_long("shards", 0));
-  so.stream_log = args.get_string("stream-log", "");
+  so.stream_log = args.get_path("stream-log");
   if (args.has("window") || !so.stream_log.empty())
     so.sample_interval = args.get_double("window", 1.0);
   const std::string service = args.get_string("service", "exp");
@@ -381,7 +381,7 @@ int cmd_closedloop(const io::Args& args) {
   opt.epsilon = args.get_double("epsilon", opt.epsilon);
   opt.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
   opt.shards = static_cast<std::size_t>(args.get_long("shards", 0));
-  opt.stream_log = args.get_string("stream-log", "");
+  opt.stream_log = args.get_path("stream-log");
   if (args.has("window") || !opt.stream_log.empty())
     opt.sample_interval = args.get_double("window", 1.0);
   const double async = args.get_double("async", 1.0);
@@ -419,7 +419,7 @@ int cmd_closedloop(const io::Args& args) {
       scale.push_back(opt.faults ? opt.faults->capacity_scale_at(e.time)
                                  : 1.0);
     }
-    const std::string path = args.get_string("csv", "");
+    const std::string path = args.get_path("csv");
     io::write_csv(path,
                   {"time_s", "gamma_measured", "gamma_hat", "eta",
                    "mean_threshold", "capacity_scale"},
@@ -442,15 +442,15 @@ int cmd_tail(const io::Args& args, const std::string& positional_path) {
   args.reject_unknown({"log", "follow", "check", "interval", "csv",
                        "hist-csv", "max-updates", "help"});
   const std::string path =
-      positional_path.empty() ? args.get_string("log", "") : positional_path;
+      positional_path.empty() ? args.get_path("log") : positional_path;
   if (path.empty())
     throw RuntimeError("usage: mec tail <run.meclog> [--follow] [--check]");
   obs::TailOptions opt;
   opt.follow = args.get_bool("follow", false);
   opt.check = args.get_bool("check", false);
   opt.interval_ms = static_cast<int>(args.get_long("interval", 500));
-  opt.csv = args.get_string("csv", "");
-  opt.hist_csv = args.get_string("hist-csv", "");
+  opt.csv = args.get_path("csv");
+  opt.hist_csv = args.get_path("hist-csv");
   opt.max_updates =
       static_cast<std::uint64_t>(args.get_long("max-updates", 0));
 #if defined(__unix__) || defined(__APPLE__)
