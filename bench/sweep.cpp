@@ -22,6 +22,7 @@
 #include "mec/parallel/replication.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario_text.hpp"
+#include "mec/sim/cluster_policies.hpp"
 #include "mec/sim/mec_simulation.hpp"
 
 namespace mec::bench {
@@ -108,7 +109,7 @@ void validate_scenario_token(const std::string& token, int line) {
   }
 }
 
-enum class PolicyKind { kTro, kDpo, kFixed };
+enum class PolicyKind { kTro, kDpo, kFixed, kPrice, kMinority };
 
 struct PolicyToken {
   PolicyKind kind = PolicyKind::kTro;
@@ -118,13 +119,16 @@ struct PolicyToken {
 PolicyToken parse_policy_token(const std::string& token, int line) {
   if (token == "tro") return {PolicyKind::kTro, 0.0};
   if (token == "dpo") return {PolicyKind::kDpo, 0.0};
+  if (token == "price") return {PolicyKind::kPrice, 0.0};
+  if (token == "minority") return {PolicyKind::kMinority, 0.0};
   const auto parts = split(token, ':');
   if (parts.size() == 2 && parts[0] == "fixed") {
     const double x = parse_spec_number(parts[1], line, "fixed threshold");
     if (x < 0.0) fail(line, "fixed threshold must be >= 0");
     return {PolicyKind::kFixed, x};
   }
-  fail(line, "unknown policy '" + token + "' (tro|dpo|fixed:<x>)");
+  fail(line, "unknown policy '" + token +
+                 "' (tro|dpo|fixed:<x>|price|minority)");
 }
 
 population::ScenarioConfig resolve_scenario(const std::string& token) {
@@ -238,6 +242,13 @@ SweepSpec parse_sweep_spec(const std::string& text) {
       for (const std::string& existing : spec.policies)
         if (existing == value) fail(lineno, "duplicate policy '" + value + "'");
       spec.policies.push_back(value);
+    } else if (key == "clusters") {
+      const auto k = static_cast<std::size_t>(
+          parse_spec_integer(value, lineno, "clusters"));
+      if (k == 0) fail(lineno, "clusters must be >= 1");
+      for (const std::size_t existing : spec.clusters)
+        if (existing == k) fail(lineno, "duplicate clusters " + value);
+      spec.clusters.push_back(k);
     } else if (key == "shards") {
       const auto k = static_cast<std::size_t>(
           parse_spec_integer(value, lineno, "shards"));
@@ -254,6 +265,7 @@ SweepSpec parse_sweep_spec(const std::string& text) {
          "a sweep needs at least one 'scenario =' line");
   if (spec.faults.empty()) spec.faults = {"none"};
   if (spec.policies.empty()) spec.policies = {"tro"};
+  if (spec.clusters.empty()) spec.clusters = {1};
   if (spec.shards.empty()) spec.shards = {1};
   return spec;
 }
@@ -273,33 +285,38 @@ SweepSpec load_sweep_spec_file(const std::string& path) {
 std::vector<SweepCell> enumerate_cells(const SweepSpec& spec) {
   std::vector<SweepCell> cells;
   std::size_t index = 0;
+  const std::vector<std::size_t> clusters =
+      spec.clusters.empty() ? std::vector<std::size_t>{1} : spec.clusters;
   for (std::size_t si = 0; si < spec.scenarios.size(); ++si)
     for (std::size_t fi = 0; fi < spec.faults.size(); ++fi)
       for (std::size_t pi = 0; pi < spec.policies.size(); ++pi)
-        for (std::size_t ki = 0; ki < spec.shards.size(); ++ki)
-          for (std::size_t r = 0; r < spec.replications; ++r) {
-            SweepCell cell;
-            cell.index = index;
-            cell.scenario = spec.scenarios[si];
-            cell.fault = spec.faults[fi];
-            cell.policy = spec.policies[pi];
-            cell.shard_count = spec.shards[ki];
-            cell.replication = r;
-            // Seeds hang off the cell's *position in the grid*, never off
-            // how many cells ran before it, so resuming reproduces exactly
-            // the seeds a fresh campaign would use.
-            cell.seed = parallel::replication_seed(spec.seed, index);
-            cell.label = "s" + std::to_string(si) + "-" +
-                         scenario_label(cell.scenario) + "__f" +
-                         std::to_string(fi) + "-" + fault_label(cell.fault) +
-                         "__p" + std::to_string(pi) + "-" +
-                         policy_label(cell.policy) + "__k" +
-                         std::to_string(cell.shard_count) + "__r" +
-                         std::to_string(r);
-            cell.path = spec.out_dir + "/" + cell.label + ".meclog";
-            cells.push_back(std::move(cell));
-            ++index;
-          }
+        for (std::size_t ci = 0; ci < clusters.size(); ++ci)
+          for (std::size_t ki = 0; ki < spec.shards.size(); ++ki)
+            for (std::size_t r = 0; r < spec.replications; ++r) {
+              SweepCell cell;
+              cell.index = index;
+              cell.scenario = spec.scenarios[si];
+              cell.fault = spec.faults[fi];
+              cell.policy = spec.policies[pi];
+              cell.cluster_count = clusters[ci];
+              cell.shard_count = spec.shards[ki];
+              cell.replication = r;
+              // Seeds hang off the cell's *position in the grid*, never off
+              // how many cells ran before it, so resuming reproduces exactly
+              // the seeds a fresh campaign would use.
+              cell.seed = parallel::replication_seed(spec.seed, index);
+              cell.label = "s" + std::to_string(si) + "-" +
+                           scenario_label(cell.scenario) + "__f" +
+                           std::to_string(fi) + "-" + fault_label(cell.fault) +
+                           "__p" + std::to_string(pi) + "-" +
+                           policy_label(cell.policy) + "__c" +
+                           std::to_string(cell.cluster_count) + "__k" +
+                           std::to_string(cell.shard_count) + "__r" +
+                           std::to_string(r);
+              cell.path = spec.out_dir + "/" + cell.label + ".meclog";
+              cells.push_back(std::move(cell));
+              ++index;
+            }
   return cells;
 }
 
@@ -313,6 +330,7 @@ bool cell_output_valid(const SweepCell& cell, const SweepSpec& spec) {
   }
   return scan.complete() &&
          meta_matches_integer(scan.meta, "seed", cell.seed) &&
+         meta_matches_integer(scan.meta, "clusters", cell.cluster_count) &&
          meta_matches_integer(scan.meta, "shards", cell.shard_count) &&
          meta_matches_double(scan.meta, "warmup", spec.warmup) &&
          meta_matches_double(scan.meta, "horizon", spec.horizon) &&
@@ -359,6 +377,22 @@ PolicySolve solve_policy(const ScenarioEntry& sc, const std::string& token) {
     case PolicyKind::kFixed:
       solve.values.assign(sc.pop.size(), solve.token.fixed_threshold);
       break;
+    case PolicyKind::kPrice: {
+      // The MFNE utilization is the dual-ascent target; thresholds are
+      // derived live from the prices, so no per-device values here.
+      const core::MfneResult r =
+          core::solve_mfne(sc.pop.users, sc.config.delay, sc.config.capacity);
+      solve.gamma_star = r.gamma_star;
+      break;
+    }
+    case PolicyKind::kMinority: {
+      // Active clusters apply the MFNE thresholds; the game gates them.
+      const core::MfneResult r =
+          core::solve_mfne(sc.pop.users, sc.config.delay, sc.config.capacity);
+      solve.gamma_star = r.gamma_star;
+      solve.values.assign(r.thresholds.begin(), r.thresholds.end());
+      break;
+    }
   }
   return solve;
 }
@@ -382,9 +416,82 @@ std::shared_ptr<const fault::FaultSchedule> resolve_faults(
       fault::load_fault_schedule_file(token, &sc.config));
 }
 
+/// Topology for one cell: cluster count from the sweep axis; the scenario's
+/// shares apply only when they describe exactly that many clusters.
+sim::ClusterTopology cell_topology(const SweepCell& cell,
+                                   const ScenarioEntry& sc) {
+  sim::ClusterTopology topology;
+  topology.clusters = cell.cluster_count;
+  if (sc.config.cluster_shares.size() == cell.cluster_count)
+    topology.shares = sc.config.cluster_shares;
+  return topology;
+}
+
 void run_cell(const SweepSpec& spec, const SweepCell& cell,
               const ScenarioEntry& sc, const PolicySolve& policy,
               const std::shared_ptr<const fault::FaultSchedule>& faults) {
+  const sim::ClusterTopology topology = cell_topology(cell, sc);
+
+  std::vector<double> values = policy.values;
+  if (faults && faults->churn_arrivals() > 0) {
+    // Churn joiners best-respond to the same equilibrium utilization.
+    const double g_star = sc.config.delay(policy.gamma_star);
+    for (const core::UserParams& u : faults->churn_users())
+      switch (policy.token.kind) {
+        case PolicyKind::kTro:
+        case PolicyKind::kMinority:
+          values.push_back(
+              static_cast<double>(core::best_threshold(u, g_star)));
+          break;
+        case PolicyKind::kDpo:
+          values.push_back(baseline::optimal_offload_probability(u, g_star));
+          break;
+        case PolicyKind::kFixed:
+          values.push_back(policy.token.fixed_threshold);
+          break;
+        case PolicyKind::kPrice:
+          break;  // thresholds derive from the live prices
+      }
+  }
+
+  if (policy.token.kind == PolicyKind::kPrice) {
+    sim::PriceBasedOptions po;
+    po.gamma_target = policy.gamma_star;
+    po.update_period = spec.window;  // epochs ride the sample barriers
+    po.warmup = spec.warmup;
+    po.horizon = spec.horizon;
+    po.seed = cell.seed;
+    po.topology = topology;
+    po.faults = faults;
+    po.shards = cell.shard_count;
+    po.sample_interval = spec.window;
+    po.stream_log = cell.path;
+    po.stream_counters = false;
+    po.record_timeline = false;
+    (void)sim::run_price_based(sc.pop.users, sc.config.capacity,
+                               sc.config.delay, po);
+    return;
+  }
+  if (policy.token.kind == PolicyKind::kMinority) {
+    sim::MinorityGameRunOptions mo;
+    mo.game.seed = cell.seed;
+    mo.thresholds = std::move(values);
+    mo.update_period = spec.window;
+    mo.warmup = spec.warmup;
+    mo.horizon = spec.horizon;
+    mo.seed = cell.seed;
+    mo.topology = topology;
+    mo.faults = faults;
+    mo.shards = cell.shard_count;
+    mo.sample_interval = spec.window;
+    mo.stream_log = cell.path;
+    mo.stream_counters = false;
+    mo.record_timeline = false;
+    (void)sim::run_minority_game(sc.pop.users, sc.config.capacity,
+                                 sc.config.delay, mo);
+    return;
+  }
+
   sim::SimulationOptions so;
   so.warmup = spec.warmup;
   so.horizon = spec.horizon;
@@ -397,28 +504,11 @@ void run_cell(const SweepSpec& spec, const SweepCell& cell,
   so.stream_counters = false;
   so.record_timeline = false;
   so.faults = faults;
+  so.topology = topology;
   if (policy.quasi_stationary) so.fixed_gamma = policy.gamma_star;
 
   const sim::MecSimulation sim(sc.pop.users, sc.config.capacity,
                                sc.config.delay, so);
-  std::vector<double> values = policy.values;
-  if (faults && faults->churn_arrivals() > 0) {
-    // Churn joiners best-respond to the same equilibrium utilization.
-    const double g_star = sc.config.delay(policy.gamma_star);
-    for (const core::UserParams& u : faults->churn_users())
-      switch (policy.token.kind) {
-        case PolicyKind::kTro:
-          values.push_back(
-              static_cast<double>(core::best_threshold(u, g_star)));
-          break;
-        case PolicyKind::kDpo:
-          values.push_back(baseline::optimal_offload_probability(u, g_star));
-          break;
-        case PolicyKind::kFixed:
-          values.push_back(policy.token.fixed_threshold);
-          break;
-      }
-  }
   if (policy.token.kind == PolicyKind::kDpo)
     (void)sim.run_dpo(values);
   else

@@ -16,15 +16,20 @@
 //     fault    = none
 //     fault    = scenarios/brownout.fault
 //     policy   = tro                     # tro | dpo | fixed:<x>
-//     policy   = dpo
+//     policy   = price                   # ... | price | minority
+//     clusters = 1
+//     clusters = 2
 //     shards   = 1
 //     shards   = 4
 //
 // Scenario tokens are `theoretical|comparison|practical:<low|eq|high>[:<n>]`
 // presets or a path to a `.mec` config file.  Fault tokens are `none`, a
 // path to a `.fault` file, or `embedded` (the scenario's own `fault =`
-// lines).  '#' starts a comment; blank lines are ignored; every `scenario`
-// line is required to exist (the other axes default to none/tro/1).
+// lines).  The `clusters` axis splits the edge capacity across that many
+// clusters (device n mod K routing; the scenario's `cluster_shares` apply
+// when their count matches).  '#' starts a comment; blank lines are
+// ignored; every `scenario` line is required to exist (the other axes
+// default to none/tro/1/1).
 //
 // Execution is *resumable*: each cell streams one `.meclog` run log, and a
 // cell whose output already exists, is complete (footer frame present, no
@@ -54,6 +59,7 @@ struct SweepSpec {
   std::vector<std::string> scenarios;  ///< required, at least one token
   std::vector<std::string> faults;     ///< defaults to {"none"}
   std::vector<std::string> policies;   ///< defaults to {"tro"}
+  std::vector<std::size_t> clusters;   ///< defaults to {1}
   std::vector<std::size_t> shards;     ///< defaults to {1}
 };
 
@@ -70,20 +76,21 @@ struct SweepCell {
   std::string scenario;   ///< scenario token, verbatim from the spec
   std::string fault;      ///< fault token
   std::string policy;     ///< policy token
+  std::size_t cluster_count = 1;
   std::size_t shard_count = 1;
   std::size_t replication = 0;
   std::uint64_t seed = 0;  ///< replication_seed(spec.seed, index)
-  std::string label;       ///< filesystem-safe stem, e.g. s0-..__p0-tro__k1__r0
-  std::string path;        ///< <out-dir>/<label>.meclog
+  std::string label;  ///< filesystem-safe stem, e.g. s0-..__p0-tro__c1__k1__r0
+  std::string path;   ///< <out-dir>/<label>.meclog
 };
 
 /// Deterministic lexicographic enumeration of the grid: scenario is the
-/// outermost axis, then fault, policy, shards, replication.
+/// outermost axis, then fault, policy, clusters, shards, replication.
 std::vector<SweepCell> enumerate_cells(const SweepSpec& spec);
 
 /// True when the cell's output file holds a complete run log (footer frame,
-/// no corruption) whose seed / warmup / horizon / window / shards metadata
-/// all match the cell — the resume-skip test.
+/// no corruption) whose seed / warmup / horizon / window / shards / clusters
+/// metadata all match the cell — the resume-skip test.
 bool cell_output_valid(const SweepCell& cell, const SweepSpec& spec);
 
 struct SweepRunOptions {

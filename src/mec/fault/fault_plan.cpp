@@ -49,6 +49,7 @@ FaultPlan resolve_fault_plan(std::span<const FaultAction> actions,
     r.kind = a.kind;
     r.value = a.value;
     r.outage_mode = a.outage_mode;
+    r.cluster = a.cluster;
     switch (a.kind) {
       case FaultKind::kCapacityScale:
       case FaultKind::kOutageBegin:
@@ -117,11 +118,16 @@ EnvWindowStats integrate_environment(std::span<const ResolvedAction> actions,
   double min_in_window = std::numeric_limits<double>::infinity();
 
   for (const ResolvedAction& a : actions) {
-    const bool env_kind = a.kind == FaultKind::kCapacityScale ||
+    // Cluster-targeted brown-outs affect only that cluster's gamma clamp;
+    // the run-wide capacity accounting stays on the global scale, so they
+    // behave like membership actions here: no segment break, no scale move.
+    const bool global_scale = a.kind == FaultKind::kCapacityScale &&
+                              a.cluster == FaultAction::kAllClusters;
+    const bool env_kind = global_scale ||
                           a.kind == FaultKind::kOutageBegin ||
                           a.kind == FaultKind::kOutageEnd;
     if (a.time < warmup) {
-      if (a.kind == FaultKind::kCapacityScale) scale = a.value;
+      if (global_scale) scale = a.value;
       if (a.kind == FaultKind::kOutageBegin) outage = true;
       if (a.kind == FaultKind::kOutageEnd) outage = false;
       scale_at_open = scale;

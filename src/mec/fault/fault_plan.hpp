@@ -37,6 +37,8 @@ struct ResolvedAction {
   std::uint32_t device = kNoDevice;
   double value = 0.0;  ///< scale factor, outage penalty, or raw selector
   OutageMode outage_mode = OutageMode::kReject;
+  /// kCapacityScale target: one cluster, or kAllClusters for the whole edge.
+  std::uint16_t cluster = FaultAction::kAllClusters;
   /// False for no-op actions (crashing a dead device, restarting an alive
   /// one, a departure with nobody active).  Ineffective actions still pop
   /// as events — they count toward total_events — but change nothing.
@@ -81,14 +83,23 @@ struct EnvWalk {
   std::size_t cursor = 0;
   double scale = 1.0;
   std::uint32_t active = 0;
+  /// Per-cluster brown-out factors (size = cluster count when the owner
+  /// tracks clusters, else empty).  A cluster-targeted kCapacityScale
+  /// updates only its slot; the global `scale` is untouched.
+  std::vector<double> cluster_scale;
 
   void advance_to(double limit, bool inclusive) noexcept {
     while (cursor < actions.size() &&
            (inclusive ? actions[cursor].time <= limit
                       : actions[cursor].time < limit)) {
-      if (actions[cursor].kind == FaultKind::kCapacityScale)
-        scale = actions[cursor].value;
-      active = actions[cursor].active_after;
+      const ResolvedAction& a = actions[cursor];
+      if (a.kind == FaultKind::kCapacityScale) {
+        if (a.cluster == FaultAction::kAllClusters)
+          scale = a.value;
+        else if (a.cluster < cluster_scale.size())
+          cluster_scale[a.cluster] = a.value;
+      }
+      active = a.active_after;
       ++cursor;
     }
   }

@@ -19,12 +19,14 @@ void FaultSchedule::insert(FaultAction action) {
   actions_.insert(at, std::move(action));
 }
 
-void FaultSchedule::add_capacity_scale(double time, double scale) {
+void FaultSchedule::add_capacity_scale(double time, double scale,
+                                       std::uint16_t cluster) {
   MEC_EXPECTS_MSG(scale > 0.0, "capacity scale must be positive");
   FaultAction a;
   a.time = time;
   a.kind = FaultKind::kCapacityScale;
   a.value = scale;
+  a.cluster = cluster;
   insert(a);
 }
 
@@ -136,7 +138,9 @@ double FaultSchedule::capacity_scale_at(double time) const noexcept {
   double scale = 1.0;
   for (const FaultAction& a : actions_) {
     if (a.time > time) break;
-    if (a.kind == FaultKind::kCapacityScale) scale = a.value;
+    if (a.kind == FaultKind::kCapacityScale &&
+        a.cluster == FaultAction::kAllClusters)
+      scale = a.value;
   }
   return scale;
 }

@@ -47,6 +47,9 @@ enum class OutageMode : std::uint8_t {
 
 /// One scheduled environment action.
 struct FaultAction {
+  /// Sentinel cluster id: the action targets the whole edge (every cluster).
+  static constexpr std::uint16_t kAllClusters = 0xFFFF;
+
   double time = 0.0;
   FaultKind kind = FaultKind::kCapacityScale;
   std::uint32_t device = 0;  ///< crash/restart target (initial-population id)
@@ -54,6 +57,10 @@ struct FaultAction {
   /// the victim selector in [0, 1): victim = active[floor(value * active_n)].
   double value = 0.0;
   OutageMode outage_mode = OutageMode::kReject;
+  /// kCapacityScale only: a specific cluster's brown-out (its per-cluster
+  /// gamma clamp scales, the global capacity accounting does not), or
+  /// kAllClusters for the classic whole-edge scale.
+  std::uint16_t cluster = kAllClusters;
   core::UserParams user;  ///< parameters of a joining user (kUserArrival)
 };
 
@@ -63,7 +70,11 @@ class FaultSchedule {
  public:
   /// Scales the edge capacity to `scale` x nominal from `time` on.
   /// Requires time >= 0 and scale > 0 (1.0 restores nominal capacity).
-  void add_capacity_scale(double time, double scale);
+  /// With an explicit `cluster` the brown-out hits only that cluster's
+  /// effective capacity (per-cluster gamma clamp); the default targets the
+  /// whole edge exactly as before.
+  void add_capacity_scale(double time, double scale,
+                          std::uint16_t cluster = FaultAction::kAllClusters);
 
   /// Opens an outage window [begin, end). kPenalty adds `penalty` seconds to
   /// every offload's wireless latency; kReject reroutes offloads to the

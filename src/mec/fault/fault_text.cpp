@@ -65,8 +65,18 @@ FaultSchedule parse_fault_schedule(
     };
     try {
       if (verb == "capacity") {
-        need(2);
-        schedule.add_capacity_scale(num(1), num(2));
+        if (tokens.size() == 3) {
+          schedule.add_capacity_scale(num(1), num(2));
+        } else if (tokens.size() == 5 && tokens[3] == "cluster") {
+          const std::uint32_t c = to_device(tokens[4], line_number);
+          if (c >= FaultAction::kAllClusters)
+            fail(line_number, "cluster index out of range");
+          schedule.add_capacity_scale(num(1), num(2),
+                                      static_cast<std::uint16_t>(c));
+        } else {
+          fail(line_number,
+               "capacity expects: <t> <scale> [cluster <k>]");
+        }
       } else if (verb == "outage") {
         if (tokens.size() != 4 && tokens.size() != 5)
           fail(line_number, "outage expects: <begin> <end> reject | "

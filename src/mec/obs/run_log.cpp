@@ -102,7 +102,9 @@ class ByteReader {
 
 constexpr std::size_t kWindowDoubles = 15;
 constexpr std::size_t kWindowU64s = 11;
-constexpr std::size_t kWindowPayloadSize =
+/// Fixed (cluster-independent) part of a v2 window payload; the per-cluster
+/// trailer appends a u32 cluster count plus 16 bytes per cluster.
+constexpr std::size_t kWindowFixedSize =
     kWindowDoubles * 8 + kWindowU64s * 8 + kThresholdBins * 4;
 
 std::uint32_t load_u32(const std::uint8_t* p) {
@@ -120,7 +122,9 @@ std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
   return c ^ 0xFFFFFFFFu;
 }
 
-std::size_t window_payload_size() noexcept { return kWindowPayloadSize; }
+std::size_t window_payload_size(std::size_t clusters) noexcept {
+  return kWindowFixedSize + 4 + clusters * 16;
+}
 
 std::vector<std::uint8_t> encode_meta(const RunLogMeta& meta) {
   ByteWriter w;
@@ -135,7 +139,11 @@ std::vector<std::uint8_t> encode_meta(const RunLogMeta& meta) {
 }
 
 std::vector<std::uint8_t> encode_window(const WindowRecord& window) {
-  ByteWriter w(kWindowPayloadSize);
+  MEC_EXPECTS_MSG(!window.cluster_gamma.empty() &&
+                      window.cluster_gamma.size() ==
+                          window.cluster_offloads.size(),
+                  "window record needs matching per-cluster vectors");
+  ByteWriter w(window_payload_size(window.cluster_gamma.size()));
   w.put_f64(window.time);
   w.put_f64(window.gamma);
   w.put_f64(window.mean_queue_length);
@@ -163,8 +171,13 @@ std::vector<std::uint8_t> encode_window(const WindowRecord& window) {
   w.put_u64(window.offloads_penalized);
   w.put_u64(window.fault_events_applied);
   for (const std::uint32_t bin : window.threshold_histogram) w.put_u32(bin);
+  w.put_u32(static_cast<std::uint32_t>(window.cluster_gamma.size()));
+  for (std::size_t k = 0; k < window.cluster_gamma.size(); ++k) {
+    w.put_f64(window.cluster_gamma[k]);
+    w.put_u64(window.cluster_offloads[k]);
+  }
   auto bytes = w.take();
-  MEC_ASSERT(bytes.size() == kWindowPayloadSize);
+  MEC_ASSERT(bytes.size() == window_payload_size(window.cluster_gamma.size()));
   return bytes;
 }
 
@@ -206,7 +219,7 @@ RunLogMeta decode_meta(std::span<const std::uint8_t> payload) {
 }
 
 WindowRecord decode_window(std::span<const std::uint8_t> payload) {
-  if (payload.size() != kWindowPayloadSize)
+  if (payload.size() < kWindowFixedSize + 4)
     throw RuntimeError("run-log window frame has unexpected size");
   ByteReader r(payload);
   WindowRecord win;
@@ -237,6 +250,15 @@ WindowRecord decode_window(std::span<const std::uint8_t> payload) {
   win.offloads_penalized = r.get_u64();
   win.fault_events_applied = r.get_u64();
   for (std::uint32_t& bin : win.threshold_histogram) bin = r.get_u32();
+  const std::uint32_t clusters = r.get_u32();
+  if (clusters == 0 || payload.size() != window_payload_size(clusters))
+    throw RuntimeError("run-log window frame has unexpected size");
+  win.cluster_gamma.resize(clusters);
+  win.cluster_offloads.resize(clusters);
+  for (std::uint32_t k = 0; k < clusters; ++k) {
+    win.cluster_gamma[k] = r.get_f64();
+    win.cluster_offloads[k] = r.get_u64();
+  }
   return win;
 }
 
@@ -356,7 +378,15 @@ RunLogReader::RunLogReader(const std::string& path) {
   if (version_ != kFormatVersion || bins != kThresholdBins) {
     std::fclose(file_);
     file_ = nullptr;
-    throw RuntimeError("unsupported .meclog version in " + path);
+    // A v1 log has the same family magic but no per-cluster block in its
+    // window frames; parsing it as v2 would misread every window, so it is
+    // rejected here instead of downstream.
+    throw RuntimeError("unsupported .meclog schema in " + path + ": found v" +
+                       std::to_string(version_) + " with " +
+                       std::to_string(bins) + " histogram bins, this build " +
+                       "reads v" + std::to_string(kFormatVersion) + " with " +
+                       std::to_string(kThresholdBins) +
+                       " bins; re-run the simulation to regenerate the log");
   }
 }
 
@@ -479,12 +509,19 @@ void export_windows_csv(const LogScan& scan, const std::string& csv_path,
   std::ofstream out(csv_path);
   if (!out)
     throw RuntimeError("cannot open CSV output file: " + csv_path);
+  // Every window of one log carries the same cluster count (it is a run
+  // property), so the per-cluster columns come from the first window.
+  const std::size_t clusters =
+      scan.windows.empty() ? 0 : scan.windows.front().cluster_gamma.size();
   out << "window,time,gamma,mean_queue_length,queue_second_moment,"
          "capacity_scale,active_devices,offloads_so_far,offloads_delta,"
          "events_so_far,events_delta,sojourn_count,sojourn_min,sojourn_max,"
          "sojourn_p50,sojourn_p95,sojourn_p99,offload_count,offload_min,"
          "offload_max,offload_p50,offload_p95,offload_p99,tasks_lost,"
-         "offloads_rejected,offloads_penalized,fault_events_applied\n";
+         "offloads_rejected,offloads_penalized,fault_events_applied";
+  for (std::size_t k = 0; k < clusters; ++k)
+    out << ",cluster" << k << "_gamma,cluster" << k << "_offloads";
+  out << '\n';
   for (std::size_t i = 0; i < scan.windows.size(); ++i) {
     const WindowRecord& w = scan.windows[i];
     out << i << ',' << f64_cell(w.time) << ',' << f64_cell(w.gamma) << ','
@@ -500,7 +537,11 @@ void export_windows_csv(const LogScan& scan, const std::string& csv_path,
         << f64_cell(w.offload_p50) << ',' << f64_cell(w.offload_p95) << ','
         << f64_cell(w.offload_p99) << ',' << w.tasks_lost << ','
         << w.offloads_rejected << ',' << w.offloads_penalized << ','
-        << w.fault_events_applied << '\n';
+        << w.fault_events_applied;
+    for (std::size_t k = 0; k < clusters; ++k)
+      out << ',' << f64_cell(w.cluster_gamma[k]) << ','
+          << w.cluster_offloads[k];
+    out << '\n';
   }
   if (!out) throw RuntimeError("failed writing CSV output file: " + csv_path);
   if (hist_path.empty()) return;

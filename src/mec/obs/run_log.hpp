@@ -38,9 +38,15 @@ namespace mec::obs {
 /// CRC-32 (IEEE 802.3, reflected) over `bytes`; the frame checksum.
 std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept;
 
+/// Family magic (identifies any .meclog, regardless of schema revision);
+/// the u32 version field that follows it is what actually gates parsing.
 inline constexpr std::array<char, 8> kMagic = {'M', 'E', 'C', 'L',
                                                'O', 'G', 'v', '1'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Schema revision.  v2 added the per-cluster block (cluster count + one
+/// gamma/offload pair per edge cluster) to every window frame; v1 logs are
+/// rejected by the reader with a clear re-run message rather than
+/// misparsed as single-cluster data.
+inline constexpr std::uint32_t kFormatVersion = 2;
 /// Fixed width of the per-window threshold histogram (bin b counts devices
 /// with floor(threshold) == b; the last bin absorbs everything above).
 inline constexpr std::size_t kThresholdBins = 64;
@@ -83,10 +89,18 @@ struct WindowRecord {
   /// Distribution of floor(threshold) over the population at `time`
   /// (TRO-family runs; all-zero when the policy has no threshold).
   std::array<std::uint32_t, kThresholdBins> threshold_histogram{};
+  /// Per-edge-cluster trailer (v2): one utilization estimate and one
+  /// cumulative measured offload count per topology cluster, in cluster
+  /// order.  Always at least one entry; sizes match.  Invariants mirror the
+  /// scalar fields: with one cluster cluster_gamma[0] == gamma, and
+  /// sum(cluster_offloads) == offloads_so_far for every window.
+  std::vector<double> cluster_gamma = {0.0};
+  std::vector<std::uint64_t> cluster_offloads = {0};
 };
 
-/// Serialized size of one WindowRecord payload, in bytes.
-std::size_t window_payload_size() noexcept;
+/// Serialized size of one WindowRecord payload with `clusters` per-cluster
+/// entries, in bytes.
+std::size_t window_payload_size(std::size_t clusters = 1) noexcept;
 
 /// One sampled engine counter.  `shard` is the owning shard index, or
 /// kGlobalShard for run-wide values.

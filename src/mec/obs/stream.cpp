@@ -40,6 +40,7 @@ void StreamingSink::commit_window(const WindowExtras& extras) {
   MEC_EXPECTS_MSG(staged_, "commit_window without a staged sample");
   MEC_EXPECTS(extras.threshold_histogram.empty() ||
               extras.threshold_histogram.size() == kThresholdBins);
+  MEC_EXPECTS(extras.cluster_gamma.size() == extras.cluster_offloads.size());
   staged_ = false;
 
   WindowRecord win;
@@ -67,6 +68,16 @@ void StreamingSink::commit_window(const WindowExtras& extras) {
   win.fault_events_applied = extras.fault_events_applied;
   for (std::size_t b = 0; b < extras.threshold_histogram.size(); ++b)
     win.threshold_histogram[b] = extras.threshold_histogram[b];
+
+  if (extras.cluster_gamma.empty()) {
+    win.cluster_gamma = {win.gamma};
+    win.cluster_offloads = {win.offloads_so_far};
+  } else {
+    win.cluster_gamma.assign(extras.cluster_gamma.begin(),
+                             extras.cluster_gamma.end());
+    win.cluster_offloads.assign(extras.cluster_offloads.begin(),
+                                extras.cluster_offloads.end());
+  }
 
   writer_.append_window(win);
 }

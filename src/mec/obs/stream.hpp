@@ -35,6 +35,12 @@ struct WindowExtras {
   std::uint64_t offloads_penalized = 0;
   std::uint64_t fault_events_applied = 0;
   std::span<const std::uint32_t> threshold_histogram;
+  /// Per-edge-cluster gamma estimates and cumulative measured offload
+  /// counts at this barrier (equal, non-zero sizes).  Both empty means a
+  /// single-cluster run: the window then carries the staged point's scalar
+  /// gamma and offload total as its one-cluster block.
+  std::span<const double> cluster_gamma;
+  std::span<const std::uint64_t> cluster_offloads;
 };
 
 /// MetricsSink that streams windows to disk instead of accumulating them.

@@ -28,9 +28,9 @@ std::string value_cell(double v) {
 }
 
 // Meta keys worth a line in the header (in display order).
-constexpr const char* kHeaderKeys[] = {"n_devices", "seed",   "shards",
-                                       "gamma",     "warmup", "horizon",
-                                       "window",    "faults"};
+constexpr const char* kHeaderKeys[] = {"n_devices", "clusters", "seed",
+                                       "shards",    "gamma",    "warmup",
+                                       "horizon",   "window",   "faults"};
 
 void render(std::ostream& os, const std::string& path, const LogScan& scan,
             bool ansi) {
@@ -48,22 +48,42 @@ void render(std::ostream& os, const std::string& path, const LogScan& scan,
   os << '\n';
 
   if (!scan.windows.empty()) {
-    io::Series gamma;
-    gamma.label = "gamma";
-    gamma.x.reserve(scan.windows.size());
-    gamma.y.reserve(scan.windows.size());
-    for (const WindowRecord& w : scan.windows) {
-      gamma.x.push_back(w.time);
-      gamma.y.push_back(w.gamma);
+    // Multi-cluster logs plot one series per cluster; the scalar gamma is
+    // identical to the single cluster's series, so it is only drawn alone.
+    const std::size_t clusters = scan.windows.front().cluster_gamma.size();
+    std::vector<io::Series> series;
+    if (clusters <= 1) {
+      io::Series& gamma = series.emplace_back();
+      gamma.label = "gamma";
+      gamma.x.reserve(scan.windows.size());
+      gamma.y.reserve(scan.windows.size());
+      for (const WindowRecord& w : scan.windows) {
+        gamma.x.push_back(w.time);
+        gamma.y.push_back(w.gamma);
+      }
+    } else {
+      for (std::size_t k = 0; k < clusters; ++k) {
+        io::Series& s = series.emplace_back();
+        s.label = "c" + std::to_string(k);
+        s.x.reserve(scan.windows.size());
+        s.y.reserve(scan.windows.size());
+        for (const WindowRecord& w : scan.windows) {
+          s.x.push_back(w.time);
+          s.y.push_back(k < w.cluster_gamma.size() ? w.cluster_gamma[k] : 0.0);
+        }
+      }
     }
     io::PlotOptions po;
     po.width = 64;
     po.height = 12;
     po.title = "gamma trajectory (" + std::to_string(scan.windows.size()) +
-               " windows)";
+               " windows" +
+               (clusters > 1
+                    ? ", " + std::to_string(clusters) + " clusters)"
+                    : ")");
     po.x_label = "time";
     po.y_label = "gamma";
-    os << io::line_plot(std::span<const io::Series>(&gamma, 1), po) << '\n';
+    os << io::line_plot(series, po) << '\n';
 
     const WindowRecord& latest = scan.windows.back();
     std::uint64_t total = 0;

@@ -47,6 +47,7 @@ void ShardContext::reset(std::uint32_t lo_device, std::uint32_t hi_device,
   offload_delays = stats::LatencySketch{};
   events = 0;
   offloads_in_window = 0;
+  cluster_offloads.clear();  // the engine re-sizes it to the topology
   tasks_lost = 0;
   offloads_rejected = 0;
   offloads_penalized = 0;

@@ -82,6 +82,10 @@ struct ShardContext {
   stats::LatencySketch offload_delays;  ///< fixed-gamma mode only
   std::uint64_t events = 0;  ///< task-event pops (fault pops count centrally)
   std::uint64_t offloads_in_window = 0;
+  /// Measured offloads per edge cluster (sized by the engine when the run's
+  /// topology has clusters; summed across shards at barriers — integer
+  /// sums are order-invariant).  Invariant: sums to offloads_in_window.
+  std::vector<std::uint64_t> cluster_offloads;
   std::uint64_t tasks_lost = 0;
   std::uint64_t offloads_rejected = 0;
   std::uint64_t offloads_penalized = 0;

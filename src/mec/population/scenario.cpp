@@ -16,6 +16,18 @@ void ScenarioConfig::check() const {
   MEC_EXPECTS_MSG(service.lower_bound() > 0.0 ||
                       service.mean() > 0.0,
                   "service rates must be positive");
+  MEC_EXPECTS_MSG(clusters >= 1, "clusters must be at least 1");
+  if (!cluster_shares.empty()) {
+    MEC_EXPECTS_MSG(cluster_shares.size() == clusters,
+                    "cluster_shares must list one share per cluster");
+    double total = 0.0;
+    for (const double share : cluster_shares) {
+      MEC_EXPECTS_MSG(share > 0.0, "cluster shares must be positive");
+      total += share;
+    }
+    MEC_EXPECTS_MSG(total > 1.0 - 1e-9 && total < 1.0 + 1e-9,
+                    "cluster shares must sum to 1");
+  }
 }
 
 std::string to_string(LoadRegime regime) {

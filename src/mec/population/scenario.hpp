@@ -36,6 +36,13 @@ struct ScenarioConfig {
   double capacity = 10.0;               ///< c
   core::EdgeDelay delay;                ///< g(.)
   std::size_t n_users = 10'000;
+  /// Edge clusters the capacity is split across (device n feeds cluster
+  /// n mod clusters).  1 keeps the classic single-edge model.
+  std::size_t clusters = 1;
+  /// Optional per-cluster capacity shares; empty means an equal split.
+  /// When set, the size must equal `clusters` and the entries must be
+  /// positive and sum to 1.
+  std::vector<double> cluster_shares;
   /// Raw `fault = <verb> <args...>` lines from the config file, in file
   /// order.  Stored as text (not parsed) so this layer stays independent of
   /// mec/fault/; tools join the lines and hand them to

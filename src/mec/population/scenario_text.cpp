@@ -142,6 +142,17 @@ ScenarioConfig parse_scenario_text(const std::string& text) {
       cfg.n_users = static_cast<std::size_t>(n);
     } else if (key == "capacity") {
       cfg.capacity = to_number(value, line_number);
+    } else if (key == "clusters") {
+      const double k = to_number(value, line_number);
+      if (k < 1 || k != static_cast<double>(static_cast<std::size_t>(k)))
+        fail(line_number, "clusters must be a positive integer");
+      cfg.clusters = static_cast<std::size_t>(k);
+    } else if (key == "cluster_shares") {
+      cfg.cluster_shares.clear();
+      for (const std::string& token : tokenize(value))
+        cfg.cluster_shares.push_back(to_number(token, line_number));
+      if (cfg.cluster_shares.empty())
+        fail(line_number, "cluster_shares needs at least one share");
     } else if (key == "weight") {
       cfg.weight = to_number(value, line_number);
     } else if (key == "weight_dist") {

@@ -53,6 +53,10 @@ struct ClosedLoopOptions {
   /// MEC_SHARDS, else autotuned).  Thresholds mutate only at epoch
   /// barriers, so the closed loop is bit-identical for every shard count.
   std::size_t shards = 0;
+  /// Edge cluster topology forwarded to the simulator.  Algorithm 1 keeps
+  /// broadcasting the scalar aggregate utilization; the per-cluster gamma
+  /// trajectories still land in the telemetry stream.
+  ClusterTopology topology;
   /// Observation-grid spacing forwarded to the simulator; > 0 records a
   /// timeline and (with stream_log) cuts streamed windows.
   double sample_interval = 0.0;

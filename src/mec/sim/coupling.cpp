@@ -4,8 +4,13 @@
 
 namespace mec::sim {
 
-double GammaReplay::clamped_gamma(double rate) const {
-  return std::clamp(rate / (edge_capacity_ * walk_.scale), 0.0, 1.0);
+double GammaReplay::clamped_gamma(double rate, std::size_t cluster) const {
+  // Single-cluster bit-compat: caps_[0] == edge_capacity (share 1.0) and
+  // cluster_scale stays 1.0 without cluster faults, so this reduces to the
+  // pre-cluster `rate / (edge_capacity * scale)` bit-for-bit.
+  return std::clamp(
+      rate / (caps_[cluster] * walk_.scale * walk_.cluster_scale[cluster]),
+      0.0, 1.0);
 }
 
 void GammaReplay::consume(
@@ -31,10 +36,11 @@ void GammaReplay::consume(
     // single-queue engine (scheduled earlier => lower sequence number), so
     // environment actions apply up to and including the record's time.
     walk_.advance_to(r.time, /*inclusive=*/true);
-    const double gamma = clamped_gamma(rate_.rate_at(r.time));
+    EwmaRate& rate = bank_[r.cluster];
+    const double gamma = clamped_gamma(rate.rate_at(r.time), r.cluster);
     double delay_value = (*delay_)(gamma);
     if (r.penalized) delay_value += r.penalty;
-    rate_.record_event(r.time);
+    rate.record_event(r.time);
 
     // Same associativity as the engine's queue.push(now + latency + dv).
     const double delivery = r.time + r.latency + delay_value;

@@ -18,6 +18,13 @@
 // sample/epoch grid instant (grid reads happen before same-time offloads,
 // matching the flush-before-event rule).  Under that replay the K-shard run
 // is bit-identical to K = 1 for any K.
+//
+// With a ClusterTopology the edge is a vector of clusters, each with its
+// own capacity share and EwmaRate: records carry the cluster id their
+// device routes to, and the replay touches exactly that cluster's
+// estimator, still in global time order.  A 1-cluster topology reduces to
+// the scalar engine bit-for-bit (share 1.0 multiplies capacities by exactly
+// 1.0, and the bank is read directly, never through a weighted average).
 #pragma once
 
 #include <cmath>
@@ -32,6 +39,47 @@
 #include "mec/stats/latency_sketch.hpp"
 
 namespace mec::sim {
+
+/// Static description of the edge-cluster layout.  The single-cluster
+/// default reproduces the scalar-gamma engine bit-for-bit: cluster 0 owns
+/// the whole capacity (share 1.0, and x * 1.0 == x in IEEE arithmetic) and
+/// every device routes to it.  Routing is a pure function of the device id
+/// (device % clusters), so it is identical for every shard count and never
+/// consumes RNG.
+struct ClusterTopology {
+  std::size_t clusters = 1;
+  /// Per-cluster capacity shares; empty means an equal split.  When given,
+  /// must have `clusters` entries, each > 0, summing to 1.
+  std::vector<double> shares;
+  /// Optional per-cluster initial prices (price-based policy); empty means
+  /// all clusters start at price 0.
+  std::vector<double> prices;
+
+  std::size_t route(std::uint32_t device) const noexcept {
+    return device % clusters;
+  }
+  double share(std::size_t cluster) const {
+    return shares.empty() ? 1.0 / static_cast<double>(clusters)
+                          : shares[cluster];
+  }
+  void check() const {
+    MEC_EXPECTS_MSG(clusters >= 1, "topology needs at least one cluster");
+    MEC_EXPECTS_MSG(clusters < 0xFFFF, "cluster count exceeds the id space");
+    MEC_EXPECTS_MSG(shares.empty() || shares.size() == clusters,
+                    "cluster shares must match the cluster count");
+    if (!shares.empty()) {
+      double sum = 0.0;
+      for (const double s : shares) {
+        MEC_EXPECTS_MSG(s > 0.0, "cluster shares must be positive");
+        sum += s;
+      }
+      MEC_EXPECTS_MSG(std::abs(sum - 1.0) <= 1e-9,
+                      "cluster shares must sum to 1");
+    }
+    MEC_EXPECTS_MSG(prices.empty() || prices.size() == clusters,
+                    "cluster prices must match the cluster count");
+  }
+};
 
 /// Exponentially-weighted estimator of the aggregate offload task rate.
 class EwmaRate {
@@ -73,6 +121,7 @@ struct OffloadRecord {
   double latency = 0.0;    ///< wireless latency sample (device RNG)
   double penalty = 0.0;    ///< outage latency penalty in effect, else 0
   std::uint32_t device = 0;
+  std::uint16_t cluster = 0;  ///< target edge cluster (topology routing)
   bool measured = false;   ///< decision fell inside the measurement window
   bool penalized = false;  ///< a kPenalty outage window was open
 };
@@ -90,14 +139,18 @@ class GammaReplay {
   GammaReplay(const core::EdgeDelay& delay, double ewma_tau,
               double initial_gamma, double edge_capacity, double warmup,
               double t_end, std::uint32_t n_initial,
-              std::span<const fault::ResolvedAction> plan_actions)
-      : delay_(&delay),
-        rate_(ewma_tau, initial_gamma * edge_capacity),
-        edge_capacity_(edge_capacity),
-        warmup_(warmup),
-        t_end_(t_end) {
+              std::span<const fault::ResolvedAction> plan_actions,
+              const ClusterTopology& topology = {})
+      : delay_(&delay), warmup_(warmup), t_end_(t_end) {
+    caps_.reserve(topology.clusters);
+    bank_.reserve(topology.clusters);
+    for (std::size_t k = 0; k < topology.clusters; ++k) {
+      caps_.push_back(edge_capacity * topology.share(k));
+      bank_.emplace_back(ewma_tau, initial_gamma * caps_[k]);
+    }
     walk_.actions = plan_actions;
     walk_.active = n_initial;
+    walk_.cluster_scale.assign(topology.clusters, 1.0);
   }
 
   /// Replays every record of `logs` in merged time order: advances the
@@ -110,11 +163,33 @@ class GammaReplay {
   /// Utilization estimate at a grid instant (left limit: environment
   /// actions at exactly `at` are not yet applied).  Mutates the EWMA decay
   /// state, exactly like the single-queue engine's sample/epoch reads.
+  /// Single cluster reads its bank entry directly (never a weighted
+  /// average, which would perturb the bits); multiple clusters aggregate
+  /// total rate over total effective capacity.
   double gamma_at(double at) {
     walk_.advance_to(at, /*inclusive=*/false);
-    return clamped_gamma(rate_.rate_at(at));
+    if (bank_.size() == 1) return clamped_gamma(bank_[0].rate_at(at), 0);
+    double rate = 0.0;
+    double cap = 0.0;
+    for (std::size_t k = 0; k < bank_.size(); ++k) {
+      rate += bank_[k].rate_at(at);
+      cap += caps_[k] * walk_.scale * walk_.cluster_scale[k];
+    }
+    return std::clamp(rate / cap, 0.0, 1.0);
   }
 
+  /// Per-cluster utilization estimates at a grid instant (same left-limit
+  /// and decay semantics as gamma_at; the two may be called at the same
+  /// instant — decay is idempotent at a fixed time).
+  std::span<const double> cluster_gammas(double at) {
+    walk_.advance_to(at, /*inclusive=*/false);
+    gammas_.resize(bank_.size());
+    for (std::size_t k = 0; k < bank_.size(); ++k)
+      gammas_[k] = clamped_gamma(bank_[k].rate_at(at), k);
+    return gammas_;
+  }
+
+  std::size_t clusters() const noexcept { return bank_.size(); }
   double capacity_scale() const noexcept { return walk_.scale; }
   std::uint32_t active_devices() const noexcept { return walk_.active; }
   /// Offload deliveries with completion time <= t_end (they pop as events
@@ -125,17 +200,18 @@ class GammaReplay {
   bool delivery_flip_trigger() const noexcept { return flip_trigger_; }
 
  private:
-  double clamped_gamma(double rate) const;
+  double clamped_gamma(double rate, std::size_t cluster) const;
 
   const core::EdgeDelay* delay_;
-  EwmaRate rate_;
+  std::vector<EwmaRate> bank_;  ///< one EWMA per cluster
+  std::vector<double> caps_;    ///< per-cluster nominal capacity
   fault::EnvWalk walk_;
-  double edge_capacity_;
   double warmup_;
   double t_end_;
   std::uint64_t deliveries_ = 0;
   bool flip_trigger_ = false;
   std::vector<std::size_t> cursors_;  ///< per-shard scratch for the merge
+  std::vector<double> gammas_;        ///< cluster_gammas() scratch
 };
 
 }  // namespace mec::sim

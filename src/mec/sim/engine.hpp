@@ -87,6 +87,7 @@ struct LegContext {
   double warmup;
   double t_end;
   std::uint32_t n_devices;
+  std::uint32_t clusters;  ///< topology cluster count (1 = scalar gamma)
   bool has_fixed_gamma;
   double fixed_delay;  ///< g(fixed_gamma), hoisted off the offload path
 };
@@ -215,6 +216,12 @@ void run_leg(parallel::ShardContext& sc, const LegContext<Decide>& lc,
           }
         }
         if (offload) {
+          // Static routing: device d feeds cluster d mod K.  The branch
+          // keeps the 1-cluster fast path free of the modulo.
+          const std::uint16_t cluster =
+              lc.clusters > 1
+                  ? static_cast<std::uint16_t>(e.device % lc.clusters)
+                  : std::uint16_t{0};
           double penalty = 0.0;
           bool penalized = false;
           if constexpr (WithFaults) {
@@ -233,6 +240,7 @@ void run_leg(parallel::ShardContext& sc, const LegContext<Decide>& lc,
             if (sc.measuring) {
               ++dev.offloaded;
               ++sc.offloads_in_window;
+              ++sc.cluster_offloads[cluster];
               dev.offload_delay_sum += latency + delay_value;
               dev.energy_sum += u.energy_offload;
               sc.offload_delays.add(latency + delay_value);
@@ -244,10 +252,11 @@ void run_leg(parallel::ShardContext& sc, const LegContext<Decide>& lc,
             // delivery time, delay metrics) is deferred to the central
             // replay; the gamma-free parts stay shard-local.
             sc.log.push_back(OffloadRecord{now, latency, penalty, e.device,
-                                           sc.measuring, penalized});
+                                           cluster, sc.measuring, penalized});
             if (sc.measuring) {
               ++dev.offloaded;
               ++sc.offloads_in_window;
+              ++sc.cluster_offloads[cluster];
               dev.energy_sum += u.energy_offload;
             }
           }
@@ -355,6 +364,7 @@ inline obs::RunLogMeta make_stream_meta(const SimulationOptions& options,
   meta.emplace_back("n_devices", std::to_string(n_devices));
   meta.emplace_back("n_initial", std::to_string(n_initial));
   meta.emplace_back("capacity", obs::meta_double(capacity));
+  meta.emplace_back("clusters", std::to_string(options.topology.clusters));
   meta.emplace_back("seed", std::to_string(options.seed));
   meta.emplace_back("warmup", obs::meta_double(options.warmup));
   meta.emplace_back("horizon", obs::meta_double(options.horizon));
@@ -387,6 +397,8 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
                              SimWorkspace::Impl& ws, const Decide& decide) {
   const auto n_devices = static_cast<std::uint32_t>(users.size());
   const auto n_initial = static_cast<std::uint32_t>(n_initial_devices);
+  const auto n_clusters =
+      static_cast<std::uint32_t>(options.topology.clusters);
   // Nominal capacity is anchored to the initial population: churn changes
   // the offered load, not the installed edge hardware.
   const double edge_capacity = static_cast<double>(n_initial) * capacity;
@@ -422,6 +434,7 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
     sc.reset(parallel::shard_bound(n_devices, shard_count, s),
              parallel::shard_bound(n_devices, shard_count, s + 1),
              measuring_from_start);
+    sc.cluster_offloads.assign(n_clusters, 0);
     init_shard<WithFaults>(sc, users, n_initial, ws.rngs, plan.actions);
   }
   if (shard_count > 1) {
@@ -454,8 +467,8 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
                               ws.rngs.data(), &decide,
                               &options.service, &options.latency,
                               options.warmup, t_end,
-                              n_devices,      has_fixed_gamma,
-                              fixed_delay};
+                              n_devices,      n_clusters,
+                              has_fixed_gamma, fixed_delay};
   const auto run_one = [&](std::size_t s, double limit, bool inclusive) {
     if (counters_on) {
       const auto t0 = std::chrono::steady_clock::now();
@@ -481,7 +494,18 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
   if (!has_fixed_gamma)
     replay.emplace(delay, options.utilization_ewma_tau, options.initial_gamma,
                    edge_capacity, options.warmup, t_end, n_initial,
-                   plan.actions);
+                   plan.actions, options.topology);
+  // Per-cluster gamma reads, shared by the window frames and the
+  // on_cluster_epoch hook.  Quasi-stationary runs replicate the pinned
+  // value; tracked runs read the replay's per-cluster EWMA bank.
+  std::vector<double> fixed_cluster_gammas;
+  if (has_fixed_gamma)
+    fixed_cluster_gammas.assign(n_clusters, *options.fixed_gamma);
+  const auto cluster_gammas_at = [&](double at) -> std::span<const double> {
+    if (has_fixed_gamma) return fixed_cluster_gammas;
+    return replay->cluster_gammas(at);
+  };
+  std::vector<std::uint64_t> cluster_off_scratch;  ///< per-window sums
   stats::LatencySketch local_sojourns;
   stats::LatencySketch offload_delays;
   // Feeds the leg's offload logs — fully drained, they cover exactly the
@@ -622,6 +646,12 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
           ++thresh_hist[bin];
         }
         extras.threshold_histogram = thresh_hist;
+        cluster_off_scratch.assign(n_clusters, 0);
+        for (const parallel::ShardContext& sc : ws.shards)
+          for (std::uint32_t k = 0; k < n_clusters; ++k)
+            cluster_off_scratch[k] += sc.cluster_offloads[k];
+        extras.cluster_gamma = cluster_gammas_at(g.time);
+        extras.cluster_offloads = cluster_off_scratch;
         stream->commit_window(extras);
         if (counters_on) {
           counter_scratch.clear();
@@ -670,9 +700,15 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
       }
     }
     if (g.epoch) {
-      const double gamma = has_fixed_gamma ? *options.fixed_gamma
-                                           : replay->gamma_at(g.time);
-      options.on_epoch(g.time, gamma);
+      if (options.on_epoch) {
+        const double gamma = has_fixed_gamma ? *options.fixed_gamma
+                                             : replay->gamma_at(g.time);
+        options.on_epoch(g.time, gamma);
+      }
+      // Fires after on_epoch; epoch instants are barriers, so controller
+      // state mutated here is seen identically by every shard count.
+      if (options.on_cluster_epoch)
+        options.on_cluster_epoch(g.time, cluster_gammas_at(g.time));
     }
   }
   run_legs(t_end, /*inclusive=*/true);
@@ -709,9 +745,12 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
 
   std::uint64_t events = 0;
   std::uint64_t offloads_in_window = 0;
+  std::vector<std::uint64_t> cluster_offloads(n_clusters, 0);
   for (const parallel::ShardContext& sc : ws.shards) {
     events += sc.events;
     offloads_in_window += sc.offloads_in_window;
+    for (std::uint32_t k = 0; k < n_clusters; ++k)
+      cluster_offloads[k] += sc.cluster_offloads[k];
     local_sojourns.merge(sc.local_sojourns);
     if (has_fixed_gamma) offload_delays.merge(sc.offload_delays);
   }
@@ -785,6 +824,15 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
     result.devices.push_back(s);
   }
   result.measured_utilization = gamma_measured;
+  // Per-cluster utilization divides each cluster's offload count by its
+  // capacity share of the same denominator; with one cluster share(0) is
+  // exactly 1.0, so cluster_utilization[0] == measured_utilization bitwise.
+  result.cluster_offloads = std::move(cluster_offloads);
+  result.cluster_utilization.reserve(n_clusters);
+  for (std::uint32_t k = 0; k < n_clusters; ++k)
+    result.cluster_utilization.push_back(
+        static_cast<double>(result.cluster_offloads[k]) /
+        (gamma_denom * options.topology.share(k)));
   result.mean_cost = cost_acc / static_cast<double>(participating);
   result.mean_queue_length = q_acc / static_cast<double>(participating);
   result.mean_offload_fraction = alpha_acc / static_cast<double>(participating);

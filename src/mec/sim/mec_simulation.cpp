@@ -52,8 +52,11 @@ MecSimulation::MecSimulation(std::span<const core::UserParams> users,
   MEC_EXPECTS(options_.sample_interval >= 0.0);
   MEC_EXPECTS(options_.epoch_period >= 0.0);
   MEC_EXPECTS_MSG(options_.epoch_period == 0.0 ||
-                      static_cast<bool>(options_.on_epoch),
-                  "epoch_period needs an on_epoch callback");
+                      static_cast<bool>(options_.on_epoch) ||
+                      static_cast<bool>(options_.on_cluster_epoch),
+                  "epoch_period needs an on_epoch or on_cluster_epoch "
+                  "callback");
+  options_.topology.check();
   MEC_EXPECTS_MSG(options_.stream_log.empty() || options_.sample_interval > 0.0,
                   "stream_log needs sample_interval > 0 (windows are cut at "
                   "the observation grid)");
@@ -64,6 +67,10 @@ MecSimulation::MecSimulation(std::span<const core::UserParams> users,
   n_initial_ = users_.size();
   if (options_.faults && !options_.faults->empty()) {
     options_.faults->check(n_initial_);
+    for (const fault::FaultAction& a : options_.faults->actions())
+      MEC_EXPECTS_MSG(a.cluster == fault::FaultAction::kAllClusters ||
+                          a.cluster < options_.topology.clusters,
+                      "fault action targets a cluster outside the topology");
     const std::vector<core::UserParams> joiners = options_.faults->churn_users();
     users_.insert(users_.end(), joiners.begin(), joiners.end());
     MEC_EXPECTS_MSG(users_.size() < (std::size_t{1} << 20),

@@ -27,6 +27,7 @@
 #include "mec/fault/fault_schedule.hpp"
 #include "mec/random/empirical.hpp"
 #include "mec/random/rng.hpp"
+#include "mec/sim/coupling.hpp"
 #include "mec/sim/metrics.hpp"
 #include "mec/sim/policies.hpp"
 
@@ -81,6 +82,20 @@ struct SimulationOptions {
   /// *inside* the simulator (see mec/sim/closed_loop.hpp).
   double epoch_period = 0.0;
   std::function<void(double now, double gamma_estimate)> on_epoch;
+  /// Per-cluster epoch hook: invoked at every epoch instant with the
+  /// per-cluster utilization estimates (one entry per topology cluster;
+  /// the fixed_gamma value replicated per cluster in quasi-stationary
+  /// mode).  Controllers mutating policy-visible state (prices, cluster
+  /// activation flags) must do so only here — epoch instants are shard
+  /// barriers, which is what keeps the new policy families bit-identical
+  /// across shard counts.  May be combined with on_epoch (it fires after).
+  std::function<void(double now, std::span<const double> cluster_gammas)>
+      on_cluster_epoch;
+  /// Edge-cluster layout (defaults to one cluster covering the whole
+  /// capacity — the scalar-gamma engine, bit-for-bit).  Devices route to
+  /// cluster `device % clusters`; cluster k owns capacity
+  /// `initial_devices * capacity * share(k)`.
+  ClusterTopology topology;
   /// Optional deterministic fault/churn schedule (see mec/fault/).  Fault
   /// actions are injected as first-class events into the future-event list,
   /// so a schedule replays bit-identically for any thread count.  A null or

@@ -89,6 +89,11 @@ struct SimulationResult {
   /// Degraded-mode accounting (all nominal when no FaultSchedule ran).
   FaultStats faults;
   double measured_utilization = 0.0;  ///< offload task rate / (N*c)
+  /// Per-cluster measured utilization (offload task rate into cluster k
+  /// over its capacity share) and measured offload counts; size = the
+  /// run's cluster count (1 for the default topology).
+  std::vector<double> cluster_utilization;
+  std::vector<std::uint64_t> cluster_offloads;
   double mean_cost = 0.0;             ///< population mean of empirical_cost
   double mean_queue_length = 0.0;     ///< population mean
   double mean_offload_fraction = 0.0; ///< population mean (per-device alpha)

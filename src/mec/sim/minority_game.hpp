@@ -1,0 +1,71 @@
+// Minority-game server-activation engine (Challet & Zhang 1997; applied to
+// MEC server activation by Ranadheera, Maghsudi & Hossain).
+//
+// N agents repeatedly choose one of two sides; the agents on the *minority*
+// side win the round.  Each agent holds S fixed strategies — lookup tables
+// from the last m winning sides to a choice — keeps a virtual score per
+// strategy (would it have predicted the winner?), and always plays its
+// best-scoring strategy.  The emergent behavior reproduced by the tests:
+// mean attendance concentrates at N/2 without any central coordination, and
+// the attendance variance depends non-monotonically on alpha = 2^m / N
+// (strong herding for small memory, random-agent variance for large).
+//
+// Here each edge cluster is one agent and "side 1" means the cluster stays
+// active for the next epoch, so roughly half the clusters serve at any time.
+// The game is self-contained and deterministic: strategy tables come from
+// one seeded Xoshiro stream at construction, play consumes no randomness
+// (ties break toward the lowest strategy index), and the trajectory depends
+// only on (agents, memory, strategies, seed, invert).  Stepped at epoch
+// barriers it therefore preserves the engine's cross-shard bitwise
+// determinism.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mec::sim {
+
+struct MinorityGameConfig {
+  std::size_t agents = 7;      ///< one per edge cluster; odd avoids ties
+  std::size_t memory = 3;      ///< m: history bits per strategy table
+  std::size_t strategies = 2;  ///< S: tables per agent
+  std::uint64_t seed = 1;      ///< strategy-table seed
+  /// Perturbation switch for the differential tests: score the *majority*
+  /// side as the winner instead.  The positive feedback destroys the
+  /// minority game's self-organization (attendance variance blows up).
+  bool invert = false;
+};
+
+class MinorityGame {
+ public:
+  explicit MinorityGame(const MinorityGameConfig& config);
+
+  /// Plays one round: every agent consults its best strategy, the winning
+  /// side is scored, and the history shifts.  Returns the attendance (the
+  /// number of agents choosing side 1).
+  std::size_t step();
+
+  /// Side chosen by each agent in the last step() (1 or 0); all 1 before
+  /// the first round (every cluster starts active).
+  const std::vector<std::uint8_t>& actions() const noexcept {
+    return actions_;
+  }
+
+  std::size_t agents() const noexcept { return actions_.size(); }
+  std::uint64_t rounds() const noexcept { return rounds_; }
+
+ private:
+  std::size_t memory_;
+  std::size_t strategies_;
+  bool invert_;
+  std::size_t history_ = 0;  ///< last m winning sides, bit-packed
+  std::uint64_t rounds_ = 0;
+  /// Strategy tables, agent-major: entry [(a*S + s) * 2^m + h] is agent a's
+  /// strategy s's choice under history h.
+  std::vector<std::uint8_t> tables_;
+  std::vector<double> scores_;  ///< virtual score per (agent, strategy)
+  std::vector<std::uint8_t> actions_;
+};
+
+}  // namespace mec::sim

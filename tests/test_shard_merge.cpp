@@ -129,6 +129,13 @@ void expect_result_identical(const sim::SimulationResult& a,
                              const sim::SimulationResult& b) {
   EXPECT_EQ(a.total_events, b.total_events);
   EXPECT_EQ(a.measured_utilization, b.measured_utilization);
+  ASSERT_EQ(a.cluster_utilization.size(), b.cluster_utilization.size());
+  for (std::size_t i = 0; i < a.cluster_utilization.size(); ++i)
+    EXPECT_EQ(a.cluster_utilization[i], b.cluster_utilization[i])
+        << "cluster " << i;
+  ASSERT_EQ(a.cluster_offloads.size(), b.cluster_offloads.size());
+  for (std::size_t i = 0; i < a.cluster_offloads.size(); ++i)
+    EXPECT_EQ(a.cluster_offloads[i], b.cluster_offloads[i]) << "cluster " << i;
   EXPECT_EQ(a.mean_cost, b.mean_cost);
   EXPECT_EQ(a.mean_queue_length, b.mean_queue_length);
   EXPECT_EQ(a.mean_offload_fraction, b.mean_offload_fraction);
@@ -283,6 +290,65 @@ TEST(ShardEquivalence, ClosedLoopDtuMatchesAcrossShardCounts) {
       EXPECT_EQ(base.epochs[i].mean_threshold, r.epochs[i].mean_threshold)
           << "epoch " << i;
     }
+    expect_result_identical(base.run, r.run);
+  }
+}
+
+TEST(ShardEquivalence, MultiClusterTrackedGamma) {
+  sim::SimulationOptions o;
+  o.warmup = 2.0;
+  o.horizon = 60.0;
+  o.seed = 4242;
+  o.utilization_ewma_tau = 5.0;
+  o.initial_gamma = 0.3;
+  o.sample_interval = 3.0;
+  o.topology.clusters = 3;
+  o.topology.shares = {0.5, 0.3, 0.2};  // heterogeneous capacities
+  expect_shard_invariant(o);
+}
+
+TEST(ShardEquivalence, MultiClusterPerClusterBrownouts) {
+  auto schedule = std::make_shared<fault::FaultSchedule>();
+  schedule->add_capacity_scale(10.0, 0.5, 1);  // cluster 1 browns out
+  schedule->add_capacity_scale(15.0, 0.7, 0);  // then cluster 0, overlapping
+  schedule->add_capacity_scale(24.0, 1.0, 1);
+  schedule->add_capacity_scale(30.0, 0.8);     // global scale on top
+  schedule->add_outage(18.0, 22.0, fault::OutageMode::kPenalty, 0.4);
+
+  sim::SimulationOptions o;
+  o.warmup = 3.0;
+  o.horizon = 50.0;
+  o.seed = 777;
+  o.utilization_ewma_tau = 6.0;
+  o.initial_gamma = 0.25;
+  o.sample_interval = 5.0;
+  o.topology.clusters = 2;
+  expect_shard_invariant(o, schedule);
+}
+
+TEST(ShardEquivalence, MultiClusterClosedLoopDtu) {
+  const auto pop = population::sample_population(
+      population::theoretical_scenario(population::LoadRegime::kAtService, 60),
+      91);
+  sim::ClosedLoopOptions opt;
+  opt.horizon = 80.0;
+  opt.update_period = 5.0;
+  opt.eta0 = 0.2;
+  opt.topology.clusters = 2;
+  opt.topology.shares = {0.6, 0.4};
+  opt.shards = 1;
+  const sim::ClosedLoopResult base =
+      run_closed_loop(pop.users, pop.config.capacity, pop.config.delay, opt);
+  for (const std::size_t k : {2u, 4u, 7u}) {
+    opt.shards = k;
+    const sim::ClosedLoopResult r =
+        run_closed_loop(pop.users, pop.config.capacity, pop.config.delay, opt);
+    SCOPED_TRACE("shards = " + std::to_string(k));
+    EXPECT_EQ(base.final_gamma_hat, r.final_gamma_hat);
+    ASSERT_EQ(base.epochs.size(), r.epochs.size());
+    for (std::size_t i = 0; i < base.epochs.size(); ++i)
+      EXPECT_EQ(base.epochs[i].gamma_measured, r.epochs[i].gamma_measured)
+          << "epoch " << i;
     expect_result_identical(base.run, r.run);
   }
 }

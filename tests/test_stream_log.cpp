@@ -34,6 +34,14 @@ std::string temp_path(const std::string& name) {
   return (std::filesystem::temp_directory_path() / name).string();
 }
 
+/// Temp path namespaced by the running test, so parallel ctest processes
+/// never collide on shared scratch files.
+std::string test_scoped_path(const std::string& suffix) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return temp_path(std::string("mec_") + info->test_suite_name() + "_" +
+                   info->name() + "_" + suffix);
+}
+
 obs::WindowRecord sample_window(std::uint64_t i) {
   obs::WindowRecord w;
   w.time = 2.5 * static_cast<double>(i + 1);
@@ -64,6 +72,9 @@ obs::WindowRecord sample_window(std::uint64_t i) {
   w.fault_events_applied = 4 * i;
   for (std::size_t b = 0; b < obs::kThresholdBins; ++b)
     w.threshold_histogram[b] = static_cast<std::uint32_t>(b * (i + 1));
+  // Two-cluster v2 trailer; the per-cluster offloads sum to the scalar total.
+  w.cluster_gamma = {w.gamma, 0.1 + 0.005 * static_cast<double>(i)};
+  w.cluster_offloads = {60 * (i + 1), 40 * (i + 1)};
   return w;
 }
 
@@ -96,6 +107,12 @@ void expect_window_equal(const obs::WindowRecord& a,
   EXPECT_EQ(a.offloads_penalized, b.offloads_penalized);
   EXPECT_EQ(a.fault_events_applied, b.fault_events_applied);
   EXPECT_EQ(a.threshold_histogram, b.threshold_histogram);
+  ASSERT_EQ(a.cluster_gamma.size(), b.cluster_gamma.size());
+  for (std::size_t k = 0; k < a.cluster_gamma.size(); ++k)
+    EXPECT_EQ(a.cluster_gamma[k], b.cluster_gamma[k]) << "cluster " << k;
+  ASSERT_EQ(a.cluster_offloads.size(), b.cluster_offloads.size());
+  for (std::size_t k = 0; k < a.cluster_offloads.size(); ++k)
+    EXPECT_EQ(a.cluster_offloads[k], b.cluster_offloads[k]) << "cluster " << k;
 }
 
 // --- format round-trips ----------------------------------------------------
@@ -103,7 +120,18 @@ void expect_window_equal(const obs::WindowRecord& a,
 TEST(RunLogFormat, PayloadCodecsRoundTrip) {
   const obs::WindowRecord w = sample_window(3);
   expect_window_equal(w, obs::decode_window(obs::encode_window(w)));
-  EXPECT_EQ(obs::encode_window(w).size(), obs::window_payload_size());
+  EXPECT_EQ(obs::encode_window(w).size(),
+            obs::window_payload_size(w.cluster_gamma.size()));
+
+  // A default-constructed record carries the single-cluster trailer.
+  const obs::WindowRecord single;
+  EXPECT_EQ(obs::encode_window(single).size(), obs::window_payload_size());
+  expect_window_equal(single, obs::decode_window(obs::encode_window(single)));
+
+  // Mismatched per-cluster vectors are a caller bug, not encodable data.
+  obs::WindowRecord bad = sample_window(1);
+  bad.cluster_offloads.pop_back();
+  EXPECT_THROW((void)obs::encode_window(bad), ContractViolation);
 
   const obs::RunLogMeta meta = {{"n_devices", "41"}, {"gamma", "tracked"}};
   EXPECT_EQ(meta, obs::decode_meta(obs::encode_meta(meta)));
@@ -203,7 +231,7 @@ TEST(RunLogFormat, FollowSeesFramesAsTheFileGrows) {
   }
   // Start with the header + meta + one window, and a half-written frame.
   const std::size_t meta_frame = 8 + obs::encode_meta({{"k", "v"}}).size() + 4;
-  const std::size_t window_frame = 8 + obs::window_payload_size() + 4;
+  const std::size_t window_frame = 8 + obs::window_payload_size(2) + 4;
   const std::size_t first_cut = 24 + meta_frame + window_frame + 20;
   ASSERT_LT(first_cut, bytes.size());
   {
@@ -245,7 +273,7 @@ TEST(RunLogFormat, CorruptedByteIsDetectedByCrc) {
   }
   // Flip one byte inside the second window's payload.
   const std::size_t meta_frame = 8 + obs::encode_meta({{"k", "v"}}).size() + 4;
-  const std::size_t window_frame = 8 + obs::window_payload_size() + 4;
+  const std::size_t window_frame = 8 + obs::window_payload_size(2) + 4;
   const std::size_t victim = 24 + meta_frame + window_frame + 8 + 11;
   {
     std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
@@ -279,6 +307,41 @@ TEST(RunLogFormat, ForeignOrMissingHeaderThrows) {
   EXPECT_THROW(obs::RunLogReader reader(path), RuntimeError);
   EXPECT_THROW((void)obs::scan_log(temp_path("mec_nonexistent.meclog")),
                RuntimeError);
+  std::filesystem::remove(path);
+}
+
+// The schema bump: a v1 log shares the family magic but its window frames
+// have no per-cluster trailer, so parsing one as v2 would misread every
+// window.  The reader must refuse up front with a diagnostic that names
+// both versions instead of surfacing garbage or a CRC error downstream.
+TEST(RunLogFormat, PriorSchemaVersionIsRejectedWithClearError) {
+  const std::string path = temp_path("mec_v1_schema.meclog");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(obs::kMagic.data(), obs::kMagic.size());
+    const auto put_u32 = [&out](std::uint32_t v) {
+      for (int i = 0; i < 4; ++i) {
+        const char byte = static_cast<char>((v >> (8 * i)) & 0xFFu);
+        out.write(&byte, 1);
+      }
+    };
+    put_u32(1u);  // the retired v1 schema revision
+    put_u32(static_cast<std::uint32_t>(obs::kThresholdBins));
+    put_u32(0u);  // flags
+    put_u32(0u);  // reserved
+  }
+  try {
+    obs::RunLogReader reader(path);
+    FAIL() << "v1 header was accepted by a v2 reader";
+  } catch (const RuntimeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unsupported .meclog schema"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("v1"), std::string::npos) << what;
+    EXPECT_NE(what.find("v2"), std::string::npos) << what;
+  }
+  // scan_log (the `mec tail --check` entry point) refuses the same way.
+  EXPECT_THROW((void)obs::scan_log(path), RuntimeError);
   std::filesystem::remove(path);
 }
 
@@ -408,7 +471,7 @@ void expect_stream_shard_invariant(
   const auto users = mixed_users(41);  // odd size: uneven shard bounds
   options.faults = schedule;
   options.shards = 1;
-  const std::string base_path = temp_path("mec_xk_base.meclog");
+  const std::string base_path = test_scoped_path("xk_base.meclog");
   options.stream_log = base_path;
   {
     sim::MecSimulation des(users, 8.0, core::make_reciprocal_delay(),
@@ -421,7 +484,7 @@ void expect_stream_shard_invariant(
   for (const std::size_t k : {2u, 4u, 7u}) {
     SCOPED_TRACE("shards = " + std::to_string(k));
     const std::string path =
-        temp_path("mec_xk_" + std::to_string(k) + ".meclog");
+        test_scoped_path("xk_" + std::to_string(k) + ".meclog");
     options.shards = k;
     options.stream_log = path;
     sim::MecSimulation des(users, 8.0, core::make_reciprocal_delay(),
@@ -482,6 +545,65 @@ TEST(StreamShardInvariance, FaultScheduleAllActionKinds) {
   expect_stream_shard_invariant(tracked, schedule);
 }
 
+// Multi-cluster tracked gamma with heterogeneous shares and per-cluster
+// brown-outs: the per-cluster v2 trailer must be part of the byte-identity
+// contract too, not just the scalar fields.
+TEST(StreamShardInvariance, MultiClusterPerClusterBrownouts) {
+  auto schedule = std::make_shared<fault::FaultSchedule>();
+  schedule->add_capacity_scale(10.0, 0.5, 1);   // brown-out cluster 1
+  schedule->add_capacity_scale(16.0, 0.7, 0);   // milder one on cluster 0
+  schedule->add_capacity_scale(26.0, 1.0, 1);   // cluster 1 recovers
+  schedule->add_capacity_scale(32.0, 0.8);      // global dip on top
+  schedule->add_outage(20.0, 24.0, fault::OutageMode::kPenalty, 0.4);
+
+  sim::SimulationOptions o;
+  o.warmup = 3.0;
+  o.horizon = 50.0;
+  o.seed = 424242;
+  o.utilization_ewma_tau = 6.0;
+  o.initial_gamma = 0.25;
+  o.sample_interval = 4.0;
+  o.topology.clusters = 2;
+  o.topology.shares = {0.65, 0.35};
+  expect_stream_shard_invariant(o, schedule);
+}
+
+// Sanity on the v2 trailer contents themselves: a 2-cluster run streams
+// 2-entry per-cluster vectors whose offloads sum to the scalar cumulative
+// count in every window.
+TEST(StreamShardInvariance, MultiClusterTrailerIsConsistent) {
+  const auto users = mixed_users(41);
+  sim::SimulationOptions o;
+  o.warmup = 2.0;
+  o.horizon = 40.0;
+  o.seed = 98;
+  o.utilization_ewma_tau = 5.0;
+  o.initial_gamma = 0.3;
+  o.sample_interval = 2.0;
+  o.topology.clusters = 3;
+  o.topology.shares = {0.5, 0.3, 0.2};
+  o.stream_log = test_scoped_path("trailer.meclog");
+  sim::MecSimulation des(users, 8.0, core::make_reciprocal_delay(), o);
+  const sim::SimulationResult r = des.run_tro(mixed_thresholds(users.size()));
+  const obs::LogScan scan = obs::scan_log(o.stream_log);
+  EXPECT_TRUE(scan.complete()) << scan.error;
+  ASSERT_FALSE(scan.windows.empty());
+  for (std::size_t i = 0; i < scan.windows.size(); ++i) {
+    SCOPED_TRACE("window " + std::to_string(i));
+    const obs::WindowRecord& w = scan.windows[i];
+    ASSERT_EQ(w.cluster_gamma.size(), 3u);
+    ASSERT_EQ(w.cluster_offloads.size(), 3u);
+    std::uint64_t sum = 0;
+    for (const std::uint64_t n : w.cluster_offloads) sum += n;
+    EXPECT_EQ(sum, w.offloads_so_far);
+  }
+  // The final window's per-cluster counts equal the run totals.
+  ASSERT_EQ(r.cluster_offloads.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k)
+    EXPECT_EQ(scan.windows.back().cluster_offloads[k], r.cluster_offloads[k]);
+  std::filesystem::remove(o.stream_log);
+}
+
 TEST(StreamShardInvariance, ClosedLoopDtu) {
   const auto pop = population::sample_population(
       population::theoretical_scenario(population::LoadRegime::kAtService, 60),
@@ -492,7 +614,7 @@ TEST(StreamShardInvariance, ClosedLoopDtu) {
   opt.eta0 = 0.2;
   opt.sample_interval = 2.5;
   opt.shards = 1;
-  opt.stream_log = temp_path("mec_xk_cl_base.meclog");
+  opt.stream_log = test_scoped_path("xk_cl_base.meclog");
   (void)run_closed_loop(pop.users, pop.config.capacity, pop.config.delay, opt);
   const std::vector<std::uint8_t> base = window_bytes(opt.stream_log);
   ASSERT_FALSE(base.empty());
@@ -500,7 +622,44 @@ TEST(StreamShardInvariance, ClosedLoopDtu) {
   for (const std::size_t k : {2u, 4u, 7u}) {
     SCOPED_TRACE("shards = " + std::to_string(k));
     opt.shards = k;
-    opt.stream_log = temp_path("mec_xk_cl_" + std::to_string(k) + ".meclog");
+    opt.stream_log = test_scoped_path("xk_cl_" + std::to_string(k) + ".meclog");
+    (void)run_closed_loop(pop.users, pop.config.capacity, pop.config.delay,
+                          opt);
+    EXPECT_EQ(window_bytes(opt.stream_log), base);
+    std::filesystem::remove(opt.stream_log);
+  }
+}
+
+// Closed-loop DTU on a 2-cluster topology: Algorithm 1 broadcasts the scalar
+// aggregate while the stream carries per-cluster trajectories; both must stay
+// byte-identical across shard counts.
+TEST(StreamShardInvariance, MultiClusterClosedLoopDtu) {
+  const auto pop = population::sample_population(
+      population::theoretical_scenario(population::LoadRegime::kAtService, 60),
+      91);
+  sim::ClosedLoopOptions opt;
+  opt.horizon = 90.0;
+  opt.update_period = 5.0;
+  opt.eta0 = 0.2;
+  opt.sample_interval = 2.5;
+  opt.topology.clusters = 2;
+  opt.topology.shares = {0.6, 0.4};
+  opt.shards = 1;
+  opt.stream_log = test_scoped_path("xk_mccl_base.meclog");
+  (void)run_closed_loop(pop.users, pop.config.capacity, pop.config.delay, opt);
+  const std::vector<std::uint8_t> base = window_bytes(opt.stream_log);
+  ASSERT_FALSE(base.empty());
+  {
+    const obs::LogScan scan = obs::scan_log(opt.stream_log);
+    ASSERT_FALSE(scan.windows.empty());
+    EXPECT_EQ(scan.windows.back().cluster_gamma.size(), 2u);
+  }
+  std::filesystem::remove(opt.stream_log);
+  for (const std::size_t k : {2u, 4u, 7u}) {
+    SCOPED_TRACE("shards = " + std::to_string(k));
+    opt.shards = k;
+    opt.stream_log =
+        test_scoped_path("xk_mccl_" + std::to_string(k) + ".meclog");
     (void)run_closed_loop(pop.users, pop.config.capacity, pop.config.delay,
                           opt);
     EXPECT_EQ(window_bytes(opt.stream_log), base);
@@ -511,7 +670,7 @@ TEST(StreamShardInvariance, ClosedLoopDtu) {
 // CRC32 of the pinned scenario's window byte stream, as produced by the
 // reference toolchain (same compiler flags as CI).  Regenerate on
 // intentional change — see the test comment below.
-constexpr std::uint32_t kFixedGammaGoldenCrc = 330149243u;
+constexpr std::uint32_t kFixedGammaGoldenCrc = 3942917030u;
 
 // The golden regression pin: the fixed-gamma scenario's window byte stream,
 // hashed.  This catches silent format or engine-semantics drift that the

@@ -51,6 +51,7 @@
 #include "mec/population/scenario_text.hpp"
 #include "mec/random/empirical_data.hpp"
 #include "mec/sim/closed_loop.hpp"
+#include "mec/sim/cluster_policies.hpp"
 #include "mec/sim/mec_simulation.hpp"
 
 namespace {
@@ -78,6 +79,18 @@ sharded execution (simulate, closedloop):
   --shards=<k>                   partition one run's devices over k event
                                  queues (bit-identical for any k; default
                                  honors MEC_SHARDS, then 1)
+
+multi-cluster edge (simulate):
+  --clusters=<k>                 split the edge capacity over k clusters
+                                 (device n feeds cluster n mod k; equal
+                                 shares; default 1 = the classic model)
+  --topology=<s0,s1,...>         explicit per-cluster capacity shares
+                                 (must sum to 1; sets the cluster count)
+  --policy=<tro|price|minority>  offloading policy family (default tro):
+                                 price = per-cluster congestion prices,
+                                 dual ascent toward --gamma-target;
+                                 minority = minority-game server activation
+  --gamma-target=<g> --update-period=<s>   price/minority controls
 
 fault injection (simulate, closedloop):
   --fault-schedule=<file.fault>  deterministic fault/churn schedule
@@ -145,6 +158,52 @@ population::ScenarioConfig build_scenario(const io::Args& args) {
   if (args.has("capacity")) cfg.capacity = args.get_double("capacity", 0.0);
   cfg.check();
   return cfg;
+}
+
+/// --clusters / --topology on top of the scenario's own cluster keys:
+/// --topology fixes the shares (and the count); --clusters alone asks for
+/// an equal split.
+sim::ClusterTopology build_topology(const io::Args& args,
+                                    const population::ScenarioConfig& cfg) {
+  sim::ClusterTopology topology;
+  topology.clusters = cfg.clusters;
+  topology.shares = cfg.cluster_shares;
+  if (args.has("topology")) {
+    topology.shares.clear();
+    std::string spec = args.get_string("topology", "");
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= spec.size(); ++i)
+      if (i == spec.size() || spec[i] == ',') {
+        const std::string token = spec.substr(start, i - start);
+        start = i + 1;
+        try {
+          std::size_t pos = 0;
+          const double share = std::stod(token, &pos);
+          if (pos != token.size()) throw RuntimeError("trailing");
+          topology.shares.push_back(share);
+        } catch (const std::exception&) {
+          throw RuntimeError("--topology expects comma-separated shares, got '" +
+                             token + "'");
+        }
+      }
+    topology.clusters = topology.shares.size();
+  }
+  if (args.has("clusters")) {
+    const auto k = static_cast<std::size_t>(args.get_long("clusters", 1));
+    if (args.has("topology")) {
+      if (k != topology.clusters)
+        throw RuntimeError("--clusters disagrees with the --topology share count");
+    } else {
+      topology.clusters = k;
+      if (topology.shares.size() != k) topology.shares.clear();
+    }
+  }
+  try {
+    topology.check();
+  } catch (const ContractViolation& e) {
+    throw RuntimeError(std::string("invalid cluster topology: ") + e.what());
+  }
+  return topology;
 }
 
 const std::set<std::string> kCommonFlags = {
@@ -264,7 +323,8 @@ int cmd_simulate(const io::Args& args) {
   known.insert({"horizon", "warmup", "service", "replications", "threads",
                 "confidence", "fault-schedule", "shards", "stream-log",
                 "window", "target-ci", "target-rel", "max-replications",
-                "wave", "metric"});
+                "wave", "metric", "clusters", "topology", "policy",
+                "gamma-target", "update-period"});
   args.reject_unknown(known);
   const auto cfg = build_scenario(args);
   const auto pop = population::sample_population(
@@ -272,8 +332,10 @@ int cmd_simulate(const io::Args& args) {
   const core::MfneResult mfne =
       core::solve_mfne(pop.users, cfg.delay, cfg.capacity);
   const auto faults = build_faults(args, cfg);
+  const sim::ClusterTopology topology = build_topology(args, cfg);
 
   sim::SimulationOptions so;
+  so.topology = topology;
   so.horizon = args.get_double("horizon", 200.0);
   so.warmup = args.get_double("warmup", 20.0);
   so.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
@@ -300,6 +362,71 @@ int cmd_simulate(const io::Args& args) {
     const double g_star = cfg.delay(mfne.gamma_star);
     for (const core::UserParams& u : faults->churn_users())
       xs.push_back(static_cast<double>(core::best_threshold(u, g_star)));
+  }
+  const std::string policy = args.get_string("policy", "tro");
+  if (policy != "tro" && policy != "price" && policy != "minority")
+    throw RuntimeError("unknown --policy (tro|price|minority)");
+  if (policy != "tro") {
+    if (args.has("replications") || args.has("target-ci") ||
+        args.has("target-rel"))
+      throw RuntimeError("--policy=" + policy +
+                         " runs one closed-loop simulation; it cannot "
+                         "combine with replications or sequential stopping");
+    if (policy == "price") {
+      sim::PriceBasedOptions po;
+      po.gamma_target = args.get_double("gamma-target", mfne.gamma_star);
+      po.update_period = args.get_double("update-period", 5.0);
+      po.warmup = so.warmup;
+      po.horizon = so.horizon;
+      po.seed = so.seed;
+      po.topology = topology;
+      po.service = so.service;
+      po.faults = faults;
+      po.shards = so.shards;
+      po.sample_interval = so.sample_interval;
+      po.stream_log = so.stream_log;
+      const sim::PriceBasedResult r =
+          sim::run_price_based(pop.users, cfg.capacity, cfg.delay, po);
+      std::printf(
+          "scenario: %s  policy=price  clusters=%zu  target gamma=%.4f\n",
+          cfg.name.c_str(), topology.clusters, po.gamma_target);
+      for (std::size_t k = 0; k < r.final_prices.size(); ++k)
+        std::printf("cluster %zu: price=%.4f  gamma=%.4f\n", k,
+                    r.final_prices[k],
+                    k < r.run.cluster_utilization.size()
+                        ? r.run.cluster_utilization[k]
+                        : 0.0);
+      std::printf("%s", sim::summarize(r.run).c_str());
+      if (!so.stream_log.empty())
+        std::printf("telemetry stream written to %s (view: mec tail %s)\n",
+                    so.stream_log.c_str(), so.stream_log.c_str());
+      return 0;
+    }
+    sim::MinorityGameRunOptions mo;
+    mo.game.seed = so.seed;
+    mo.thresholds = xs;
+    mo.update_period = args.get_double("update-period", 5.0);
+    mo.warmup = so.warmup;
+    mo.horizon = so.horizon;
+    mo.seed = so.seed;
+    mo.topology = topology;
+    mo.service = so.service;
+    mo.faults = faults;
+    mo.shards = so.shards;
+    mo.sample_interval = so.sample_interval;
+    mo.stream_log = so.stream_log;
+    const sim::MinorityGameRunResult r =
+        sim::run_minority_game(pop.users, cfg.capacity, cfg.delay, mo);
+    std::printf(
+        "scenario: %s  policy=minority  clusters=%zu  rounds=%zu  mean "
+        "attendance=%.2f\n",
+        cfg.name.c_str(), topology.clusters, r.attendance.size(),
+        r.mean_attendance);
+    std::printf("%s", sim::summarize(r.run).c_str());
+    if (!so.stream_log.empty())
+      std::printf("telemetry stream written to %s (view: mec tail %s)\n",
+                  so.stream_log.c_str(), so.stream_log.c_str());
+    return 0;
   }
   const auto replications =
       static_cast<std::size_t>(args.get_long("replications", 1));
