@@ -27,6 +27,11 @@
 //   des_scaling --stream-log=F  after the timed sweep, replays the largest
 //                            case once with windowed telemetry streamed to
 //                            F (untimed, so the BENCH numbers stay pure)
+//   des_scaling --transport=process --workers=W  runs the sweep through the
+//                            forked-worker rank backend instead of in
+//                            process: same results byte for byte, so the
+//                            events/sec delta *is* the wire overhead
+//                            (skips the in-process speedup column)
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -64,6 +69,7 @@ std::vector<mec::core::UserParams> make_users(std::size_t n) {
 struct CaseResult {
   std::size_t n = 0;
   std::size_t shards = 1;
+  std::string transport = "inproc";
   double horizon = 0.0;
   std::uint64_t events = 0;
   double seconds = 0.0;
@@ -71,6 +77,9 @@ struct CaseResult {
 };
 
 CaseResult run_case(std::size_t n, int repetitions, std::size_t shards,
+                    mec::sim::TransportKind transport =
+                        mec::sim::TransportKind::kInProcess,
+                    std::size_t workers = 0,
                     const std::string& stream_log = "") {
   const auto users = make_users(n);
   // Keep total events roughly constant (~3-4M) across N so each case
@@ -83,6 +92,8 @@ CaseResult run_case(std::size_t n, int repetitions, std::size_t shards,
   options.seed = 7;
   options.fixed_gamma = 0.2;
   options.shards = shards;
+  options.transport = transport;
+  options.workers = workers;
   if (!stream_log.empty()) {
     options.stream_log = stream_log;
     options.sample_interval = horizon / 50.0;
@@ -101,6 +112,8 @@ CaseResult run_case(std::size_t n, int repetitions, std::size_t shards,
   CaseResult best;
   best.n = n;
   best.shards = shards == 0 ? 1 : shards;
+  if (transport == mec::sim::TransportKind::kProcess)
+    best.transport = "process";
   best.horizon = horizon;
   for (int rep = 0; rep < repetitions; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -121,6 +134,7 @@ void emit_case(mec::bench::Context& ctx, const CaseResult& c) {
   ctx.emit_bench({
       {"n", mec::io::Json::integer(static_cast<long long>(c.n))},
       {"shards", mec::io::Json::integer(static_cast<long long>(c.shards))},
+      {"transport", mec::io::Json::string(c.transport)},
       {"horizon", mec::io::Json::number(c.horizon)},
       {"events", mec::io::Json::integer(static_cast<long long>(c.events))},
       {"seconds", mec::io::Json::number(c.seconds)},
@@ -158,6 +172,17 @@ int run(mec::bench::Context& ctx) {
   // big box silently sharding the base sweep would change what the bench
   // measures (serial per-event cost) and poison the speedup column.
   const auto shards = static_cast<std::size_t>(ctx.get_long("shards"));
+  // Transport axis: the same sweep through the forked-worker backend puts a
+  // number on the wire overhead (results stay bit-identical; only the
+  // events/sec column moves).
+  const std::string transport_name = ctx.get_string("transport");
+  mec::sim::TransportKind transport = mec::sim::TransportKind::kInProcess;
+  if (transport_name == "process")
+    transport = mec::sim::TransportKind::kProcess;
+  else if (!transport_name.empty() && transport_name != "inproc")
+    throw std::runtime_error("des_scaling: unknown --transport '" +
+                             transport_name + "' (inproc|process)");
+  const auto workers = static_cast<std::size_t>(ctx.get_long("workers"));
 
   std::vector<std::size_t> sizes;
   if (smoke) {
@@ -169,12 +194,13 @@ int run(mec::bench::Context& ctx) {
 
   std::vector<CaseResult> results;
   for (const std::size_t n : sizes) {
-    const CaseResult c = run_case(n, reps, shards);
+    const CaseResult c = run_case(n, reps, shards, transport, workers);
     results.push_back(c);
     emit_case(ctx, c);
   }
 
-  if (!smoke && !ctx.has("shards")) {
+  if (!smoke && !ctx.has("shards") &&
+      transport == mec::sim::TransportKind::kInProcess) {
     // Shard-count axis: the same largest-N run partitioned over K event
     // queues.  Results are bit-identical for every K (asserted here on the
     // event count), so the speedup column is a pure wall-clock comparison.
@@ -196,7 +222,7 @@ int run(mec::bench::Context& ctx) {
   if (!stream_log.empty()) {
     // One untimed replay of the largest case with telemetry on: produces a
     // viewable/CI-checkable artifact without touching the BENCH numbers.
-    run_case(results.back().n, 1, shards, stream_log);
+    run_case(results.back().n, 1, shards, transport, workers, stream_log);
     std::printf("telemetry stream written to %s\n", stream_log.c_str());
   }
 
@@ -221,6 +247,10 @@ int run(mec::bench::Context& ctx) {
        "timed repetitions per case (best kept)"},
       {"shards", mec::bench::FlagKind::kLong, "1",
        "force K shards for the sweep (skips the speedup column)"},
+      {"transport", mec::bench::FlagKind::kString, "inproc",
+       "rank backend: inproc or process (forked workers)"},
+      {"workers", mec::bench::FlagKind::kLong, "0",
+       "worker-process count for --transport=process (0 = default 2)"},
       {"baseline", mec::bench::FlagKind::kPath, "des_scaling_baseline.json",
        "events/sec floor file for --smoke"},
       {"stream-log", mec::bench::FlagKind::kPath, "",

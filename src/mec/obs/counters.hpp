@@ -30,6 +30,12 @@ enum class Counter : std::uint16_t {
   kReplayDeliveries = 8,   ///< cumulative edge deliveries replayed (global)
   kFaultEventsApplied = 9, ///< cumulative fault-schedule actions (global)
   kEventsPerSecond = 10,   ///< events/s over the last leg, all shards (global)
+  // Process-transport diagnostics (per rank; emitted only when the run uses
+  // TransportKind::kProcess — an in-process run has no wire to meter).
+  kRankBarrierWaitSeconds = 11,  ///< coordinator wait for the rank's payload
+  kRankPayloadBytes = 12,        ///< cumulative payload bytes shipped
+  kTransportFramesSent = 13,     ///< frames coordinator -> rank (cumulative)
+  kTransportFramesReceived = 14, ///< frames rank -> coordinator (cumulative)
   kCount
 };
 
@@ -47,6 +53,10 @@ constexpr const char* counter_name(Counter id) noexcept {
     case Counter::kReplayDeliveries: return "replay_deliveries";
     case Counter::kFaultEventsApplied: return "fault_events_applied";
     case Counter::kEventsPerSecond: return "events_per_second";
+    case Counter::kRankBarrierWaitSeconds: return "rank_barrier_wait_seconds";
+    case Counter::kRankPayloadBytes: return "rank_payload_bytes";
+    case Counter::kTransportFramesSent: return "transport_frames_sent";
+    case Counter::kTransportFramesReceived: return "transport_frames_received";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -1,0 +1,106 @@
+// Little-endian byte codec shared by the .meclog run-log frames
+// (obs/run_log.cpp) and the transport barrier-payload frames
+// (parallel/transport.cpp).  The wire format is a contract: every multi-byte
+// field is little-endian on disk and on the pipe, independent of the host,
+// and doubles travel as their IEEE-754 bit pattern (bit_cast, never a
+// narrowing conversion), so encode/decode round-trips are bit-exact across
+// processes and across machines.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mec/common/error.hpp"
+
+namespace mec::obs::wire {
+
+/// Appends little-endian scalars to a growing byte buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::size_t reserve = 0) { bytes_.reserve(reserve); }
+
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void put_u16(std::uint16_t v) {
+    bytes_.push_back(static_cast<std::uint8_t>(v & 0xFFu));
+    bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+  void put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+  void put_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
+  std::size_t size() const noexcept { return bytes_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Reads little-endian scalars from a byte span; throws mec::RuntimeError on
+/// underflow, so a truncated or corrupt payload can never be misparsed into
+/// out-of-range reads.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t get_u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  std::uint16_t get_u16() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        bytes_[pos_] | (static_cast<std::uint16_t>(bytes_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t get_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t get_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+  std::string get_string(std::size_t n) {
+    need(n);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  bool exhausted() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > bytes_.size())
+      throw RuntimeError("run-log payload underflow while decoding");
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mec::obs::wire

@@ -1,8 +1,12 @@
 #include "mec/parallel/shard_executor.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <string>
 #include <thread>
+
+#include "mec/common/error.hpp"
 
 namespace mec::parallel {
 
@@ -25,11 +29,27 @@ std::size_t auto_shard_count(std::size_t n_devices,
 }
 
 std::size_t resolve_shard_count(std::size_t requested,
-                                std::size_t n_devices) noexcept {
+                                std::size_t n_devices) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("MEC_SHARDS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
+    // Eager validation, same policy as the bench runner's flag parsing: a
+    // value that is not a clean in-range integer fails the run immediately
+    // instead of being silently replaced by the autotuning heuristic.
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    // strtol quietly skips leading whitespace and accepts a sign; a shard
+    // count is a bare decimal, so require the string to start with a digit.
+    const bool clean = env[0] >= '0' && env[0] <= '9' && *end == '\0' &&
+                       errno == 0;
+    if (!clean || parsed < 1 ||
+        parsed > static_cast<long>(kMaxEnvShardCount)) {
+      throw RuntimeError("MEC_SHARDS=\"" + std::string(env) +
+                         "\" is not a valid shard count (expected an "
+                         "integer in [1, " +
+                         std::to_string(kMaxEnvShardCount) + "])");
+    }
+    return static_cast<std::size_t>(parsed);
   }
   return auto_shard_count(n_devices, std::thread::hardware_concurrency());
 }

@@ -1,0 +1,707 @@
+#include "mec/parallel/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mec/common/error.hpp"
+#include "mec/obs/run_log.hpp"
+#include "mec/obs/wire.hpp"
+#include "mec/parallel/shard_executor.hpp"
+
+namespace mec::parallel {
+
+namespace wire {
+
+using obs::wire::ByteReader;
+using obs::wire::ByteWriter;
+
+// The wire layout below spells out every field explicitly; these asserts
+// pin the in-memory layouts the format mirrors, so a field added to either
+// struct breaks the build here instead of silently skewing the protocol.
+static_assert(sizeof(sim::OffloadRecord) == 32 &&
+                  offsetof(sim::OffloadRecord, time) == 0 &&
+                  offsetof(sim::OffloadRecord, latency) == 8 &&
+                  offsetof(sim::OffloadRecord, penalty) == 16 &&
+                  offsetof(sim::OffloadRecord, device) == 24 &&
+                  offsetof(sim::OffloadRecord, cluster) == 28 &&
+                  offsetof(sim::OffloadRecord, measured) == 30 &&
+                  offsetof(sim::OffloadRecord, penalized) == 31,
+              "OffloadRecord layout drifted; update the wire codec and "
+              "kOffloadRecordWireSize together");
+static_assert(kOffloadRecordWireSize == 32);
+static_assert(sizeof(DeviceTotals) == 56 &&
+                  offsetof(DeviceTotals, arrivals) == 0 &&
+                  offsetof(DeviceTotals, offloaded) == 8 &&
+                  offsetof(DeviceTotals, local_completed) == 16 &&
+                  offsetof(DeviceTotals, queue_integral) == 24 &&
+                  offsetof(DeviceTotals, local_sojourn_sum) == 32 &&
+                  offsetof(DeviceTotals, offload_delay_sum) == 40 &&
+                  offsetof(DeviceTotals, energy_sum) == 48,
+              "DeviceTotals layout drifted; update the wire codec and "
+              "kDeviceTotalsWireSize together");
+static_assert(kDeviceTotalsWireSize == 56);
+
+std::vector<std::uint8_t> encode_frame(
+    std::uint32_t kind, std::span<const std::uint8_t> payload) {
+  MEC_EXPECTS_MSG(payload.size() <= kMaxTransportPayload,
+                  "transport frame payload exceeds the size cap");
+  ByteWriter w(kFrameOverhead + payload.size());
+  w.put_u32(kind);
+  w.put_u32(static_cast<std::uint32_t>(payload.size()));
+  w.put_bytes(payload.data(), payload.size());
+  w.put_u32(obs::crc32(payload));
+  return w.take();
+}
+
+DecodedFrame decode_frame(std::span<const std::uint8_t> bytes,
+                          std::size_t* consumed) {
+  ByteReader r(bytes);
+  if (bytes.size() < kFrameOverhead)
+    throw RuntimeError("transport frame truncated");
+  DecodedFrame frame;
+  frame.kind = r.get_u32();
+  const std::uint32_t len = r.get_u32();
+  if (len > kMaxTransportPayload)
+    throw RuntimeError("transport frame length exceeds the size cap");
+  if (bytes.size() < kFrameOverhead + len)
+    throw RuntimeError("transport frame truncated");
+  frame.payload.assign(bytes.begin() + 8, bytes.begin() + 8 + len);
+  ByteReader tail(bytes.subspan(8 + len, 4));
+  if (tail.get_u32() != obs::crc32(frame.payload))
+    throw RuntimeError("transport frame CRC mismatch");
+  if (consumed != nullptr) *consumed = kFrameOverhead + len;
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_barrier_request(const BarrierRequest& req) {
+  ByteWriter w(13);
+  w.put_f64(req.limit);
+  w.put_u8(req.inclusive ? 1 : 0);
+  w.put_u8(req.want_q ? 1 : 0);
+  w.put_u8(req.want_q2 ? 1 : 0);
+  w.put_u8(req.want_sketches ? 1 : 0);
+  w.put_u8(req.want_queue_stats ? 1 : 0);
+  return w.take();
+}
+
+BarrierRequest decode_barrier_request(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  BarrierRequest req;
+  req.limit = r.get_f64();
+  req.inclusive = r.get_u8() != 0;
+  req.want_q = r.get_u8() != 0;
+  req.want_q2 = r.get_u8() != 0;
+  req.want_sketches = r.get_u8() != 0;
+  req.want_queue_stats = r.get_u8() != 0;
+  return req;
+}
+
+namespace {
+
+void encode_sketch(ByteWriter& w, const stats::LatencySketch& sketch) {
+  w.put_u64(sketch.count());
+  if (sketch.count() == 0) return;
+  w.put_f64(sketch.min());
+  w.put_f64(sketch.max());
+  const auto bins = sketch.bin_counts();
+  w.put_u32(static_cast<std::uint32_t>(bins.size()));
+  for (const std::uint64_t b : bins) w.put_u64(b);
+}
+
+stats::LatencySketch decode_sketch(ByteReader& r,
+                                   std::vector<std::uint64_t>& bin_scratch) {
+  const std::uint64_t count = r.get_u64();
+  if (count == 0) return stats::LatencySketch{};
+  const double min = r.get_f64();
+  const double max = r.get_f64();
+  const std::uint32_t n_bins = r.get_u32();
+  if (n_bins != stats::LatencySketch::bin_count())
+    throw RuntimeError("transport sketch bin count mismatch");
+  bin_scratch.resize(n_bins);
+  for (std::uint32_t i = 0; i < n_bins; ++i) bin_scratch[i] = r.get_u64();
+  return stats::LatencySketch::restore(count, min, max, bin_scratch);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_barrier_payload(
+    std::span<const ShardBarrierView> views, bool has_q, double total_q,
+    double total_q2) {
+  std::size_t reserve = 16;
+  for (const ShardBarrierView& v : views)
+    reserve += 128 + v.log.size() * kOffloadRecordWireSize +
+               v.cluster_offloads.size() * 8;
+  ByteWriter w(reserve);
+  w.put_u32(static_cast<std::uint32_t>(views.size()));
+  for (const ShardBarrierView& v : views) {
+    w.put_u32(v.shard);
+    w.put_u64(v.events);
+    w.put_u64(v.offloads_in_window);
+    w.put_u64(v.tasks_lost);
+    w.put_u64(v.offloads_rejected);
+    w.put_u64(v.offloads_penalized);
+    w.put_u32(static_cast<std::uint32_t>(v.cluster_offloads.size()));
+    for (const std::uint64_t c : v.cluster_offloads) w.put_u64(c);
+    w.put_u8(v.flipped ? 1 : 0);
+    w.put_u32(static_cast<std::uint32_t>(v.log.size()));
+    for (const sim::OffloadRecord& rec : v.log) {
+      w.put_f64(rec.time);
+      w.put_f64(rec.latency);
+      w.put_f64(rec.penalty);
+      w.put_u32(rec.device);
+      w.put_u16(rec.cluster);
+      w.put_u8(rec.measured ? 1 : 0);
+      w.put_u8(rec.penalized ? 1 : 0);
+    }
+    const bool has_sketches = v.local_sojourns != nullptr;
+    w.put_u8(has_sketches ? 1 : 0);
+    if (has_sketches) {
+      encode_sketch(w, *v.local_sojourns);
+      encode_sketch(w, *v.offload_delays);
+    }
+    w.put_u8(v.has_queue_stats ? 1 : 0);
+    if (v.has_queue_stats) {
+      w.put_f64(v.queue_depth);
+      w.put_f64(v.calendar_gear);
+      w.put_f64(v.gear_switches);
+      w.put_f64(v.calendar_retunes);
+      w.put_f64(v.leg_seconds);
+    }
+  }
+  w.put_u8(has_q ? 1 : 0);
+  if (has_q) {
+    w.put_f64(total_q);
+    w.put_f64(total_q2);
+  }
+  return w.take();
+}
+
+RankBarrierData decode_barrier_payload(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  RankBarrierData data;
+  std::vector<std::uint64_t> bin_scratch;
+  const std::uint32_t n_shards = r.get_u32();
+  data.shards.resize(n_shards);
+  for (RankBarrierData::Shard& s : data.shards) {
+    s.shard = r.get_u32();
+    s.events = r.get_u64();
+    s.offloads_in_window = r.get_u64();
+    s.tasks_lost = r.get_u64();
+    s.offloads_rejected = r.get_u64();
+    s.offloads_penalized = r.get_u64();
+    const std::uint32_t n_clusters = r.get_u32();
+    s.cluster_offloads.resize(n_clusters);
+    for (std::uint32_t k = 0; k < n_clusters; ++k)
+      s.cluster_offloads[k] = r.get_u64();
+    s.flipped = r.get_u8() != 0;
+    const std::uint32_t n_log = r.get_u32();
+    s.log.resize(n_log);
+    for (sim::OffloadRecord& rec : s.log) {
+      rec.time = r.get_f64();
+      rec.latency = r.get_f64();
+      rec.penalty = r.get_f64();
+      rec.device = r.get_u32();
+      rec.cluster = r.get_u16();
+      rec.measured = r.get_u8() != 0;
+      rec.penalized = r.get_u8() != 0;
+    }
+    s.has_sketches = r.get_u8() != 0;
+    if (s.has_sketches) {
+      s.local_sojourns = decode_sketch(r, bin_scratch);
+      s.offload_delays = decode_sketch(r, bin_scratch);
+    }
+    s.has_queue_stats = r.get_u8() != 0;
+    if (s.has_queue_stats) {
+      s.queue_depth = r.get_f64();
+      s.calendar_gear = r.get_f64();
+      s.gear_switches = r.get_f64();
+      s.calendar_retunes = r.get_f64();
+      s.leg_seconds = r.get_f64();
+    }
+  }
+  data.has_q = r.get_u8() != 0;
+  if (data.has_q) {
+    data.total_q = r.get_f64();
+    data.total_q2 = r.get_f64();
+  }
+  if (!r.exhausted())
+    throw RuntimeError("transport barrier payload has trailing bytes");
+  return data;
+}
+
+std::vector<ShardBarrierView> RankBarrierData::views() const {
+  std::vector<ShardBarrierView> out;
+  out.reserve(shards.size());
+  for (const Shard& s : shards) {
+    ShardBarrierView v;
+    v.shard = s.shard;
+    v.log = s.log;
+    v.events = s.events;
+    v.offloads_in_window = s.offloads_in_window;
+    v.tasks_lost = s.tasks_lost;
+    v.offloads_rejected = s.offloads_rejected;
+    v.offloads_penalized = s.offloads_penalized;
+    v.cluster_offloads = s.cluster_offloads;
+    v.flipped = s.flipped;
+    if (s.has_sketches) {
+      v.local_sojourns = &s.local_sojourns;
+      v.offload_delays = &s.offload_delays;
+    }
+    if (s.has_queue_stats) {
+      v.has_queue_stats = true;
+      v.queue_depth = s.queue_depth;
+      v.calendar_gear = s.calendar_gear;
+      v.gear_switches = s.gear_switches;
+      v.calendar_retunes = s.calendar_retunes;
+      v.leg_seconds = s.leg_seconds;
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_thresholds(std::span<const double> values) {
+  ByteWriter w(4 + values.size() * 8);
+  w.put_u32(static_cast<std::uint32_t>(values.size()));
+  for (const double v : values) w.put_f64(v);
+  return w.take();
+}
+
+std::vector<double> decode_thresholds(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  const std::uint32_t count = r.get_u32();
+  std::vector<double> values(count);
+  for (std::uint32_t i = 0; i < count; ++i) values[i] = r.get_f64();
+  return values;
+}
+
+std::vector<std::uint8_t> encode_device_totals(
+    std::uint32_t device_lo, std::uint32_t device_hi,
+    std::span<const DeviceTotals> totals) {
+  MEC_EXPECTS(device_hi - device_lo == totals.size());
+  ByteWriter w(8 + totals.size() * kDeviceTotalsWireSize);
+  w.put_u32(device_lo);
+  w.put_u32(device_hi);
+  for (const DeviceTotals& t : totals) {
+    w.put_u64(t.arrivals);
+    w.put_u64(t.offloaded);
+    w.put_u64(t.local_completed);
+    w.put_f64(t.queue_integral);
+    w.put_f64(t.local_sojourn_sum);
+    w.put_f64(t.offload_delay_sum);
+    w.put_f64(t.energy_sum);
+  }
+  return w.take();
+}
+
+FinalTotals decode_device_totals(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  FinalTotals out;
+  out.device_lo = r.get_u32();
+  out.device_hi = r.get_u32();
+  if (out.device_hi < out.device_lo)
+    throw RuntimeError("transport final-totals device range is inverted");
+  out.totals.resize(out.device_hi - out.device_lo);
+  for (DeviceTotals& t : out.totals) {
+    t.arrivals = r.get_u64();
+    t.offloaded = r.get_u64();
+    t.local_completed = r.get_u64();
+    t.queue_integral = r.get_f64();
+    t.local_sojourn_sum = r.get_f64();
+    t.offload_delay_sum = r.get_f64();
+    t.energy_sum = r.get_f64();
+  }
+  if (!r.exhausted())
+    throw RuntimeError("transport final-totals payload has trailing bytes");
+  return out;
+}
+
+}  // namespace wire
+
+// --- fd plumbing -----------------------------------------------------------
+
+namespace {
+
+void write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw RuntimeError(std::string("transport write failed: ") +
+                         std::strerror(errno));
+    }
+    data += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+}
+
+/// Blocking read of exactly `n` bytes; false on clean EOF at a boundary.
+bool read_all(int fd, std::uint8_t* data, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, data + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw RuntimeError(std::string("transport read failed: ") +
+                         std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      throw RuntimeError("transport peer closed mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+std::uint32_t load_le_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// Reads one complete frame, blocking without timeout (worker side).
+/// Returns false on clean EOF before a frame starts.
+bool read_frame_blocking(int fd, wire::DecodedFrame& out) {
+  std::uint8_t header[8];
+  if (!read_all(fd, header, sizeof header)) return false;
+  out.kind = load_le_u32(header);
+  const std::uint32_t len = load_le_u32(header + 4);
+  if (len > wire::kMaxTransportPayload)
+    throw RuntimeError("transport frame length exceeds the size cap");
+  out.payload.resize(len);
+  if (len > 0 && !read_all(fd, out.payload.data(), len))
+    throw RuntimeError("transport peer closed mid-frame");
+  std::uint8_t crc_bytes[4];
+  if (!read_all(fd, crc_bytes, sizeof crc_bytes))
+    throw RuntimeError("transport peer closed mid-frame");
+  if (load_le_u32(crc_bytes) != obs::crc32(out.payload))
+    throw RuntimeError("transport frame CRC mismatch");
+  return true;
+}
+
+long env_long(const char* name, long fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;
+  return parsed;
+}
+
+}  // namespace
+
+// --- worker loop -----------------------------------------------------------
+
+void serve_worker(RankWorker& worker, std::size_t rank, int fd) {
+  // Robustness-test hooks: crash (hard _exit) or stall (stop heartbeating)
+  // at the given barrier number, on the given rank only.
+  const long crash_rank = env_long("MEC_TEST_WORKER_CRASH_RANK", -1);
+  const long crash_barrier = env_long("MEC_TEST_WORKER_CRASH_BARRIER", 1);
+  const long stall_rank = env_long("MEC_TEST_WORKER_STALL_RANK", -1);
+  const long stall_barrier = env_long("MEC_TEST_WORKER_STALL_BARRIER", 1);
+  long barriers = 0;
+
+  const auto reply = [fd](std::uint32_t kind,
+                          std::span<const std::uint8_t> payload) {
+    const std::vector<std::uint8_t> frame = wire::encode_frame(kind, payload);
+    write_all(fd, frame.data(), frame.size());
+  };
+
+  for (;;) {
+    wire::DecodedFrame frame;
+    if (!read_frame_blocking(fd, frame))
+      throw RuntimeError("transport coordinator closed the channel");
+    switch (frame.kind) {
+      case wire::kFrameAdvance: {
+        const BarrierRequest req = wire::decode_barrier_request(frame.payload);
+        worker.advance(req);
+        ++barriers;
+        if (static_cast<long>(rank) == crash_rank && barriers == crash_barrier)
+          ::_exit(17);
+        if (static_cast<long>(rank) == stall_rank && barriers == stall_barrier)
+          for (;;) ::pause();
+        reply(wire::kFrameBarrier,
+              wire::encode_barrier_payload(worker.views(), req.want_q,
+                                           worker.total_q(),
+                                           worker.total_q2()));
+        break;
+      }
+      case wire::kFrameThresholds:
+        worker.set_thresholds(wire::decode_thresholds(frame.payload));
+        break;
+      case wire::kFrameFinalize: {
+        obs::wire::ByteReader r(frame.payload);
+        worker.finalize(r.get_u8() != 0);
+        const std::uint32_t lo = worker.device_lo();
+        const std::uint32_t hi = worker.device_hi();
+        std::vector<DeviceTotals> totals;
+        totals.reserve(hi - lo);
+        for (std::uint32_t d = lo; d < hi; ++d)
+          totals.push_back(worker.device_totals(d));
+        reply(wire::kFrameFinal, wire::encode_device_totals(lo, hi, totals));
+        return;
+      }
+      default:
+        throw RuntimeError("transport worker received an unknown frame kind " +
+                           std::to_string(frame.kind));
+    }
+  }
+}
+
+// --- coordinator side ------------------------------------------------------
+
+ProcessTransport::ProcessTransport(const Config& config,
+                                   const WorkerFactory& factory)
+    : config_(config) {
+  MEC_EXPECTS(config.workers >= 1 && config.workers <= config.shard_count);
+  timeout_ms_ = env_long("MEC_TRANSPORT_TIMEOUT_MS", 300000);
+  ranks_.resize(config.workers);
+  for (std::size_t r = 0; r < config.workers; ++r) {
+    ranks_[r].shard_lo = config.shard_count * r / config.workers;
+    ranks_[r].shard_hi = config.shard_count * (r + 1) / config.workers;
+  }
+  for (std::size_t r = 0; r < config.workers; ++r) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+      throw RuntimeError(std::string("transport socketpair failed: ") +
+                         std::strerror(errno));
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      throw RuntimeError(std::string("transport fork failed: ") +
+                         std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: keep only this rank's channel, build the worker in place
+      // (everything it needs arrived via copy-on-write), serve, and leave
+      // through _exit so no parent-owned atexit/stream state runs twice.
+      ::close(fds[0]);
+      for (std::size_t q = 0; q < r; ++q) ::close(ranks_[q].fd);
+      int status = 0;
+      try {
+        std::unique_ptr<RankWorker> worker =
+            factory(r, ranks_[r].shard_lo, ranks_[r].shard_hi);
+        serve_worker(*worker, r, fds[1]);
+      } catch (const std::exception& e) {
+        obs::wire::ByteWriter w;
+        const std::string what = e.what();
+        w.put_u32(static_cast<std::uint32_t>(what.size()));
+        w.put_bytes(what.data(), what.size());
+        const std::vector<std::uint8_t> payload = w.take();
+        try {
+          const auto frame = wire::encode_frame(wire::kFrameError, payload);
+          write_all(fds[1], frame.data(), frame.size());
+        } catch (...) {
+        }
+        status = 1;
+      }
+      ::_exit(status);
+    }
+    ranks_[r].fd = fds[0];
+    ranks_[r].pid = pid;
+    ::close(fds[1]);
+  }
+}
+
+ProcessTransport::~ProcessTransport() {
+  for (Rank& rank : ranks_) {
+    if (rank.fd >= 0) ::close(rank.fd);
+    if (rank.pid > 0 && !rank.reaped) {
+      ::kill(static_cast<pid_t>(rank.pid), SIGKILL);
+      int status = 0;
+      ::waitpid(static_cast<pid_t>(rank.pid), &status, 0);
+    }
+  }
+}
+
+void ProcessTransport::send_frame(Rank& rank, std::uint32_t kind,
+                                  std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> frame = wire::encode_frame(kind, payload);
+  write_all(rank.fd, frame.data(), frame.size());
+  ++rank.stats.frames_sent;
+}
+
+void ProcessTransport::fail_rank(Rank& rank, double barrier_time,
+                                 const std::string& what) {
+  const std::size_t index = static_cast<std::size_t>(&rank - ranks_.data());
+  std::string status = "unresponsive, killed";
+  if (rank.pid > 0 && !rank.reaped) {
+    int wstatus = 0;
+    pid_t done = ::waitpid(static_cast<pid_t>(rank.pid), &wstatus, WNOHANG);
+    if (done == 0) {
+      // Still alive (the stall case): put it down so the run fails cleanly
+      // instead of leaking a wedged child.
+      ::kill(static_cast<pid_t>(rank.pid), SIGKILL);
+      done = ::waitpid(static_cast<pid_t>(rank.pid), &wstatus, 0);
+    }
+    if (done == rank.pid) {
+      rank.reaped = true;
+      if (WIFEXITED(wstatus))
+        status = "exit status " + std::to_string(WEXITSTATUS(wstatus));
+      else if (WIFSIGNALED(wstatus) && WTERMSIG(wstatus) != SIGKILL)
+        status = "killed by signal " + std::to_string(WTERMSIG(wstatus));
+    }
+  }
+  std::string msg = "transport worker rank " + std::to_string(index) + " (" +
+                    status + ") " + what + " before the barrier at t=" +
+                    std::to_string(barrier_time) + "; last completed barrier #" +
+                    std::to_string(rank.barriers_done) + " (t=" +
+                    std::to_string(rank.last_barrier_time) + ")";
+  throw RuntimeError(msg);
+}
+
+wire::DecodedFrame ProcessTransport::read_frame(Rank& rank,
+                                                double barrier_time) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms_);
+  std::uint8_t header[8];
+  std::size_t have = 0;
+  std::vector<std::uint8_t> body;  // payload + crc once the header is in
+  std::size_t body_have = 0;
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline)
+      fail_rank(rank, barrier_time,
+                "stopped responding (no payload within " +
+                    std::to_string(timeout_ms_) + " ms)");
+    struct pollfd pfd{rank.fd, POLLIN, 0};
+    const long wait_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             deadline - now)
+                             .count();
+    const int ready = ::poll(&pfd, 1, static_cast<int>(wait_ms) + 1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw RuntimeError(std::string("transport poll failed: ") +
+                         std::strerror(errno));
+    }
+    if (ready == 0) continue;  // deadline check at loop head
+    if (have < sizeof header) {
+      const ssize_t r = ::read(rank.fd, header + have, sizeof header - have);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        throw RuntimeError(std::string("transport read failed: ") +
+                           std::strerror(errno));
+      }
+      if (r == 0) fail_rank(rank, barrier_time, "exited unexpectedly");
+      have += static_cast<std::size_t>(r);
+      if (have == sizeof header) {
+        const std::uint32_t len = load_le_u32(header + 4);
+        if (len > wire::kMaxTransportPayload)
+          throw RuntimeError("transport frame length exceeds the size cap");
+        body.resize(static_cast<std::size_t>(len) + 4);
+      }
+      continue;
+    }
+    const ssize_t r =
+        ::read(rank.fd, body.data() + body_have, body.size() - body_have);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw RuntimeError(std::string("transport read failed: ") +
+                         std::strerror(errno));
+    }
+    if (r == 0) fail_rank(rank, barrier_time, "exited unexpectedly");
+    body_have += static_cast<std::size_t>(r);
+    if (body_have == body.size()) break;
+  }
+  wire::DecodedFrame frame;
+  frame.kind = load_le_u32(header);
+  frame.payload.assign(body.begin(), body.end() - 4);
+  if (load_le_u32(body.data() + body.size() - 4) != obs::crc32(frame.payload))
+    throw RuntimeError("transport frame CRC mismatch");
+  ++rank.stats.frames_received;
+  rank.stats.payload_bytes += frame.payload.size();
+  if (frame.kind == wire::kFrameError) {
+    obs::wire::ByteReader r(frame.payload);
+    const std::uint32_t n = r.get_u32();
+    fail_rank(rank, barrier_time, "failed: " + r.get_string(n));
+  }
+  return frame;
+}
+
+std::span<const ShardBarrierView> ProcessTransport::advance(
+    const BarrierRequest& request) {
+  const std::vector<std::uint8_t> payload =
+      wire::encode_barrier_request(request);
+  for (Rank& rank : ranks_)
+    send_frame(rank, wire::kFrameAdvance, payload);
+  for (Rank& rank : ranks_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    wire::DecodedFrame frame = read_frame(rank, request.limit);
+    rank.stats.barrier_wait_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (frame.kind != wire::kFrameBarrier)
+      fail_rank(rank, request.limit,
+                "sent an unexpected frame kind " + std::to_string(frame.kind));
+    rank.data = wire::decode_barrier_payload(frame.payload);
+    ++rank.barriers_done;
+    rank.last_barrier_time = request.limit;
+  }
+  views_.clear();
+  total_q_ = 0.0;
+  total_q2_ = 0.0;
+  for (Rank& rank : ranks_) {
+    for (const ShardBarrierView& v : rank.data.views()) views_.push_back(v);
+    if (rank.data.has_q) {
+      total_q_ += rank.data.total_q;
+      total_q2_ += rank.data.total_q2;
+    }
+  }
+  return views_;
+}
+
+void ProcessTransport::broadcast_thresholds(std::span<const double> values) {
+  const std::vector<std::uint8_t> payload = wire::encode_thresholds(values);
+  for (Rank& rank : ranks_) send_frame(rank, wire::kFrameThresholds, payload);
+}
+
+void ProcessTransport::finalize(bool flipped) {
+  obs::wire::ByteWriter w(1);
+  w.put_u8(flipped ? 1 : 0);
+  const std::vector<std::uint8_t> payload = w.take();
+  for (Rank& rank : ranks_) send_frame(rank, wire::kFrameFinalize, payload);
+  totals_.assign(config_.n_devices, DeviceTotals{});
+  const double t_mark = -1.0;  // finalize has no barrier time
+  for (Rank& rank : ranks_) {
+    wire::DecodedFrame frame = read_frame(rank, t_mark);
+    if (frame.kind != wire::kFrameFinal)
+      fail_rank(rank, t_mark,
+                "sent an unexpected frame kind " + std::to_string(frame.kind));
+    wire::FinalTotals fin = wire::decode_device_totals(frame.payload);
+    if (fin.device_hi > config_.n_devices)
+      throw RuntimeError("transport final totals exceed the device range");
+    for (std::uint32_t d = fin.device_lo; d < fin.device_hi; ++d)
+      totals_[d] = fin.totals[d - fin.device_lo];
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(rank.pid), &status, 0);
+    rank.reaped = true;
+    ::close(rank.fd);
+    rank.fd = -1;
+  }
+}
+
+DeviceTotals ProcessTransport::device_totals(std::uint32_t device) const {
+  MEC_EXPECTS(device < totals_.size());
+  return totals_[device];
+}
+
+RankStats ProcessTransport::rank_stats(std::size_t rank) const {
+  MEC_EXPECTS(rank < ranks_.size());
+  return ranks_[rank].stats;
+}
+
+}  // namespace mec::parallel

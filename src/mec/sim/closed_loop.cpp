@@ -63,6 +63,8 @@ ClosedLoopResult run_closed_loop(std::span<const core::UserParams> users,
   sim_options.epoch_period = options.update_period;
   sim_options.faults = options.faults;
   sim_options.shards = options.shards;
+  sim_options.transport = options.transport;
+  sim_options.workers = options.workers;
   sim_options.topology = options.topology;
   sim_options.sample_interval = options.sample_interval;
   sim_options.stream_log = options.stream_log;

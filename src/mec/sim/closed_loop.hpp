@@ -53,6 +53,11 @@ struct ClosedLoopOptions {
   /// MEC_SHARDS, else autotuned).  Thresholds mutate only at epoch
   /// barriers, so the closed loop is bit-identical for every shard count.
   std::size_t shards = 0;
+  /// Transport + worker count forwarded to SimulationOptions.  The loop's
+  /// MutableTroPolicy thresholds are TRO by construction, so the process
+  /// transport's mirrored-threshold requirement always holds here.
+  TransportKind transport = TransportKind::kInProcess;
+  std::size_t workers = 0;
   /// Edge cluster topology forwarded to the simulator.  Algorithm 1 keeps
   /// broadcasting the scalar aggregate utilization; the per-cluster gamma
   /// trajectories still land in the telemetry stream.

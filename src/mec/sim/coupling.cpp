@@ -15,7 +15,7 @@ double GammaReplay::clamped_gamma(double rate, std::size_t cluster) const {
 
 void GammaReplay::consume(
     std::span<const std::span<const OffloadRecord>> logs,
-    DeviceState* devices, stats::LatencySketch& offload_delays) {
+    double* offload_delay_sums, stats::LatencySketch& offload_delays) {
   cursors_.assign(logs.size(), 0);
   for (;;) {
     // K-way merge head: earliest record, lowest shard first at exact ties.
@@ -49,7 +49,7 @@ void GammaReplay::consume(
       if (delivery >= warmup_) flip_trigger_ = true;
     }
     if (r.measured) {
-      devices[r.device].offload_delay_sum += r.latency + delay_value;
+      offload_delay_sums[r.device] += r.latency + delay_value;
       offload_delays.add(r.latency + delay_value);
     }
   }

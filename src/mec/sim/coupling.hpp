@@ -157,8 +157,16 @@ class GammaReplay {
   /// environment walk, applies g(gamma) (+ the outage penalty), touches the
   /// EWMA, accumulates the measured per-device offload-delay sums and the
   /// delay sketch, and counts edge deliveries landing inside the horizon.
+  ///
+  /// `offload_delay_sums` is an n_devices array owned by the coordinator,
+  /// not the DeviceState field: the replay runs in the coordinator while
+  /// device states may live in worker processes, and the two accumulations
+  /// never mix — a tracked-gamma run leaves every DeviceState's
+  /// offload_delay_sum at 0.0, so the final per-device delay is exactly one
+  /// of the two sources.
   void consume(std::span<const std::span<const OffloadRecord>> logs,
-               DeviceState* devices, stats::LatencySketch& offload_delays);
+               double* offload_delay_sums,
+               stats::LatencySketch& offload_delays);
 
   /// Utilization estimate at a grid instant (left limit: environment
   /// actions at exactly `at` are not yet applied).  Mutates the EWMA decay

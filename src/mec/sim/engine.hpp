@@ -5,46 +5,44 @@
 //   edge coupling  (coupling.hpp)      EWMA gamma + g(gamma) replay
 //   fault plan     (fault/fault_plan.hpp) resolved schedule + shard views
 //   observers      (observer.hpp)      grid barriers + metrics sinks
-//   shard executor (parallel/shard_executor.hpp) per-shard run state
+//   leg runner     (leg_runner.hpp)    per-rank event loop + RankWorker
+//   transport      (parallel/transport.hpp) rank <-> coordinator seam
+//   coordinator    (coordinator.hpp)   serial barrier work + result assembly
 //
 // One run executes as alternating phases: parallel *legs*, where every
-// shard drains its own event queue up to the next observation-grid barrier,
-// and serial *barrier work*, where the gamma replay catches up on the
-// merged offload log, samples are recorded, and epoch callbacks fire (the
-// closed loop retunes thresholds only here, so shard legs always see a
-// frozen policy).  Results are bit-identical for every shard count —
-// including K = 1, which is the only serial path; there is no separate
-// monolithic engine left to diverge from.  The golden-trace suite pins
-// this equivalence against the pre-shard engine's exact output.
+// rank advances its owned shards to the next observation-grid barrier,
+// and serial *barrier work*, where the coordinator replays the merged
+// offload log, records samples, and fires epoch callbacks (the closed
+// loop retunes thresholds only here, so shard legs always see a frozen
+// policy).  run_sharded only assembles the pieces: it prepares the
+// workspace, picks the transport, and hands the rank fleet to
+// coordinator_run.  Results are bit-identical for every shard count and
+// every transport — including K = 1 in-process, which is the only serial
+// path; there is no separate monolithic engine left to diverge from.  The
+// golden-trace suite pins this equivalence against the pre-shard engine's
+// exact output, and tests/test_transport.cpp pins in-process == process.
 //
 // This header is internal to mec_simulation.cpp: the templates here are
 // instantiated once per (fault mode x decision provider) pair in that TU.
 #pragma once
 
 #include <algorithm>
-#include <chrono>
 #include <cstdint>
 #include <memory>
-#include <optional>
-#include <span>
 #include <string>
 #include <vector>
 
 #include "mec/common/error.hpp"
-#include "mec/common/instrument.hpp"
-#include "mec/common/prefetch.hpp"
 #include "mec/fault/fault_plan.hpp"
-#include "mec/obs/counters.hpp"
-#include "mec/obs/stream.hpp"
 #include "mec/parallel/shard_executor.hpp"
 #include "mec/parallel/thread_pool.hpp"
+#include "mec/parallel/transport.hpp"
+#include "mec/sim/coordinator.hpp"
 #include "mec/sim/coupling.hpp"
-#include "mec/sim/des.hpp"
 #include "mec/sim/device_state.hpp"
+#include "mec/sim/leg_runner.hpp"
 #include "mec/sim/mec_simulation.hpp"
-#include "mec/sim/observer.hpp"
 #include "mec/sim/policy_dispatch.hpp"
-#include "mec/stats/latency_sketch.hpp"
 
 namespace mec::sim {
 
@@ -53,7 +51,6 @@ struct SimWorkspace::Impl {
   std::vector<DeviceState> devices;
   std::vector<const double*> threshold_ptrs;  ///< scratch for TroPointerDecide
   std::vector<parallel::ShardContext> shards;
-  std::vector<std::span<const OffloadRecord>> log_spans;  ///< replay scratch
   std::unique_ptr<parallel::ThreadPool> pool;  ///< lazily built when K > 1
 
   /// Post-split per-device RNG snapshot, keyed by (seed, population size).
@@ -75,320 +72,8 @@ struct SimWorkspace::Impl {
 
 namespace engine {
 
-/// Immutable per-run parameters shared by every shard leg.
-template <class Decide>
-struct LegContext {
-  const core::UserParams* users;
-  DeviceState* devices;
-  random::Xoshiro256* rngs;
-  const Decide* decide;
-  const ServiceSampler* service;
-  const LatencySampler* latency;
-  double warmup;
-  double t_end;
-  std::uint32_t n_devices;
-  std::uint32_t clusters;  ///< topology cluster count (1 = scalar gamma)
-  bool has_fixed_gamma;
-  double fixed_delay;  ///< g(fixed_gamma), hoisted off the offload path
-};
-
-/// Applies one resolved fault action inside a shard leg.  Views contain
-/// only outage toggles and *effective* membership actions for this shard's
-/// range, so no state checks are needed here — the plan already made them.
-template <class Decide>
-void apply_shard_fault(parallel::ShardContext& sc,
-                       const LegContext<Decide>& lc,
-                       const fault::ResolvedAction& a, double now) {
-  switch (a.kind) {
-    case fault::FaultKind::kOutageBegin:
-      sc.outage = true;
-      sc.outage_mode = a.outage_mode;
-      sc.outage_penalty = a.value;
-      break;
-    case fault::FaultKind::kOutageEnd:
-      sc.outage = false;
-      break;
-    case fault::FaultKind::kDeviceCrash:
-    case fault::FaultKind::kUserDeparture: {
-      DeviceState& victim = lc.devices[a.device];
-      victim.integrate_to(now);
-      if (sc.measuring) sc.tasks_lost += victim.local_queue.size();
-      victim.local_queue.clear();
-      sc.arrival_seq[a.device - sc.lo] = parallel::ShardContext::kNoEvent;
-      sc.departure_seq[a.device - sc.lo] = parallel::ShardContext::kNoEvent;
-      break;
-    }
-    case fault::FaultKind::kDeviceRestart:
-      sc.arrival_seq[a.device - sc.lo] = sc.queue.scheduled_count();
-      sc.queue.push(now + random::exponential(lc.rngs[a.device],
-                                              lc.users[a.device].arrival_rate),
-                    EventKind::kArrival, a.device);
-      break;
-    case fault::FaultKind::kUserArrival:
-      // The device's measurement clock starts at its join, not at 0.
-      lc.devices[a.device].last_change = now;
-      sc.arrival_seq[a.device - sc.lo] = sc.queue.scheduled_count();
-      sc.queue.push(now + random::exponential(lc.rngs[a.device],
-                                              lc.users[a.device].arrival_rate),
-                    EventKind::kArrival, a.device);
-      break;
-    case fault::FaultKind::kCapacityScale:
-      break;  // central-only; never enters a shard view
-  }
-}
-
-/// One shard leg: drains the shard's queue up to `limit` (exclusive at
-/// barriers, inclusive for the final leg to t_end).  This is the hot loop,
-/// instantiated per decision provider so the arrival decision inlines, and
-/// per fault mode so fault-free runs fold every fault branch away.
-template <bool WithFaults, class Decide>
-void run_leg(parallel::ShardContext& sc, const LegContext<Decide>& lc,
-             double limit, bool inclusive) {
-  EventQueue& queue = sc.queue;
-  while (!queue.empty()) {
-    {
-      const double t = queue.next_time();
-      if (t > lc.t_end) return;
-      if (inclusive ? t > limit : t >= limit) return;
-    }
-    const Event e = queue.pop();
-    if (!queue.empty()) {
-      // The next pending event is (usually) the next one processed; start
-      // pulling the state it will touch while this event is handled.  A
-      // pending kFault's `device` is a view index, so it must not index
-      // the device arrays (prefetching a wrong-but-valid slot is harmless;
-      // forming an out-of-range pointer is not).
-      const std::uint32_t upcoming = queue.next_device();
-      if (!WithFaults || upcoming < lc.n_devices) {
-        const char* dev_lines =
-            reinterpret_cast<const char*>(&lc.devices[upcoming]);
-        MEC_PREFETCH(dev_lines);
-        MEC_PREFETCH(dev_lines + 64);
-        MEC_PREFETCH(&lc.rngs[upcoming]);
-        MEC_PREFETCH(&lc.users[upcoming]);
-      }
-    }
-    const double now = e.time;
-    if (!sc.measuring && now >= lc.warmup) {
-      // First pop at or past the warm-up boundary opens this shard's
-      // measurement window.  Resetting only the owned range is equivalent
-      // to the single-queue engine's global reset: devices of other shards
-      // had no events since the global first-crossing either, and the
-      // reset value depends only on `warmup`.
-      sc.measuring = true;
-      sc.flipped = true;
-      for (std::uint32_t d = sc.lo; d < sc.hi; ++d)
-        lc.devices[d].reset_measurements(lc.warmup);
-    }
-
-    if constexpr (WithFaults) {
-      if (e.kind == EventKind::kFault) {
-        // No ++sc.events here: outage toggles sit in every shard's view, so
-        // fault pops are counted centrally, once per schedule action.
-        apply_shard_fault(sc, lc, sc.view[e.device], now);
-        continue;
-      }
-    }
-    ++sc.events;
-
-    DeviceState& dev = lc.devices[e.device];
-    random::Xoshiro256& rng = lc.rngs[e.device];
-    const core::UserParams& u = lc.users[e.device];
-
-    switch (e.kind) {
-      case EventKind::kArrival: {
-        if constexpr (WithFaults) {
-          // A stale arrival chain (pre-crash or pre-departure) is skipped
-          // without consuming RNG draws; the live chain — if the device is
-          // alive — has a matching sequence number by construction.
-          if (e.seq != sc.arrival_seq[e.device - sc.lo]) break;
-        }
-        dev.integrate_to(now);
-        if (sc.measuring) ++dev.arrivals;
-        bool offload = (*lc.decide)(e.device, dev.local_queue.size(), rng);
-        if constexpr (WithFaults) {
-          // Outage check sits *after* the decision so the Bernoulli draw at
-          // the boundary state is consumed either way (RNG alignment).
-          if (offload && sc.outage &&
-              sc.outage_mode == fault::OutageMode::kReject) {
-            offload = false;
-            if (sc.measuring) ++sc.offloads_rejected;
-          }
-        }
-        if (offload) {
-          // Static routing: device d feeds cluster d mod K.  The branch
-          // keeps the 1-cluster fast path free of the modulo.
-          const std::uint16_t cluster =
-              lc.clusters > 1
-                  ? static_cast<std::uint16_t>(e.device % lc.clusters)
-                  : std::uint16_t{0};
-          double penalty = 0.0;
-          bool penalized = false;
-          if constexpr (WithFaults) {
-            if (sc.outage && sc.outage_mode == fault::OutageMode::kPenalty) {
-              penalty = sc.outage_penalty;
-              penalized = true;
-              if (sc.measuring) ++sc.offloads_penalized;
-            }
-          }
-          const double latency = (*lc.latency)(rng, u);
-          if (lc.has_fixed_gamma) {
-            // Pinned gamma: the edge delay is shard-local, so the delivery
-            // event and all offload metrics complete right here.
-            double delay_value = lc.fixed_delay;
-            if (penalized) delay_value += penalty;
-            if (sc.measuring) {
-              ++dev.offloaded;
-              ++sc.offloads_in_window;
-              ++sc.cluster_offloads[cluster];
-              dev.offload_delay_sum += latency + delay_value;
-              dev.energy_sum += u.energy_offload;
-              sc.offload_delays.add(latency + delay_value);
-            }
-            queue.push(now + latency + delay_value,
-                       EventKind::kOffloadDelivery, e.device);
-          } else {
-            // Tracked gamma: everything g(gamma)-dependent (edge delay,
-            // delivery time, delay metrics) is deferred to the central
-            // replay; the gamma-free parts stay shard-local.
-            sc.log.push_back(OffloadRecord{now, latency, penalty, e.device,
-                                           cluster, sc.measuring, penalized});
-            if (sc.measuring) {
-              ++dev.offloaded;
-              ++sc.offloads_in_window;
-              ++sc.cluster_offloads[cluster];
-              dev.energy_sum += u.energy_offload;
-            }
-          }
-        } else {
-          dev.local_queue.push_back(now);
-          if (sc.measuring) dev.energy_sum += u.energy_local;
-          if (dev.local_queue.size() == 1) {  // idle server: start service
-            if constexpr (WithFaults)
-              sc.departure_seq[e.device - sc.lo] = queue.scheduled_count();
-            queue.push(now + (*lc.service)(rng, u),
-                       EventKind::kLocalDeparture, e.device);
-          }
-        }
-        if constexpr (WithFaults)
-          sc.arrival_seq[e.device - sc.lo] = queue.scheduled_count();
-        queue.push(now + random::exponential(rng, u.arrival_rate),
-                   EventKind::kArrival, e.device);
-        break;
-      }
-      case EventKind::kLocalDeparture: {
-        if constexpr (WithFaults) {
-          if (e.seq != sc.departure_seq[e.device - sc.lo]) break;  // stale
-        }
-        dev.integrate_to(now);
-        MEC_ASSERT(!dev.local_queue.empty());
-        const double arrived_at = dev.local_queue.front();
-        dev.local_queue.pop_front();
-        if (sc.measuring) {
-          ++dev.local_completed;
-          // Sojourn clipped to the window start for tasks arriving in
-          // warm-up: only the portion spent inside the measurement window
-          // counts, so a long transient backlog cannot leak into the
-          // steady-state mean.
-          const double sojourn = now - std::max(arrived_at, lc.warmup);
-          dev.local_sojourn_sum += sojourn;
-          sc.local_sojourns.add(sojourn);
-        }
-        if (!dev.local_queue.empty()) {
-          if constexpr (WithFaults)
-            sc.departure_seq[e.device - sc.lo] = queue.scheduled_count();
-          queue.push(now + (*lc.service)(rng, u),
-                     EventKind::kLocalDeparture, e.device);
-        } else {
-          if constexpr (WithFaults)
-            sc.departure_seq[e.device - sc.lo] =
-                parallel::ShardContext::kNoEvent;
-        }
-        break;
-      }
-      case EventKind::kOffloadDelivery:
-        // Task completed at the edge; all accounting happened at decision
-        // time (fixed-gamma mode only — tracked-gamma deliveries are
-        // counted by the replay).
-        break;
-      case EventKind::kFault:
-        // Handled (and `continue`d) before the device references above.
-        MEC_ASSERT(WithFaults);
-        break;
-    }
-  }
-}
-
-/// Builds a shard's fault view and seeds its queue: view actions first (at
-/// equal times the environment change applies before any task event —
-/// lower sequence number), then the initial arrivals of the owned range in
-/// device order (matching the global RNG-consumption order per device).
-template <bool WithFaults>
-void init_shard(parallel::ShardContext& sc,
-                const std::vector<core::UserParams>& users,
-                std::uint32_t n_initial, std::vector<random::Xoshiro256>& rngs,
-                std::span<const fault::ResolvedAction> plan_actions) {
-  if constexpr (WithFaults) {
-    for (const fault::ResolvedAction& a : plan_actions) {
-      const bool outage_toggle = a.kind == fault::FaultKind::kOutageBegin ||
-                                 a.kind == fault::FaultKind::kOutageEnd;
-      const bool owned_membership =
-          a.effective && a.device != fault::ResolvedAction::kNoDevice &&
-          a.device >= sc.lo && a.device < sc.hi;
-      if (outage_toggle || owned_membership) sc.view.push_back(a);
-    }
-    for (std::uint32_t i = 0;
-         i < static_cast<std::uint32_t>(sc.view.size()); ++i)
-      sc.queue.push(sc.view[i].time, EventKind::kFault, i);
-    sc.arrival_seq.assign(sc.hi - sc.lo, parallel::ShardContext::kNoEvent);
-    sc.departure_seq.assign(sc.hi - sc.lo, parallel::ShardContext::kNoEvent);
-  }
-  for (std::uint32_t d = sc.lo; d < sc.hi && d < n_initial; ++d) {
-    if constexpr (WithFaults)
-      sc.arrival_seq[d - sc.lo] = sc.queue.scheduled_count();
-    sc.queue.push(random::exponential(rngs[d], users[d].arrival_rate),
-                  EventKind::kArrival, d);
-  }
-}
-
-/// Self-describing meta frame for a run's stream log: scenario shape,
-/// cadences, gamma mode, and the counter catalogue.  Values here describe
-/// the run, so they are identical for every shard count except `shards`
-/// itself; determinism tests compare window frames, not metadata.
-inline obs::RunLogMeta make_stream_meta(const SimulationOptions& options,
-                                        std::uint32_t n_devices,
-                                        std::uint32_t n_initial,
-                                        double capacity, bool with_faults,
-                                        std::size_t shard_count) {
-  obs::RunLogMeta meta;
-  meta.emplace_back("n_devices", std::to_string(n_devices));
-  meta.emplace_back("n_initial", std::to_string(n_initial));
-  meta.emplace_back("capacity", obs::meta_double(capacity));
-  meta.emplace_back("clusters", std::to_string(options.topology.clusters));
-  meta.emplace_back("seed", std::to_string(options.seed));
-  meta.emplace_back("warmup", obs::meta_double(options.warmup));
-  meta.emplace_back("horizon", obs::meta_double(options.horizon));
-  meta.emplace_back("window", obs::meta_double(options.sample_interval));
-  meta.emplace_back("epoch_period", obs::meta_double(options.epoch_period));
-  meta.emplace_back("gamma",
-                    options.fixed_gamma.has_value()
-                        ? "fixed=" + obs::meta_double(*options.fixed_gamma)
-                        : std::string("tracked"));
-  meta.emplace_back("shards", std::to_string(shard_count));
-  meta.emplace_back("faults", with_faults ? "1" : "0");
-  std::string catalogue;
-  for (std::uint16_t id = 0; id < obs::kCounterCount; ++id) {
-    if (!catalogue.empty()) catalogue += ';';
-    catalogue += std::to_string(id) + "=" +
-                 obs::counter_name(static_cast<obs::Counter>(id));
-  }
-  meta.emplace_back("counters", catalogue);
-  return meta;
-}
-
-/// One full simulation run: shard setup, barrier-stepped legs, replay,
-/// observation, and the final serial aggregation (which loops devices in
-/// index order, so population means are bit-identical for every K).
+/// One full simulation run: workspace/shard setup, transport selection, and
+/// the coordinator's barrier-stepped loop.
 template <bool WithFaults, class Decide>
 SimulationResult run_sharded(const std::vector<core::UserParams>& users,
                              std::size_t n_initial_devices, double capacity,
@@ -437,432 +122,87 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
     sc.cluster_offloads.assign(n_clusters, 0);
     init_shard<WithFaults>(sc, users, n_initial, ws.rngs, plan.actions);
   }
+
+  CoordinatorContext cc;
+  cc.users = users.data();
+  cc.options = &options;
+  cc.delay = &delay;
+  cc.plan = &plan;
+  cc.threshold_of = [&decide](std::uint32_t d) {
+    return decide.threshold_value(d);
+  };
+  cc.n_devices = n_devices;
+  cc.n_initial = n_initial;
+  cc.n_clusters = n_clusters;
+  cc.capacity = capacity;
+  cc.edge_capacity = edge_capacity;
+  cc.t_end = t_end;
+  cc.with_faults = WithFaults;
+  cc.measuring_from_start = measuring_from_start;
+  cc.shard_count = shard_count;
+
+  if (options.transport == TransportKind::kProcess) {
+    // Worker processes decide over a mirrored threshold vector, refreshed
+    // by the post-epoch broadcast, so the decision provider must expose a
+    // per-device TRO threshold.  Checked before forking anything.
+    std::vector<double> mirror(n_devices);
+    for (std::uint32_t d = 0; d < n_devices; ++d) {
+      mirror[d] = decide.threshold_value(d);
+      if (mirror[d] < 0.0)
+        throw RuntimeError(
+            "transport=process requires per-device TRO thresholds, but the "
+            "policy for device " +
+            std::to_string(d) +
+            " has none (virtual non-TRO policies cannot cross a process "
+            "boundary)");
+    }
+    // The pool must not cross fork() (its worker threads would not exist in
+    // the children); each rank builds its own pool for its slice.
+    ws.pool.reset();
+    const std::size_t workers = std::min<std::size_t>(
+        options.workers == 0 ? 2 : options.workers, shard_count);
+    const LegContext<TroValueDecide> wlc{users.data(),     ws.devices.data(),
+                                         ws.rngs.data(),   nullptr,
+                                         &options.service, &options.latency,
+                                         options.warmup,   t_end,
+                                         n_devices,        n_clusters,
+                                         has_fixed_gamma,  fixed_delay};
+    parallel::ProcessTransport::Config cfg;
+    cfg.shard_count = shard_count;
+    cfg.workers = workers;
+    cfg.n_devices = n_devices;
+    // The factory runs inside each forked child: the workspace — shards
+    // already initialized above — and the mirror are inherited
+    // copy-on-write, so nothing is serialized at startup.
+    parallel::ProcessTransport transport(
+        cfg,
+        [&](std::size_t, std::size_t shard_lo,
+            std::size_t shard_hi) -> std::unique_ptr<parallel::RankWorker> {
+          return std::make_unique<LegRunner<WithFaults, TroValueDecide>>(
+              ws, TroValueDecide{mirror.data()}, wlc, shard_lo, shard_hi,
+              nullptr, &mirror);
+        });
+    return coordinator_run(cc, transport);
+  }
+
   if (shard_count > 1) {
     const std::size_t lanes =
         std::min(shard_count, parallel::resolve_thread_count(0));
     if (!ws.pool || ws.pool->thread_count() != lanes)
       ws.pool = std::make_unique<parallel::ThreadPool>(lanes);
   }
-
-  // Streaming telemetry (src/mec/obs/): a StreamingSink folds each sample
-  // instant into one window frame at the barrier.  Everything here runs at
-  // barrier cadence only — a run without a stream log takes none of these
-  // branches inside the legs themselves.
-  std::unique_ptr<obs::StreamingSink> stream;
-  std::vector<std::uint32_t> thresh_hist;    ///< per-window scratch
-  std::vector<double> leg_seconds;           ///< per-shard wall time
-  std::vector<obs::CounterValue> counter_scratch;
-  if (!options.stream_log.empty()) {
-    stream = std::make_unique<obs::StreamingSink>(
-        options.stream_log,
-        make_stream_meta(options, n_devices, n_initial, capacity, WithFaults,
-                         shard_count),
-        options.stream_counters && obs_counters_compiled());
-    thresh_hist.assign(obs::kThresholdBins, 0);
-  }
-  const bool counters_on = stream != nullptr && stream->counters_enabled();
-  if (counters_on) leg_seconds.assign(shard_count, 0.0);
-
-  const LegContext<Decide> lc{users.data(),   ws.devices.data(),
-                              ws.rngs.data(), &decide,
+  const LegContext<Decide> lc{users.data(),     ws.devices.data(),
+                              ws.rngs.data(),   &decide,
                               &options.service, &options.latency,
-                              options.warmup, t_end,
-                              n_devices,      n_clusters,
-                              has_fixed_gamma, fixed_delay};
-  const auto run_one = [&](std::size_t s, double limit, bool inclusive) {
-    if (counters_on) {
-      const auto t0 = std::chrono::steady_clock::now();
-      run_leg<WithFaults>(ws.shards[s], lc, limit, inclusive);
-      leg_seconds[s] =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
-    } else {
-      run_leg<WithFaults>(ws.shards[s], lc, limit, inclusive);
-    }
-  };
-  const auto run_legs = [&](double limit, bool inclusive) {
-    if (shard_count == 1) {
-      run_one(0, limit, inclusive);
-    } else {
-      ws.pool->parallel_for_each(shard_count, [&](std::size_t s) {
-        run_one(s, limit, inclusive);
-      });
-    }
-  };
-
-  std::optional<GammaReplay> replay;
-  if (!has_fixed_gamma)
-    replay.emplace(delay, options.utilization_ewma_tau, options.initial_gamma,
-                   edge_capacity, options.warmup, t_end, n_initial,
-                   plan.actions, options.topology);
-  // Per-cluster gamma reads, shared by the window frames and the
-  // on_cluster_epoch hook.  Quasi-stationary runs replicate the pinned
-  // value; tracked runs read the replay's per-cluster EWMA bank.
-  std::vector<double> fixed_cluster_gammas;
-  if (has_fixed_gamma)
-    fixed_cluster_gammas.assign(n_clusters, *options.fixed_gamma);
-  const auto cluster_gammas_at = [&](double at) -> std::span<const double> {
-    if (has_fixed_gamma) return fixed_cluster_gammas;
-    return replay->cluster_gammas(at);
-  };
-  std::vector<std::uint64_t> cluster_off_scratch;  ///< per-window sums
-  stats::LatencySketch local_sojourns;
-  stats::LatencySketch offload_delays;
-  // Feeds the leg's offload logs — fully drained, they cover exactly the
-  // records before the current barrier — through the replay, then frees
-  // them for the next leg.
-  std::uint64_t replay_backlog = 0;  ///< records drained since last counters
-  const auto drain_logs = [&]() {
-    if (has_fixed_gamma) return;
-    ws.log_spans.clear();
-    for (parallel::ShardContext& sc : ws.shards) {
-      ws.log_spans.emplace_back(sc.log.data(), sc.log.size());
-      replay_backlog += sc.log.size();
-    }
-    replay->consume(ws.log_spans, ws.devices.data(), offload_delays);
-    for (parallel::ShardContext& sc : ws.shards) sc.log.clear();
-  };
-
-  // Environment cursor for sample reads in fixed-gamma mode (the replay
-  // carries its own in tracked mode).
-  fault::EnvWalk sample_walk;
-  sample_walk.actions = plan.actions;
-  sample_walk.active = n_initial;
-
-  TimelineRecorder recorder;
-  // Cursor over the resolved fault plan (time-sorted): actions strictly
-  // before a barrier have all been popped by the exclusive legs, so the
-  // count is exact — and K-invariant — at every barrier.
-  [[maybe_unused]] std::size_t fault_cursor = 0;
-  // Per-window cumulative sketch snapshots (merged in shard order; the
-  // log-binned merge is order-invariant and exact, so the snapshot equals
-  // what a single queue would have accumulated so far).
-  stats::LatencySketch window_sojourns;
-  stats::LatencySketch window_offload_delays;
-  std::uint64_t counter_prev_events = 0;
-  const ObservationGrid grid(options.sample_interval, options.epoch_period,
-                             t_end);
-  for (const GridInstant& g : grid.instants()) {
-    run_legs(g.time, /*inclusive=*/false);
-    drain_logs();
-    if (g.sample) {
-      TimelinePoint p;
-      p.time = g.time;
-      double scale = 1.0;
-      std::uint64_t active = n_devices;
-      if (has_fixed_gamma) {
-        p.utilization_estimate = *options.fixed_gamma;
-        if constexpr (WithFaults) {
-          sample_walk.advance_to(g.time, /*inclusive=*/false);
-          scale = sample_walk.scale;
-          active = sample_walk.active;
-        }
-      } else {
-        p.utilization_estimate = replay->gamma_at(g.time);
-        if constexpr (WithFaults) {
-          scale = replay->capacity_scale();
-          active = replay->active_devices();
-        }
-      }
-      double total_q = 0.0;
-      double total_q2 = 0.0;
-      if (stream != nullptr) {
-        for (const DeviceState& d : ws.devices) {
-          const double q = static_cast<double>(d.local_queue.size());
-          total_q += q;
-          total_q2 += q * q;
-        }
-      } else {
-        for (const DeviceState& d : ws.devices)
-          total_q += static_cast<double>(d.local_queue.size());
-      }
-      if constexpr (WithFaults) {
-        // Dead/retired queues are empty, so the sum already covers exactly
-        // the active population.
-        p.capacity_scale = scale;
-        p.active_devices = active;
-        p.mean_queue_length =
-            active == 0 ? 0.0 : total_q / static_cast<double>(active);
-      } else {
-        p.active_devices = n_devices;
-        p.mean_queue_length = total_q / static_cast<double>(n_devices);
-      }
-      std::uint64_t so_far = 0;
-      for (const parallel::ShardContext& sc : ws.shards)
-        so_far += sc.offloads_in_window;
-      p.offloads_so_far = so_far;
-      if (options.record_timeline) recorder.on_sample(p);
-      if (stream != nullptr) {
-        stream->on_sample(p);
-        obs::WindowExtras extras;
-        extras.queue_second_moment =
-            p.active_devices == 0
-                ? 0.0
-                : total_q2 / static_cast<double>(p.active_devices);
-        // Cumulative event total at this barrier: shard task-event pops
-        // (order-invariant sum) + fault actions popped (cursor) + replay
-        // deliveries (serial) — each term K-invariant by construction.
-        std::uint64_t events_now = 0;
-        for (const parallel::ShardContext& sc : ws.shards)
-          events_now += sc.events;
-        if constexpr (WithFaults) {
-          while (fault_cursor < plan.actions.size() &&
-                 plan.actions[fault_cursor].time < g.time)
-            ++fault_cursor;
-          events_now += fault_cursor;
-          std::uint64_t lost = 0, rejected = 0, penalized = 0;
-          for (const parallel::ShardContext& sc : ws.shards) {
-            lost += sc.tasks_lost;
-            rejected += sc.offloads_rejected;
-            penalized += sc.offloads_penalized;
-          }
-          extras.tasks_lost = lost;
-          extras.offloads_rejected = rejected;
-          extras.offloads_penalized = penalized;
-          extras.fault_events_applied = fault_cursor;
-        }
-        if (!has_fixed_gamma) events_now += replay->deliveries();
-        extras.events_so_far = events_now;
-        window_sojourns = stats::LatencySketch{};
-        for (const parallel::ShardContext& sc : ws.shards)
-          window_sojourns.merge(sc.local_sojourns);
-        extras.sojourns = &window_sojourns;
-        if (has_fixed_gamma) {
-          window_offload_delays = stats::LatencySketch{};
-          for (const parallel::ShardContext& sc : ws.shards)
-            window_offload_delays.merge(sc.offload_delays);
-          extras.offload_delays = &window_offload_delays;
-        } else {
-          extras.offload_delays = &offload_delays;
-        }
-        std::fill(thresh_hist.begin(), thresh_hist.end(), 0u);
-        for (std::uint32_t d = 0; d < n_devices; ++d) {
-          const double th = decide.threshold_value(d);
-          if (th < 0.0) continue;
-          const std::size_t bin =
-              th >= static_cast<double>(obs::kThresholdBins - 1)
-                  ? obs::kThresholdBins - 1
-                  : static_cast<std::size_t>(th);
-          ++thresh_hist[bin];
-        }
-        extras.threshold_histogram = thresh_hist;
-        cluster_off_scratch.assign(n_clusters, 0);
-        for (const parallel::ShardContext& sc : ws.shards)
-          for (std::uint32_t k = 0; k < n_clusters; ++k)
-            cluster_off_scratch[k] += sc.cluster_offloads[k];
-        extras.cluster_gamma = cluster_gammas_at(g.time);
-        extras.cluster_offloads = cluster_off_scratch;
-        stream->commit_window(extras);
-        if (counters_on) {
-          counter_scratch.clear();
-          const auto add = [&](obs::Counter id, std::uint16_t shard,
-                               double value) {
-            counter_scratch.push_back(
-                {static_cast<std::uint16_t>(id), shard, value});
-          };
-          double leg_min = leg_seconds[0], leg_max = leg_seconds[0];
-          for (std::size_t s = 0; s < shard_count; ++s) {
-            const parallel::ShardContext& sc = ws.shards[s];
-            const auto sid = static_cast<std::uint16_t>(s);
-            add(obs::Counter::kShardEvents, sid,
-                static_cast<double>(sc.events));
-            add(obs::Counter::kShardQueueDepth, sid,
-                static_cast<double>(sc.queue.size()));
-            add(obs::Counter::kShardCalendarGear, sid,
-                sc.queue.calendar_gear() ? 1.0 : 0.0);
-            add(obs::Counter::kShardGearSwitches, sid,
-                static_cast<double>(sc.queue.gear_switches()));
-            add(obs::Counter::kShardCalendarRetunes, sid,
-                static_cast<double>(sc.queue.calendar_retunes()));
-            add(obs::Counter::kShardLegSeconds, sid, leg_seconds[s]);
-            leg_min = std::min(leg_min, leg_seconds[s]);
-            leg_max = std::max(leg_max, leg_seconds[s]);
-          }
-          add(obs::Counter::kBarrierWaitSeconds, obs::kGlobalShard,
-              shard_count > 1 ? leg_max - leg_min : 0.0);
-          add(obs::Counter::kReplayRecords, obs::kGlobalShard,
-              static_cast<double>(replay_backlog));
-          replay_backlog = 0;
-          if (!has_fixed_gamma)
-            add(obs::Counter::kReplayDeliveries, obs::kGlobalShard,
-                static_cast<double>(replay->deliveries()));
-          if constexpr (WithFaults)
-            add(obs::Counter::kFaultEventsApplied, obs::kGlobalShard,
-                static_cast<double>(fault_cursor));
-          add(obs::Counter::kEventsPerSecond, obs::kGlobalShard,
-              leg_max > 0.0 ? static_cast<double>(events_now -
-                                                  counter_prev_events) /
-                                  leg_max
-                            : 0.0);
-          counter_prev_events = events_now;
-          stream->append_counters(counter_scratch);
-        }
-      }
-    }
-    if (g.epoch) {
-      if (options.on_epoch) {
-        const double gamma = has_fixed_gamma ? *options.fixed_gamma
-                                             : replay->gamma_at(g.time);
-        options.on_epoch(g.time, gamma);
-      }
-      // Fires after on_epoch; epoch instants are barriers, so controller
-      // state mutated here is seen identically by every shard count.
-      if (options.on_cluster_epoch)
-        options.on_cluster_epoch(g.time, cluster_gammas_at(g.time));
-    }
-  }
-  run_legs(t_end, /*inclusive=*/true);
-  drain_logs();
-
-  // Close the measurement window.  A shard whose own events never crossed
-  // the warm-up boundary still needs its devices reset if *any* pop did in
-  // the single-queue engine — its own, another shard's, a fault action, or
-  // an edge delivery (central in tracked-gamma mode).
-  bool flipped = measuring_from_start;
-  for (const parallel::ShardContext& sc : ws.shards) flipped |= sc.flipped;
-  if constexpr (WithFaults) flipped |= plan.flip_trigger;
-  if (!has_fixed_gamma) flipped |= replay->delivery_flip_trigger();
-  if (flipped) {
-    for (const parallel::ShardContext& sc : ws.shards) {
-      if (sc.flipped) continue;
-      for (std::uint32_t d = sc.lo; d < sc.hi; ++d)
-        ws.devices[d].reset_measurements(options.warmup);
-    }
-  }
-  for (DeviceState& d : ws.devices) d.integrate_to(t_end);
-
-  double scale_integral = options.horizon;
-  fault::EnvWindowStats env;
-  if constexpr (WithFaults) {
-    env = fault::integrate_environment(plan.actions, options.warmup, t_end,
-                                       flipped);
-    scale_integral = env.scale_integral;
-    // A run so short no event crossed the warm-up boundary (or a fully
-    // dark window): treat the whole window as nominal so the utilization
-    // denominator stays finite.
-    if (scale_integral == 0.0) scale_integral = options.horizon;
-  }
-
-  std::uint64_t events = 0;
-  std::uint64_t offloads_in_window = 0;
-  std::vector<std::uint64_t> cluster_offloads(n_clusters, 0);
-  for (const parallel::ShardContext& sc : ws.shards) {
-    events += sc.events;
-    offloads_in_window += sc.offloads_in_window;
-    for (std::uint32_t k = 0; k < n_clusters; ++k)
-      cluster_offloads[k] += sc.cluster_offloads[k];
-    local_sojourns.merge(sc.local_sojourns);
-    if (has_fixed_gamma) offload_delays.merge(sc.offload_delays);
-  }
-  if constexpr (WithFaults)
-    events += plan.actions.size();  // every schedule action popped once
-  if (!has_fixed_gamma) events += replay->deliveries();
-
-  SimulationResult result;
-  result.horizon = options.horizon;
-  result.total_events = events;
-  result.local_sojourn_percentiles = std::move(local_sojourns);
-  result.offload_delay_percentiles = std::move(offload_delays);
-  result.timeline = recorder.take();
-  result.devices.reserve(n_devices);
-  const double window = options.horizon;
-
-  double cost_acc = 0.0, q_acc = 0.0, alpha_acc = 0.0;
-  std::uint32_t participating = 0;
-  // Under faults the denominator is the *time-averaged* available capacity
-  // over the window (edge_capacity * mean scale * window); fault-free it
-  // reduces to the familiar offloads / (window * N * c).
-  double gamma_denom = window * edge_capacity;
-  if constexpr (WithFaults) gamma_denom = edge_capacity * scale_integral;
-  const double gamma_measured =
-      static_cast<double>(offloads_in_window) / gamma_denom;
-  for (std::uint32_t n = 0; n < n_devices; ++n) {
-    if constexpr (WithFaults) {
-      // Churn slots that never joined report all-zero stats and must not
-      // dilute the population means (their empirical cost is not zero —
-      // the Eq.-(1) functional of an idle device is w*p_L).
-      if (n >= n_initial + plan.joins) {
-        result.devices.emplace_back();
-        continue;
-      }
-    }
-    ++participating;
-    const DeviceState& dev = ws.devices[n];
-    const core::UserParams& u = users[n];
-    DeviceStats s;
-    s.arrivals = dev.arrivals;
-    s.offloaded = dev.offloaded;
-    s.local_completed = dev.local_completed;
-    s.mean_queue_length = dev.queue_integral / window;
-    s.offload_fraction =
-        dev.arrivals > 0
-            ? static_cast<double>(dev.offloaded) /
-                  static_cast<double>(dev.arrivals)
-            : 0.0;
-    s.mean_local_sojourn =
-        dev.local_completed > 0
-            ? dev.local_sojourn_sum / static_cast<double>(dev.local_completed)
-            : 0.0;
-    s.mean_offload_delay =
-        dev.offloaded > 0
-            ? dev.offload_delay_sum / static_cast<double>(dev.offloaded)
-            : 0.0;
-    s.energy_per_task =
-        dev.arrivals > 0
-            ? dev.energy_sum / static_cast<double>(dev.arrivals)
-            : 0.0;
-    // Empirical Eq.-(1) cost: measured alpha, measured mean queue, measured
-    // per-offload delay (latency + edge processing).
-    s.empirical_cost =
-        u.weight * u.energy_local * (1.0 - s.offload_fraction) +
-        s.mean_queue_length / u.arrival_rate +
-        (u.weight * u.energy_offload + s.mean_offload_delay) *
-            s.offload_fraction;
-    cost_acc += s.empirical_cost;
-    q_acc += s.mean_queue_length;
-    alpha_acc += s.offload_fraction;
-    result.devices.push_back(s);
-  }
-  result.measured_utilization = gamma_measured;
-  // Per-cluster utilization divides each cluster's offload count by its
-  // capacity share of the same denominator; with one cluster share(0) is
-  // exactly 1.0, so cluster_utilization[0] == measured_utilization bitwise.
-  result.cluster_offloads = std::move(cluster_offloads);
-  result.cluster_utilization.reserve(n_clusters);
-  for (std::uint32_t k = 0; k < n_clusters; ++k)
-    result.cluster_utilization.push_back(
-        static_cast<double>(result.cluster_offloads[k]) /
-        (gamma_denom * options.topology.share(k)));
-  result.mean_cost = cost_acc / static_cast<double>(participating);
-  result.mean_queue_length = q_acc / static_cast<double>(participating);
-  result.mean_offload_fraction = alpha_acc / static_cast<double>(participating);
-  if constexpr (WithFaults) {
-    FaultStats fs;
-    fs.crashes = plan.crashes;
-    fs.restarts = plan.restarts;
-    fs.churn_joined = plan.churn_joined;
-    fs.churn_departed = plan.churn_departed;
-    for (const parallel::ShardContext& sc : ws.shards) {
-      fs.tasks_lost += sc.tasks_lost;
-      fs.offloads_rejected += sc.offloads_rejected;
-      fs.offloads_penalized += sc.offloads_penalized;
-    }
-    fs.min_capacity_scale = env.min_capacity_scale;
-    fs.mean_capacity_scale = scale_integral / window;
-    fs.degraded_time = env.degraded_time;
-    fs.participating_devices = participating;
-    result.faults = fs;
-  }
-  if (stream != nullptr) {
-    obs::RunFooter footer;
-    footer.windows = stream->windows();
-    footer.total_events = result.total_events;
-    footer.measured_utilization = result.measured_utilization;
-    footer.mean_cost = result.mean_cost;
-    footer.horizon = result.horizon;
-    stream->finish(footer);
-  }
-  return result;
+                              options.warmup,   t_end,
+                              n_devices,        n_clusters,
+                              has_fixed_gamma,  fixed_delay};
+  LegRunner<WithFaults, Decide> runner(ws, decide, lc, 0, shard_count,
+                                       shard_count > 1 ? ws.pool.get()
+                                                       : nullptr,
+                                       nullptr);
+  parallel::InProcessTransport transport(runner);
+  return coordinator_run(cc, transport);
 }
 
 }  // namespace engine

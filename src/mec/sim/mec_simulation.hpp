@@ -60,6 +60,23 @@ LatencySampler deterministic_latency();
 /// Resamples `latencies` rescaled so each device's mean latency is tau_n.
 LatencySampler empirical_latency(random::EmpiricalDataset latencies);
 
+/// How a run's shard legs execute relative to the coordinating process.
+/// Either way the coordinator/worker split goes through the same
+/// parallel::Transport seam and results are bit-identical — the transport
+/// trades nothing but wall-clock and isolation (determinism contract #8,
+/// docs/ARCHITECTURE.md).
+enum class TransportKind {
+  /// Workers are plain objects in this process sharing the workspace
+  /// (today's default; zero-copy barrier views).
+  kInProcess,
+  /// The run forks worker processes, each owning a contiguous slice of the
+  /// shards; barrier payloads travel over length-prefixed CRC-checked
+  /// socket frames.  Requires a decision provider with per-device TRO
+  /// thresholds (threshold_value(n) >= 0 for every device) — virtual
+  /// non-TRO policies cannot be mirrored across a process boundary.
+  kProcess,
+};
+
 struct SimulationOptions {
   double warmup = 20.0;    ///< discarded transient, in simulated seconds
   double horizon = 200.0;  ///< measurement window length
@@ -122,6 +139,13 @@ struct SimulationOptions {
   /// trades nothing but wall-clock (see parallel/shard_executor.hpp and
   /// docs/ARCHITECTURE.md for the exactness argument).
   std::size_t shards = 0;
+  /// Execution transport for the shard legs (see TransportKind).  Results
+  /// are bit-identical across transports for any shard/worker split.
+  TransportKind transport = TransportKind::kInProcess;
+  /// Worker-process count for TransportKind::kProcess: 0 (default) picks 2;
+  /// any value is capped at the run's shard count.  Ignored by kInProcess.
+  /// Worker rank r owns the contiguous shard slice [K*r/W, K*(r+1)/W).
+  std::size_t workers = 0;
   /// When non-empty, the run streams windowed telemetry to this .meclog
   /// path: one fixed-size window record per sample instant, flushed at the
   /// observation-grid barrier (see src/mec/obs/ and docs/OBSERVABILITY.md).

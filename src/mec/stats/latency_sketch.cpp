@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mec/common/error.hpp"
+
 namespace mec::stats {
 
 std::size_t LatencySketch::bin_of(double value) noexcept {
@@ -40,6 +42,22 @@ void LatencySketch::merge(const LatencySketch& other) {
   count_ += other.count_;
   if (counts_.empty()) counts_.assign(kBins, 0);
   for (std::size_t i = 0; i < kBins; ++i) counts_[i] += other.counts_[i];
+}
+
+LatencySketch LatencySketch::restore(std::uint64_t count, double min,
+                                     double max,
+                                     std::span<const std::uint64_t> bins) {
+  LatencySketch s;
+  if (count == 0) {
+    MEC_EXPECTS_MSG(bins.empty(), "empty sketch must carry no bins");
+    return s;
+  }
+  MEC_EXPECTS_MSG(bins.size() == kBins, "sketch bin count mismatch");
+  s.count_ = count;
+  s.min_ = min;
+  s.max_ = max;
+  s.counts_.assign(bins.begin(), bins.end());
+  return s;
 }
 
 double LatencySketch::quantile(double q) const noexcept {

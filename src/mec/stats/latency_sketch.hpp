@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace mec::stats {
@@ -45,6 +46,23 @@ class LatencySketch {
   double p50() const noexcept { return quantile(0.50); }
   double p95() const noexcept { return quantile(0.95); }
   double p99() const noexcept { return quantile(0.99); }
+
+  /// Number of log-spaced bins; fixed by the binning constants, exposed so
+  /// serializers can pin the wire layout.
+  static constexpr std::size_t bin_count() noexcept { return kBins; }
+
+  /// Raw bin counts in bin order; empty when no sample was ever added (the
+  /// bins are lazily allocated).
+  std::span<const std::uint64_t> bin_counts() const noexcept {
+    return counts_;
+  }
+
+  /// Rebuilds a sketch from serialized state.  `bins` must be empty for
+  /// count == 0 and exactly bin_count() entries otherwise; the result is
+  /// bit-identical to the sketch the state was read from, so a sketch can
+  /// cross a process boundary without perturbing merged quantiles.
+  static LatencySketch restore(std::uint64_t count, double min, double max,
+                               std::span<const std::uint64_t> bins);
 
  private:
   static constexpr int kBinsPerOctave = 64;  ///< ~1.09% geometric bin width

@@ -250,12 +250,12 @@ TEST(GammaReplayMerge, MultiLegMergeMatchesSerialReference) {
   const auto run_replay = [&](std::span<const std::span<const sim::OffloadRecord>>
                                   logs,
                               std::vector<std::vector<double>>& trajectories,
-                              std::vector<sim::DeviceState>& devices) {
+                              std::vector<double>& delay_sums) {
     sim::GammaReplay replay(delay, tau, initial_gamma, capacity,
                             /*warmup=*/0.0, /*t_end=*/100.0, kDevices, {},
                             topology);
     stats::LatencySketch sketch;
-    replay.consume(logs, devices.data(), sketch);
+    replay.consume(logs, delay_sums.data(), sketch);
     for (const double at : {30.0, 34.0, 38.0, 42.0}) {
       const auto gammas = replay.cluster_gammas(at);
       trajectories.emplace_back(gammas.begin(), gammas.end());
@@ -266,11 +266,11 @@ TEST(GammaReplayMerge, MultiLegMergeMatchesSerialReference) {
   std::vector<std::span<const sim::OffloadRecord>> multi_view(legs.begin(),
                                                               legs.end());
   std::vector<std::vector<double>> multi_traj, serial_traj;
-  std::vector<sim::DeviceState> multi_devices(kDevices);
-  std::vector<sim::DeviceState> serial_devices(kDevices);
-  run_replay(multi_view, multi_traj, multi_devices);
+  std::vector<double> multi_delay_sums(kDevices, 0.0);
+  std::vector<double> serial_delay_sums(kDevices, 0.0);
+  run_replay(multi_view, multi_traj, multi_delay_sums);
   const std::span<const sim::OffloadRecord> serial_view[] = {merged};
-  run_replay(serial_view, serial_traj, serial_devices);
+  run_replay(serial_view, serial_traj, serial_delay_sums);
 
   ASSERT_EQ(multi_traj.size(), serial_traj.size());
   for (std::size_t i = 0; i < multi_traj.size(); ++i) {
@@ -280,8 +280,7 @@ TEST(GammaReplayMerge, MultiLegMergeMatchesSerialReference) {
       EXPECT_EQ(multi_traj[i][k], serial_traj[i][k]) << "entry " << k;
   }
   for (std::uint32_t dev = 0; dev < kDevices; ++dev) {
-    EXPECT_EQ(multi_devices[dev].offload_delay_sum,
-              serial_devices[dev].offload_delay_sum)
+    EXPECT_EQ(multi_delay_sums[dev], serial_delay_sums[dev])
         << "device " << dev;
   }
 }

@@ -87,12 +87,45 @@ TEST(ResolveShardCount, ExplicitRequestBeatsEnvBeatsAuto) {
   ASSERT_EQ(setenv("MEC_SHARDS", "5", 1), 0);
   EXPECT_EQ(resolve_shard_count(0, 100), 5u);
   EXPECT_EQ(resolve_shard_count(7, 100), 7u);  // ...unless explicit
-  // ...and to the autotune heuristic with neither (garbage env ignored).
-  ASSERT_EQ(setenv("MEC_SHARDS", "banana", 1), 0);
-  EXPECT_EQ(resolve_shard_count(0, 100), 1u);
+  // ...and to the autotune heuristic when unset.
   ASSERT_EQ(unsetenv("MEC_SHARDS"), 0);
   EXPECT_EQ(resolve_shard_count(0, 100), 1u);  // small n: serial either way
   if (!restore.empty()) {
+    ASSERT_EQ(setenv("MEC_SHARDS", restore.c_str(), 1), 0);
+  }
+}
+
+TEST(ResolveShardCount, RejectsMalformedEnvValues) {
+  // A typo'd MEC_SHARDS used to be silently ignored (falling back to the
+  // autotuner) — a forced-shard CI lane could quietly run serial.  Now it
+  // fails fast with a message naming the variable and the accepted range.
+  const char* saved = std::getenv("MEC_SHARDS");
+  const std::string restore = saved != nullptr ? saved : "";
+  const char* bad[] = {"banana", "", "4x", " 4", "0",  "-1",
+                       "4097",   "1e3", "0x4", "99999999999999999999"};
+  for (const char* value : bad) {
+    ASSERT_EQ(setenv("MEC_SHARDS", value, 1), 0);
+    try {
+      (void)resolve_shard_count(0, 1000000);
+      FAIL() << "MEC_SHARDS=\"" << value << "\" was accepted";
+    } catch (const RuntimeError& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find("MEC_SHARDS"), std::string::npos) << message;
+      EXPECT_NE(message.find("[1, 4096]"), std::string::npos) << message;
+      EXPECT_NE(message.find(value), std::string::npos) << message;
+    }
+    // An explicit request never consults the environment, so a bad value
+    // must not break callers that pass their own count.
+    EXPECT_EQ(resolve_shard_count(3, 1000000), 3u);
+  }
+  // Boundary values of the documented range are accepted.
+  ASSERT_EQ(setenv("MEC_SHARDS", "1", 1), 0);
+  EXPECT_EQ(resolve_shard_count(0, 1000000), 1u);
+  ASSERT_EQ(setenv("MEC_SHARDS", "4096", 1), 0);
+  EXPECT_EQ(resolve_shard_count(0, 1000000), 4096u);
+  if (restore.empty()) {
+    ASSERT_EQ(unsetenv("MEC_SHARDS"), 0);
+  } else {
     ASSERT_EQ(setenv("MEC_SHARDS", restore.c_str(), 1), 0);
   }
 }

@@ -1,0 +1,386 @@
+// Cross-transport equivalence and process-backend robustness.
+//
+// Determinism contract #8 (docs/ARCHITECTURE.md): the transport choice can
+// never change a single result byte.  The first half of this file proves it
+// on every coupling path — fixed gamma, tracked gamma (EWMA replay), fault
+// schedules with churn, multi-cluster topologies, and the closed-loop DTU
+// whose epoch callbacks retune thresholds that must now cross a process
+// boundary — comparing in-process results against forked-worker runs at
+// several worker counts, including uneven shard slices.  Streamed .meclog
+// files are compared byte for byte (with counter frames off: those carry
+// wall-clock values and are the one deliberately nondeterministic frame).
+//
+// The second half exercises the failure modes: a worker that dies mid-run
+// or stops responding must fail the run with a diagnostic naming the rank
+// and its last completed barrier — never hang — and policies that cannot be
+// mirrored into a worker process are rejected up front.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mec/common/error.hpp"
+#include "mec/core/edge_delay.hpp"
+#include "mec/core/user.hpp"
+#include "mec/fault/fault_schedule.hpp"
+#include "mec/population/population.hpp"
+#include "mec/population/scenario.hpp"
+#include "mec/random/rng.hpp"
+#include "mec/sim/closed_loop.hpp"
+#include "mec/sim/mec_simulation.hpp"
+#include "mec/sim/policies.hpp"
+#include "mec/stats/latency_sketch.hpp"
+
+namespace mec {
+namespace {
+
+/// Sets an environment variable for the enclosing scope and restores the
+/// prior state on exit, so a failing test cannot leak robustness hooks into
+/// the rest of the suite.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    if (const char* prev = std::getenv(name)) previous_ = prev;
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (previous_.has_value())
+      ::setenv(name_, previous_->c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> previous_;
+};
+
+std::vector<core::UserParams> mixed_users(std::size_t n) {
+  std::vector<core::UserParams> users;
+  random::Xoshiro256 rng(4242);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::UserParams u;
+    u.arrival_rate = random::uniform(rng, 0.5, 3.0);
+    u.service_rate = random::uniform(rng, 2.0, 5.0);
+    u.offload_latency = random::uniform(rng, 0.05, 0.6);
+    u.energy_local = random::uniform(rng, 0.8, 1.2);
+    u.energy_offload = random::uniform(rng, 0.3, 0.7);
+    users.push_back(u);
+  }
+  return users;
+}
+
+std::vector<double> mixed_thresholds(std::size_t n) {
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < n; ++i)
+    xs.push_back(0.25 * static_cast<double>(i % 9));
+  return xs;
+}
+
+void expect_sketch_equal(const stats::LatencySketch& a,
+                         const stats::LatencySketch& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  for (const double q : {0.25, 0.5, 0.95, 0.99})
+    EXPECT_EQ(a.quantile(q), b.quantile(q)) << "quantile " << q;
+}
+
+void expect_result_identical(const sim::SimulationResult& a,
+                             const sim::SimulationResult& b) {
+  EXPECT_EQ(a.total_events, b.total_events);
+  EXPECT_EQ(a.measured_utilization, b.measured_utilization);
+  EXPECT_EQ(a.mean_cost, b.mean_cost);
+  EXPECT_EQ(a.mean_queue_length, b.mean_queue_length);
+  EXPECT_EQ(a.mean_offload_fraction, b.mean_offload_fraction);
+  ASSERT_EQ(a.cluster_utilization.size(), b.cluster_utilization.size());
+  for (std::size_t i = 0; i < a.cluster_utilization.size(); ++i)
+    EXPECT_EQ(a.cluster_utilization[i], b.cluster_utilization[i])
+        << "cluster " << i;
+  ASSERT_EQ(a.cluster_offloads.size(), b.cluster_offloads.size());
+  for (std::size_t i = 0; i < a.cluster_offloads.size(); ++i)
+    EXPECT_EQ(a.cluster_offloads[i], b.cluster_offloads[i]) << "cluster " << i;
+  expect_sketch_equal(a.local_sojourn_percentiles, b.local_sojourn_percentiles);
+  expect_sketch_equal(a.offload_delay_percentiles,
+                      b.offload_delay_percentiles);
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (std::size_t i = 0; i < a.devices.size(); ++i) {
+    const sim::DeviceStats& x = a.devices[i];
+    const sim::DeviceStats& y = b.devices[i];
+    EXPECT_EQ(x.arrivals, y.arrivals) << "device " << i;
+    EXPECT_EQ(x.offloaded, y.offloaded) << "device " << i;
+    EXPECT_EQ(x.local_completed, y.local_completed) << "device " << i;
+    EXPECT_EQ(x.mean_queue_length, y.mean_queue_length) << "device " << i;
+    EXPECT_EQ(x.mean_local_sojourn, y.mean_local_sojourn) << "device " << i;
+    EXPECT_EQ(x.mean_offload_delay, y.mean_offload_delay) << "device " << i;
+    EXPECT_EQ(x.energy_per_task, y.energy_per_task) << "device " << i;
+    EXPECT_EQ(x.empirical_cost, y.empirical_cost) << "device " << i;
+  }
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].time, b.timeline[i].time) << "sample " << i;
+    EXPECT_EQ(a.timeline[i].utilization_estimate,
+              b.timeline[i].utilization_estimate)
+        << "sample " << i;
+    EXPECT_EQ(a.timeline[i].mean_queue_length, b.timeline[i].mean_queue_length)
+        << "sample " << i;
+    EXPECT_EQ(a.timeline[i].offloads_so_far, b.timeline[i].offloads_so_far)
+        << "sample " << i;
+    EXPECT_EQ(a.timeline[i].active_devices, b.timeline[i].active_devices)
+        << "sample " << i;
+  }
+  EXPECT_EQ(a.faults.tasks_lost, b.faults.tasks_lost);
+  EXPECT_EQ(a.faults.offloads_rejected, b.faults.offloads_rejected);
+  EXPECT_EQ(a.faults.offloads_penalized, b.faults.offloads_penalized);
+  EXPECT_EQ(a.faults.churn_joined, b.faults.churn_joined);
+  EXPECT_EQ(a.faults.churn_departed, b.faults.churn_departed);
+}
+
+/// Runs the scenario once in process (shards = 4) and once per worker count
+/// through the forked backend, expecting bit-identical results.  Worker
+/// count 3 gives rank slices {0}, {1}, {2,3}: the uneven-partition case.
+void expect_transport_invariant(sim::SimulationOptions options,
+                                const std::shared_ptr<const fault::FaultSchedule>&
+                                    schedule = nullptr) {
+  const auto users = mixed_users(41);
+  options.faults = schedule;
+  options.shards = 4;
+  options.transport = sim::TransportKind::kInProcess;
+  sim::MecSimulation reference(users, 8.0, core::make_reciprocal_delay(),
+                               options);
+  const sim::SimulationResult base =
+      reference.run_tro(mixed_thresholds(reference.total_devices()));
+  for (const std::size_t w : {1u, 2u, 3u, 4u}) {
+    options.transport = sim::TransportKind::kProcess;
+    options.workers = w;
+    sim::MecSimulation forked(users, 8.0, core::make_reciprocal_delay(),
+                              options);
+    const sim::SimulationResult r =
+        forked.run_tro(mixed_thresholds(forked.total_devices()));
+    SCOPED_TRACE("workers = " + std::to_string(w));
+    expect_result_identical(base, r);
+  }
+}
+
+TEST(TransportEquivalence, FixedGammaWithSampling) {
+  sim::SimulationOptions o;
+  o.warmup = 5.0;
+  o.horizon = 40.0;
+  o.seed = 31337;
+  o.fixed_gamma = 0.25;
+  o.sample_interval = 2.5;
+  expect_transport_invariant(o);
+}
+
+TEST(TransportEquivalence, TrackedGammaWithSampling) {
+  sim::SimulationOptions o;
+  o.warmup = 2.0;
+  o.horizon = 50.0;
+  o.seed = 99;
+  o.utilization_ewma_tau = 5.0;
+  o.initial_gamma = 0.3;
+  o.sample_interval = 3.0;
+  expect_transport_invariant(o);
+}
+
+TEST(TransportEquivalence, FaultsAndChurnAcrossClusters) {
+  auto schedule = std::make_shared<fault::FaultSchedule>();
+  schedule->add_capacity_scale(10.0, 0.5, 1);  // cluster 1 browns out
+  schedule->add_capacity_scale(24.0, 1.0, 1);
+  schedule->add_outage(12.0, 18.0, fault::OutageMode::kReject);
+  schedule->add_outage(26.0, 32.0, fault::OutageMode::kPenalty, 0.4);
+  schedule->add_crash(8.0, 3);
+  schedule->add_restart(20.0, 3);
+  schedule->add_user_departure(22.0, 0.37);
+  core::UserParams joiner;
+  joiner.arrival_rate = 1.5;
+  joiner.service_rate = 3.0;
+  joiner.offload_latency = 0.2;
+  joiner.energy_local = 1.0;
+  joiner.energy_offload = 0.5;
+  schedule->add_user_arrival(15.0, joiner);
+
+  sim::SimulationOptions o;
+  o.warmup = 3.0;
+  o.horizon = 40.0;
+  o.seed = 2024;
+  o.utilization_ewma_tau = 8.0;
+  o.initial_gamma = 0.2;
+  o.sample_interval = 4.0;
+  o.topology.clusters = 2;
+  expect_transport_invariant(o, schedule);
+}
+
+TEST(TransportEquivalence, ClosedLoopDtuCrossesTheProcessBoundary) {
+  // The closed loop is the hardest case for the process backend: every
+  // epoch callback retunes MutableTroPolicy thresholds in the coordinator,
+  // which must be re-mirrored into the workers before the next leg.
+  const auto pop = population::sample_population(
+      population::theoretical_scenario(population::LoadRegime::kAtService, 60),
+      91);
+  sim::ClosedLoopOptions opt;
+  opt.horizon = 80.0;
+  opt.update_period = 5.0;
+  opt.eta0 = 0.2;
+  opt.shards = 4;
+  opt.transport = sim::TransportKind::kInProcess;
+  const sim::ClosedLoopResult base =
+      run_closed_loop(pop.users, pop.config.capacity, pop.config.delay, opt);
+  for (const std::size_t w : {2u, 3u}) {
+    opt.transport = sim::TransportKind::kProcess;
+    opt.workers = w;
+    const sim::ClosedLoopResult r =
+        run_closed_loop(pop.users, pop.config.capacity, pop.config.delay, opt);
+    SCOPED_TRACE("workers = " + std::to_string(w));
+    EXPECT_EQ(base.final_gamma_hat, r.final_gamma_hat);
+    EXPECT_EQ(base.estimate_settled, r.estimate_settled);
+    ASSERT_EQ(base.thresholds.size(), r.thresholds.size());
+    for (std::size_t i = 0; i < base.thresholds.size(); ++i)
+      EXPECT_EQ(base.thresholds[i], r.thresholds[i]) << "device " << i;
+    ASSERT_EQ(base.epochs.size(), r.epochs.size());
+    for (std::size_t i = 0; i < base.epochs.size(); ++i) {
+      EXPECT_EQ(base.epochs[i].gamma_measured, r.epochs[i].gamma_measured)
+          << "epoch " << i;
+      EXPECT_EQ(base.epochs[i].gamma_hat, r.epochs[i].gamma_hat)
+          << "epoch " << i;
+      EXPECT_EQ(base.epochs[i].mean_threshold, r.epochs[i].mean_threshold)
+          << "epoch " << i;
+    }
+    expect_result_identical(base.run, r.run);
+  }
+}
+
+std::string test_scoped_path(const std::string& suffix) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string name = std::string(info->test_suite_name()) + "_" +
+                           info->name() + "_" + suffix;
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+TEST(TransportEquivalence, StreamedLogsAreByteIdentical) {
+  const auto users = mixed_users(41);
+  sim::SimulationOptions o;
+  o.warmup = 2.0;
+  o.horizon = 40.0;
+  o.seed = 7;
+  o.utilization_ewma_tau = 5.0;
+  o.initial_gamma = 0.3;
+  o.sample_interval = 2.0;
+  o.topology.clusters = 2;
+  o.shards = 4;
+  o.stream_counters = false;  // counter frames carry wall-clock values
+
+  const std::string in_path = test_scoped_path("inproc.meclog");
+  const std::string proc_path = test_scoped_path("process.meclog");
+  o.transport = sim::TransportKind::kInProcess;
+  o.stream_log = in_path;
+  sim::MecSimulation a(users, 8.0, core::make_reciprocal_delay(), o);
+  a.run_tro(mixed_thresholds(a.total_devices()));
+
+  o.transport = sim::TransportKind::kProcess;
+  o.workers = 2;
+  o.stream_log = proc_path;
+  sim::MecSimulation b(users, 8.0, core::make_reciprocal_delay(), o);
+  b.run_tro(mixed_thresholds(b.total_devices()));
+
+  const std::vector<char> in_bytes = slurp(in_path);
+  const std::vector<char> proc_bytes = slurp(proc_path);
+  ASSERT_FALSE(in_bytes.empty());
+  EXPECT_EQ(in_bytes, proc_bytes);
+  std::filesystem::remove(in_path);
+  std::filesystem::remove(proc_path);
+}
+
+// --- robustness ------------------------------------------------------------
+
+sim::SimulationOptions process_run_options() {
+  sim::SimulationOptions o;
+  o.warmup = 2.0;
+  o.horizon = 30.0;
+  o.seed = 5;
+  o.fixed_gamma = 0.25;
+  o.sample_interval = 2.0;  // plenty of barriers for the hooks to hit
+  o.shards = 4;
+  o.transport = sim::TransportKind::kProcess;
+  o.workers = 2;
+  return o;
+}
+
+TEST(ProcessTransportRobustness, WorkerCrashFailsWithRankAndBarrier) {
+  ScopedEnv crash_rank("MEC_TEST_WORKER_CRASH_RANK", "1");
+  ScopedEnv crash_barrier("MEC_TEST_WORKER_CRASH_BARRIER", "3");
+  const auto users = mixed_users(41);
+  sim::MecSimulation des(users, 8.0, core::make_reciprocal_delay(),
+                         process_run_options());
+  try {
+    des.run_tro(mixed_thresholds(des.total_devices()));
+    FAIL() << "a crashed worker must fail the run";
+  } catch (const RuntimeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("exit status 17"), std::string::npos) << what;
+    EXPECT_NE(what.find("last completed barrier #2"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(ProcessTransportRobustness, WorkerStallFailsInsteadOfHanging) {
+  ScopedEnv stall_rank("MEC_TEST_WORKER_STALL_RANK", "0");
+  ScopedEnv stall_barrier("MEC_TEST_WORKER_STALL_BARRIER", "2");
+  ScopedEnv timeout("MEC_TRANSPORT_TIMEOUT_MS", "500");
+  const auto users = mixed_users(41);
+  sim::MecSimulation des(users, 8.0, core::make_reciprocal_delay(),
+                         process_run_options());
+  try {
+    des.run_tro(mixed_thresholds(des.total_devices()));
+    FAIL() << "a stalled worker must fail the run within the timeout";
+  } catch (const RuntimeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("stopped responding"), std::string::npos) << what;
+    EXPECT_NE(what.find("last completed barrier #1"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(ProcessTransportRobustness, RejectsPoliciesWithoutTroThresholds) {
+  // A DPO policy decides without a threshold; its state cannot be mirrored
+  // into a worker process, so the run must be refused up front (before any
+  // fork), not fail mid-run or silently diverge.
+  const auto users = mixed_users(8);
+  sim::SimulationOptions o;
+  o.warmup = 1.0;
+  o.horizon = 10.0;
+  o.fixed_gamma = 0.25;
+  o.shards = 2;
+  o.transport = sim::TransportKind::kProcess;
+  o.workers = 2;
+  sim::MecSimulation des(users, 8.0, core::make_reciprocal_delay(), o);
+  std::vector<std::unique_ptr<sim::OffloadPolicy>> policies;
+  for (std::size_t i = 0; i < users.size(); ++i)
+    policies.push_back(sim::make_dpo_policy(0.5));
+  try {
+    des.run(policies);
+    FAIL() << "non-TRO policies must be rejected under transport=process";
+  } catch (const RuntimeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("transport=process"), std::string::npos) << what;
+    EXPECT_NE(what.find("TRO"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace mec

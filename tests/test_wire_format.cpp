@@ -1,0 +1,426 @@
+// Wire-format pinning for the rank-transport frames (parallel/transport.cpp)
+// and the .meclog envelope they share.
+//
+// The transport protocol is a cross-process contract: a coordinator built
+// from one revision of the tree must refuse — not misparse — frames from a
+// worker built from another.  Three layers of defense are pinned here:
+//
+//   1. golden byte vectors: the exact on-wire bytes of the envelope and of
+//      each payload codec, so any layout drift (field order, width,
+//      endianness) fails loudly against hand-written expectations;
+//   2. rejection tests: truncation at every byte boundary, CRC corruption
+//      at every byte position, oversized length fields, trailing bytes;
+//   3. round-trip property tests: randomized payloads survive
+//      encode -> decode -> re-encode bit-identically.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <initializer_list>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mec/common/error.hpp"
+#include "mec/obs/run_log.hpp"
+#include "mec/parallel/transport.hpp"
+#include "mec/stats/latency_sketch.hpp"
+
+namespace {
+
+using namespace mec;
+using namespace mec::parallel;
+
+std::vector<std::uint8_t> bytes(std::initializer_list<unsigned> vals) {
+  std::vector<std::uint8_t> out;
+  out.reserve(vals.size());
+  for (const unsigned v : vals) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+void append_f64_le(std::vector<std::uint8_t>& out, double v) {
+  const auto u = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((u >> (8 * i)) & 0xFFu));
+}
+
+void append_u64_le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+}
+
+std::string thrown_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const RuntimeError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+// --- envelope --------------------------------------------------------------
+
+TEST(TransportWire, Crc32MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 (IEEE 802.3, reflected) check value: any change to
+  // the polynomial, reflection, or final XOR breaks every stored log.
+  const std::string check = "123456789";
+  const std::span<const std::uint8_t> payload(
+      reinterpret_cast<const std::uint8_t*>(check.data()), check.size());
+  EXPECT_EQ(obs::crc32(payload), 0xCBF43926u);
+}
+
+TEST(TransportWire, FrameEnvelopeMatchesTheGoldenBytes) {
+  // u32 kind | u32 length | payload | u32 CRC32(payload), all little-endian.
+  const std::vector<std::uint8_t> payload =
+      bytes({0x31, 0x32, 0x33, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39});
+  const std::vector<std::uint8_t> frame =
+      wire::encode_frame(wire::kFrameAdvance, payload);
+  const std::vector<std::uint8_t> golden = bytes({
+      0x10, 0x00, 0x00, 0x00,                                // kind = 0x10
+      0x09, 0x00, 0x00, 0x00,                                // length = 9
+      0x31, 0x32, 0x33, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39,  // "123456789"
+      0x26, 0x39, 0xF4, 0xCB,                                // CRC 0xCBF43926
+  });
+  EXPECT_EQ(frame, golden);
+  EXPECT_EQ(frame.size(), wire::kFrameOverhead + payload.size());
+
+  std::size_t consumed = 0;
+  const wire::DecodedFrame decoded = wire::decode_frame(frame, &consumed);
+  EXPECT_EQ(decoded.kind, wire::kFrameAdvance);
+  EXPECT_EQ(decoded.payload, payload);
+  EXPECT_EQ(consumed, frame.size());
+}
+
+TEST(TransportWire, FrameKindsArePinnedAndDisjointFromRunLogKinds) {
+  // Renumbering a frame kind silently breaks cross-revision runs; pin them.
+  EXPECT_EQ(wire::kFrameAdvance, 0x10u);
+  EXPECT_EQ(wire::kFrameThresholds, 0x11u);
+  EXPECT_EQ(wire::kFrameFinalize, 0x12u);
+  EXPECT_EQ(wire::kFrameBarrier, 0x20u);
+  EXPECT_EQ(wire::kFrameFinal, 0x21u);
+  EXPECT_EQ(wire::kFrameError, 0x2Fu);
+  // Disjoint from obs::FrameKind (1..4), so a misdirected frame can never
+  // masquerade as run-log data.
+  EXPECT_GT(wire::kFrameAdvance,
+            static_cast<std::uint32_t>(obs::FrameKind::kFooter));
+}
+
+TEST(TransportWire, DecodeRejectsTruncationAtEveryByteBoundary) {
+  const std::vector<std::uint8_t> frame = wire::encode_frame(
+      wire::kFrameBarrier, bytes({0xDE, 0xAD, 0xBE, 0xEF}));
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(frame.data(), cut);
+    EXPECT_THROW(wire::decode_frame(prefix), RuntimeError) << "cut=" << cut;
+  }
+  const std::string what = thrown_message(
+      [&] { wire::decode_frame(std::span(frame.data(), frame.size() - 1)); });
+  EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+}
+
+TEST(TransportWire, DecodeRejectsCorruptionAtEveryBytePosition) {
+  const std::vector<std::uint8_t> frame = wire::encode_frame(
+      wire::kFrameBarrier, bytes({0xDE, 0xAD, 0xBE, 0xEF}));
+  // Any flipped bit in the payload or the checksum is a CRC mismatch.  (A
+  // corrupted kind/length header is also rejected, but the diagnostic
+  // depends on which field the flip lands in.)
+  for (std::size_t pos = 8; pos < frame.size(); ++pos) {
+    std::vector<std::uint8_t> corrupt = frame;
+    corrupt[pos] ^= 0x01;
+    const std::string what =
+        thrown_message([&] { wire::decode_frame(corrupt); });
+    EXPECT_NE(what.find("CRC mismatch"), std::string::npos)
+        << "pos=" << pos << " what=" << what;
+  }
+}
+
+TEST(TransportWire, DecodeRejectsOversizedLengthFields) {
+  std::vector<std::uint8_t> frame = wire::encode_frame(
+      wire::kFrameBarrier, bytes({0xDE, 0xAD, 0xBE, 0xEF}));
+  for (std::size_t i = 4; i < 8; ++i) frame[i] = 0xFF;  // length = 2^32 - 1
+  const std::string what = thrown_message([&] { wire::decode_frame(frame); });
+  EXPECT_NE(what.find("size cap"), std::string::npos) << what;
+}
+
+// --- barrier request -------------------------------------------------------
+
+TEST(TransportWire, BarrierRequestMatchesTheGoldenBytes) {
+  BarrierRequest req;
+  req.limit = 1.0;
+  req.inclusive = true;
+  req.want_q = false;
+  req.want_q2 = true;
+  req.want_sketches = false;
+  req.want_queue_stats = true;
+  const std::vector<std::uint8_t> golden = bytes({
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F,  // f64 1.0
+      0x01, 0x00, 0x01, 0x00, 0x01,                    // the five flags
+  });
+  EXPECT_EQ(wire::encode_barrier_request(req), golden);
+}
+
+TEST(TransportWire, BarrierRequestRoundTripsEveryFlagCombination) {
+  for (unsigned mask = 0; mask < 32; ++mask) {
+    BarrierRequest req;
+    req.limit = 0.125 * static_cast<double>(mask + 1);
+    req.inclusive = (mask & 1u) != 0;
+    req.want_q = (mask & 2u) != 0;
+    req.want_q2 = (mask & 4u) != 0;
+    req.want_sketches = (mask & 8u) != 0;
+    req.want_queue_stats = (mask & 16u) != 0;
+    const BarrierRequest back =
+        wire::decode_barrier_request(wire::encode_barrier_request(req));
+    EXPECT_EQ(back.limit, req.limit);
+    EXPECT_EQ(back.inclusive, req.inclusive);
+    EXPECT_EQ(back.want_q, req.want_q);
+    EXPECT_EQ(back.want_q2, req.want_q2);
+    EXPECT_EQ(back.want_sketches, req.want_sketches);
+    EXPECT_EQ(back.want_queue_stats, req.want_queue_stats);
+  }
+}
+
+// --- thresholds ------------------------------------------------------------
+
+TEST(TransportWire, ThresholdsMatchTheGoldenBytes) {
+  std::vector<std::uint8_t> golden = bytes({0x02, 0x00, 0x00, 0x00});
+  append_f64_le(golden, 1.0);
+  append_f64_le(golden, -1.0);
+  const double values[] = {1.0, -1.0};
+  EXPECT_EQ(wire::encode_thresholds(values), golden);
+  EXPECT_EQ(wire::decode_thresholds(golden), std::vector<double>(
+                                                 {1.0, -1.0}));
+}
+
+// --- device totals ---------------------------------------------------------
+
+TEST(TransportWire, DeviceTotalsMatchTheGoldenBytes) {
+  DeviceTotals t;
+  t.arrivals = 1;
+  t.offloaded = 2;
+  t.local_completed = 3;
+  t.queue_integral = 0.5;
+  t.local_sojourn_sum = 1.5;
+  t.offload_delay_sum = 2.5;
+  t.energy_sum = 2.0;
+  std::vector<std::uint8_t> golden = bytes({
+      0x07, 0x00, 0x00, 0x00,  // device_lo = 7
+      0x08, 0x00, 0x00, 0x00,  // device_hi = 8
+  });
+  append_u64_le(golden, 1);
+  append_u64_le(golden, 2);
+  append_u64_le(golden, 3);
+  append_f64_le(golden, 0.5);
+  append_f64_le(golden, 1.5);
+  append_f64_le(golden, 2.5);
+  append_f64_le(golden, 2.0);
+  const std::vector<std::uint8_t> enc =
+      wire::encode_device_totals(7, 8, std::span(&t, 1));
+  EXPECT_EQ(enc, golden);
+  EXPECT_EQ(enc.size(), 8 + wire::kDeviceTotalsWireSize);
+
+  const wire::FinalTotals back = wire::decode_device_totals(enc);
+  EXPECT_EQ(back.device_lo, 7u);
+  EXPECT_EQ(back.device_hi, 8u);
+  ASSERT_EQ(back.totals.size(), 1u);
+  EXPECT_EQ(back.totals[0].arrivals, 1u);
+  EXPECT_EQ(back.totals[0].offloaded, 2u);
+  EXPECT_EQ(back.totals[0].local_completed, 3u);
+  EXPECT_EQ(back.totals[0].queue_integral, 0.5);
+  EXPECT_EQ(back.totals[0].local_sojourn_sum, 1.5);
+  EXPECT_EQ(back.totals[0].offload_delay_sum, 2.5);
+  EXPECT_EQ(back.totals[0].energy_sum, 2.0);
+}
+
+TEST(TransportWire, DeviceTotalsRejectMalformedPayloads) {
+  DeviceTotals t;
+  std::vector<std::uint8_t> enc =
+      wire::encode_device_totals(0, 1, std::span(&t, 1));
+  // Trailing bytes mean the peer and we disagree about the layout.
+  enc.push_back(0x00);
+  std::string what =
+      thrown_message([&] { wire::decode_device_totals(enc); });
+  EXPECT_NE(what.find("trailing"), std::string::npos) << what;
+  // An inverted device range cannot size the totals vector.
+  std::vector<std::uint8_t> inverted =
+      bytes({0x05, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00});
+  what = thrown_message([&] { wire::decode_device_totals(inverted); });
+  EXPECT_NE(what.find("inverted"), std::string::npos) << what;
+}
+
+// --- barrier payload -------------------------------------------------------
+
+TEST(TransportWire, EmptyBarrierPayloadMatchesTheGoldenBytes) {
+  // Zero shards, no queue sums: u32 shard count + u8 has_q.
+  const std::vector<std::uint8_t> enc =
+      wire::encode_barrier_payload({}, false, 0.0, 0.0);
+  EXPECT_EQ(enc, bytes({0x00, 0x00, 0x00, 0x00, 0x00}));
+
+  std::vector<std::uint8_t> trailing = enc;
+  trailing.push_back(0x00);
+  const std::string what =
+      thrown_message([&] { wire::decode_barrier_payload(trailing); });
+  EXPECT_NE(what.find("trailing bytes"), std::string::npos) << what;
+}
+
+wire::RankBarrierData sample_rank_data(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 100.0);
+  wire::RankBarrierData data;
+  data.shards.resize(2);
+
+  wire::RankBarrierData::Shard& a = data.shards[0];
+  a.shard = 3;
+  a.events = rng();
+  a.offloads_in_window = rng() % 1000;
+  a.tasks_lost = rng() % 10;
+  a.offloads_rejected = rng() % 10;
+  a.offloads_penalized = rng() % 10;
+  a.cluster_offloads = {rng() % 100, rng() % 100, rng() % 100};
+  a.flipped = true;
+  a.log.resize(5);
+  for (sim::OffloadRecord& rec : a.log) {
+    rec.time = uni(rng);
+    rec.latency = uni(rng);
+    rec.penalty = (rng() % 2) != 0 ? uni(rng) : 0.0;
+    rec.device = static_cast<std::uint32_t>(rng() % 4096);
+    rec.cluster = static_cast<std::uint16_t>(rng() % 3);
+    rec.measured = (rng() % 2) != 0;
+    rec.penalized = rec.penalty > 0.0;
+  }
+  a.has_sketches = true;
+  for (int i = 0; i < 64; ++i) a.local_sojourns.add(uni(rng));
+  for (int i = 0; i < 16; ++i) a.offload_delays.add(uni(rng));
+  a.has_queue_stats = true;
+  a.queue_depth = uni(rng);
+  a.calendar_gear = 2.0;
+  a.gear_switches = 5.0;
+  a.calendar_retunes = 1.0;
+  a.leg_seconds = uni(rng) * 1e-3;
+
+  // The second shard exercises the all-optional-blocks-absent arm.
+  wire::RankBarrierData::Shard& b = data.shards[1];
+  b.shard = 4;
+  b.events = rng();
+  b.cluster_offloads = {0, 0, 0};
+
+  data.has_q = true;
+  data.total_q = static_cast<double>(rng() % 1000);
+  data.total_q2 = static_cast<double>(rng() % 100000);
+  return data;
+}
+
+TEST(TransportWire, BarrierPayloadRoundTripsBitIdentically) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const wire::RankBarrierData data = sample_rank_data(seed);
+    const std::vector<ShardBarrierView> views = data.views();
+    const std::vector<std::uint8_t> enc =
+        wire::encode_barrier_payload(views, data.has_q, data.total_q,
+                                     data.total_q2);
+    const wire::RankBarrierData back = wire::decode_barrier_payload(enc);
+    // decode(encode(x)) == x, proven by re-encoding: the codec has no
+    // redundant representations, so byte equality is state equality.
+    const std::vector<std::uint8_t> enc2 = wire::encode_barrier_payload(
+        back.views(), back.has_q, back.total_q, back.total_q2);
+    EXPECT_EQ(enc, enc2) << "seed=" << seed;
+
+    // Spot-check the semantic fields the coordinator actually consumes.
+    ASSERT_EQ(back.shards.size(), data.shards.size());
+    const auto& a0 = data.shards[0];
+    const auto& b0 = back.shards[0];
+    EXPECT_EQ(b0.shard, a0.shard);
+    EXPECT_EQ(b0.events, a0.events);
+    EXPECT_EQ(b0.cluster_offloads, a0.cluster_offloads);
+    ASSERT_EQ(b0.log.size(), a0.log.size());
+    for (std::size_t i = 0; i < a0.log.size(); ++i) {
+      EXPECT_EQ(b0.log[i].time, a0.log[i].time);
+      EXPECT_EQ(b0.log[i].latency, a0.log[i].latency);
+      EXPECT_EQ(b0.log[i].device, a0.log[i].device);
+      EXPECT_EQ(b0.log[i].cluster, a0.log[i].cluster);
+      EXPECT_EQ(b0.log[i].measured, a0.log[i].measured);
+      EXPECT_EQ(b0.log[i].penalized, a0.log[i].penalized);
+    }
+    // Sketches cross the boundary bit-identically: count, extrema, and
+    // every quantile the stream log will later report.
+    EXPECT_EQ(b0.local_sojourns.count(), a0.local_sojourns.count());
+    EXPECT_EQ(b0.local_sojourns.min(), a0.local_sojourns.min());
+    EXPECT_EQ(b0.local_sojourns.max(), a0.local_sojourns.max());
+    EXPECT_EQ(b0.local_sojourns.p50(), a0.local_sojourns.p50());
+    EXPECT_EQ(b0.local_sojourns.p99(), a0.local_sojourns.p99());
+    EXPECT_EQ(back.total_q, data.total_q);
+    EXPECT_EQ(back.total_q2, data.total_q2);
+  }
+}
+
+TEST(TransportWire, BarrierPayloadRejectsTruncation) {
+  const wire::RankBarrierData data = sample_rank_data(99);
+  const std::vector<std::uint8_t> enc = wire::encode_barrier_payload(
+      data.views(), data.has_q, data.total_q, data.total_q2);
+  // Cut inside the shard block, the log, the sketch, and the queue stats.
+  for (const std::size_t cut : {std::size_t{3}, enc.size() / 4,
+                                enc.size() / 2, enc.size() - 1}) {
+    EXPECT_THROW(
+        wire::decode_barrier_payload(std::span(enc.data(), cut)),
+        RuntimeError)
+        << "cut=" << cut;
+  }
+}
+
+// --- .meclog envelope ------------------------------------------------------
+
+std::string test_scoped_path(const std::string& suffix) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string name = std::string(info->test_suite_name()) + "_" +
+                           info->name() + "_" + suffix;
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string write_minimal_log(const std::string& path) {
+  obs::RunLogMeta meta;
+  meta.emplace_back("scenario", "wire-format-test");
+  obs::RunLogWriter writer(path, meta);
+  obs::WindowRecord window;
+  window.time = 1.0;
+  window.gamma = 0.25;
+  writer.append_window(window);
+  obs::RunFooter footer;
+  footer.windows = 1;
+  writer.finish(footer);
+  return path;
+}
+
+TEST(RunLogWire, ScanRejectsAFlippedPayloadByte) {
+  const std::string path = test_scoped_path("corrupt.meclog");
+  write_minimal_log(path);
+  // Flip one byte inside the first frame's payload (the 24-byte file
+  // header is magic + version + padding; frames start right after it).
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(24 + 8);  // first frame: skip kind + length
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(24 + 8);
+    f.write(&byte, 1);
+  }
+  const obs::LogScan scan = obs::scan_log(path);
+  EXPECT_TRUE(scan.corrupt);
+  std::filesystem::remove(path);
+}
+
+TEST(RunLogWire, ScanTreatsAPartialTailFrameAsTruncation) {
+  const std::string path = test_scoped_path("truncated.meclog");
+  write_minimal_log(path);
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 3);  // cut into the footer frame
+  const obs::LogScan scan = obs::scan_log(path);
+  EXPECT_TRUE(scan.truncated);
+  EXPECT_FALSE(scan.corrupt);
+  EXPECT_FALSE(scan.footer.has_value());
+  EXPECT_EQ(scan.windows.size(), 1u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

@@ -79,6 +79,12 @@ sharded execution (simulate, closedloop):
   --shards=<k>                   partition one run's devices over k event
                                  queues (bit-identical for any k; default
                                  honors MEC_SHARDS, then 1)
+  --transport=<inproc|process>   run shard legs in this process (default)
+                                 or in forked worker processes; results
+                                 are byte-identical either way
+  --workers=<w>                  worker-process count for
+                                 --transport=process (default 2, capped at
+                                 the shard count)
 
 multi-cluster edge (simulate):
   --clusters=<k>                 split the edge capacity over k clusters
@@ -115,12 +121,23 @@ streaming telemetry (simulate, closedloop):
   --window=<seconds>             observation-grid spacing for the stream
                                  (and the in-memory timeline; default 1.0
                                  when --stream-log is set)
+  --counters=<0|1>               engine-counter frames in the stream log
+                                 (default 1; counters are wall-clock
+                                 diagnostics — disable them when byte-
+                                 comparing logs across shard counts or
+                                 transports)
 
 tail flags:
   mec tail <run.meclog> [--follow] [--check] [--interval=<ms>]
                         [--csv=<file>] [--hist-csv=<file>]
 run `mec <command> --help` for command-specific flags.
 )";
+
+sim::TransportKind parse_transport(const std::string& name) {
+  if (name == "inproc") return sim::TransportKind::kInProcess;
+  if (name == "process") return sim::TransportKind::kProcess;
+  throw RuntimeError("unknown --transport '" + name + "' (inproc|process)");
+}
 
 population::LoadRegime parse_regime(const std::string& name) {
   if (name == "low") return population::LoadRegime::kBelowService;
@@ -324,7 +341,8 @@ int cmd_simulate(const io::Args& args) {
                 "confidence", "fault-schedule", "shards", "stream-log",
                 "window", "target-ci", "target-rel", "max-replications",
                 "wave", "metric", "clusters", "topology", "policy",
-                "gamma-target", "update-period"});
+                "gamma-target", "update-period", "transport", "workers",
+                "counters"});
   args.reject_unknown(known);
   const auto cfg = build_scenario(args);
   const auto pop = population::sample_population(
@@ -345,6 +363,11 @@ int cmd_simulate(const io::Args& args) {
   so.stream_log = args.get_path("stream-log");
   if (args.has("window") || !so.stream_log.empty())
     so.sample_interval = args.get_double("window", 1.0);
+  so.transport = parse_transport(args.get_string("transport", "inproc"));
+  so.workers = static_cast<std::size_t>(args.get_long("workers", 0));
+  if (args.has("workers") && so.transport != sim::TransportKind::kProcess)
+    throw RuntimeError("--workers only applies to --transport=process");
+  so.stream_counters = args.get_long("counters", 1) != 0;
   const std::string service = args.get_string("service", "exp");
   if (service == "erlang4")
     so.service = sim::erlang_service(4);
@@ -366,6 +389,11 @@ int cmd_simulate(const io::Args& args) {
   const std::string policy = args.get_string("policy", "tro");
   if (policy != "tro" && policy != "price" && policy != "minority")
     throw RuntimeError("unknown --policy (tro|price|minority)");
+  if (so.transport == sim::TransportKind::kProcess && policy != "tro")
+    throw RuntimeError(
+        "--transport=process requires --policy=tro (the price and minority "
+        "controllers retune virtual policies that cannot cross a process "
+        "boundary)");
   if (policy != "tro") {
     if (args.has("replications") || args.has("target-ci") ||
         args.has("target-rel"))
@@ -431,6 +459,12 @@ int cmd_simulate(const io::Args& args) {
   const auto replications =
       static_cast<std::size_t>(args.get_long("replications", 1));
   const bool sequential = args.has("target-ci") || args.has("target-rel");
+  if (so.transport == sim::TransportKind::kProcess &&
+      (sequential || replications > 1))
+    throw RuntimeError(
+        "--transport=process runs a single simulation; replicated runs "
+        "already parallelize across replicas (drop --transport or the "
+        "replication flags)");
   if (sequential) {
     if (!so.stream_log.empty())
       throw RuntimeError(
@@ -493,7 +527,7 @@ int cmd_closedloop(const io::Args& args) {
   auto known = kCommonFlags;
   known.insert({"horizon", "period", "eta0", "epsilon", "async", "trace",
                 "fault-schedule", "drift-margin", "csv", "shards",
-                "stream-log", "window"});
+                "stream-log", "window", "transport", "workers", "counters"});
   args.reject_unknown(known);
   const auto cfg = build_scenario(args);
   const auto pop = population::sample_population(
@@ -511,6 +545,11 @@ int cmd_closedloop(const io::Args& args) {
   opt.stream_log = args.get_path("stream-log");
   if (args.has("window") || !opt.stream_log.empty())
     opt.sample_interval = args.get_double("window", 1.0);
+  opt.transport = parse_transport(args.get_string("transport", "inproc"));
+  opt.workers = static_cast<std::size_t>(args.get_long("workers", 0));
+  if (args.has("workers") && opt.transport != sim::TransportKind::kProcess)
+    throw RuntimeError("--workers only applies to --transport=process");
+  opt.stream_counters = args.get_long("counters", 1) != 0;
   const double async = args.get_double("async", 1.0);
   if (async < 1.0) opt.update_gate = core::make_bernoulli_gate(async, 1);
   opt.faults = build_faults(args, cfg);
