@@ -32,8 +32,12 @@
 //                            process: same results byte for byte, so the
 //                            events/sec delta *is* the wire overhead
 //                            (skips the in-process speedup column)
+//   des_scaling --transport=tcp --workers=host:port,...  same sweep through
+//                            `mec worker` daemons (one rank per address):
+//                            the delta vs process isolates the TCP stack
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -45,6 +49,7 @@
 #include "mec/core/edge_delay.hpp"
 #include "mec/core/user.hpp"
 #include "mec/io/json.hpp"
+#include "mec/net/address.hpp"
 #include "mec/random/rng.hpp"
 #include "mec/sim/mec_simulation.hpp"
 
@@ -80,6 +85,7 @@ CaseResult run_case(std::size_t n, int repetitions, std::size_t shards,
                     mec::sim::TransportKind transport =
                         mec::sim::TransportKind::kInProcess,
                     std::size_t workers = 0,
+                    const std::vector<std::string>& worker_addresses = {},
                     const std::string& stream_log = "") {
   const auto users = make_users(n);
   // Keep total events roughly constant (~3-4M) across N so each case
@@ -94,6 +100,7 @@ CaseResult run_case(std::size_t n, int repetitions, std::size_t shards,
   options.shards = shards;
   options.transport = transport;
   options.workers = workers;
+  options.worker_addresses = worker_addresses;
   if (!stream_log.empty()) {
     options.stream_log = stream_log;
     options.sample_interval = horizon / 50.0;
@@ -114,6 +121,8 @@ CaseResult run_case(std::size_t n, int repetitions, std::size_t shards,
   best.shards = shards == 0 ? 1 : shards;
   if (transport == mec::sim::TransportKind::kProcess)
     best.transport = "process";
+  else if (transport == mec::sim::TransportKind::kTcp)
+    best.transport = "tcp";
   best.horizon = horizon;
   for (int rep = 0; rep < repetitions; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -179,10 +188,34 @@ int run(mec::bench::Context& ctx) {
   mec::sim::TransportKind transport = mec::sim::TransportKind::kInProcess;
   if (transport_name == "process")
     transport = mec::sim::TransportKind::kProcess;
+  else if (transport_name == "tcp")
+    transport = mec::sim::TransportKind::kTcp;
   else if (!transport_name.empty() && transport_name != "inproc")
     throw std::runtime_error("des_scaling: unknown --transport '" +
-                             transport_name + "' (inproc|process)");
-  const auto workers = static_cast<std::size_t>(ctx.get_long("workers"));
+                             transport_name + "' (inproc|process|tcp)");
+  // --workers is dual-grammar: a count for process, a host:port list for
+  // tcp.  Both parses are strict — a typo dies here, not mid-sweep.
+  const std::string workers_flag = ctx.get_string("workers");
+  std::size_t workers = 0;
+  std::vector<std::string> worker_addresses;
+  if (transport == mec::sim::TransportKind::kTcp) {
+    if (workers_flag.empty() || workers_flag == "0")
+      throw std::runtime_error(
+          "des_scaling: --transport=tcp needs "
+          "--workers=<host:port,host:port,...> (one mec worker daemon per "
+          "rank)");
+    for (const mec::net::Address& a :
+         mec::net::parse_worker_list(workers_flag))
+      worker_addresses.push_back(a.str());
+  } else if (!workers_flag.empty()) {
+    char* end = nullptr;
+    const long value = std::strtol(workers_flag.c_str(), &end, 10);
+    if (end == workers_flag.c_str() || *end != '\0' || value < 0)
+      throw std::runtime_error("des_scaling: --workers='" + workers_flag +
+                               "' is not a worker-process count (host:port "
+                               "lists apply to --transport=tcp only)");
+    workers = static_cast<std::size_t>(value);
+  }
 
   std::vector<std::size_t> sizes;
   if (smoke) {
@@ -194,7 +227,8 @@ int run(mec::bench::Context& ctx) {
 
   std::vector<CaseResult> results;
   for (const std::size_t n : sizes) {
-    const CaseResult c = run_case(n, reps, shards, transport, workers);
+    const CaseResult c =
+        run_case(n, reps, shards, transport, workers, worker_addresses);
     results.push_back(c);
     emit_case(ctx, c);
   }
@@ -222,7 +256,8 @@ int run(mec::bench::Context& ctx) {
   if (!stream_log.empty()) {
     // One untimed replay of the largest case with telemetry on: produces a
     // viewable/CI-checkable artifact without touching the BENCH numbers.
-    run_case(results.back().n, 1, shards, transport, workers, stream_log);
+    run_case(results.back().n, 1, shards, transport, workers,
+             worker_addresses, stream_log);
     std::printf("telemetry stream written to %s\n", stream_log.c_str());
   }
 
@@ -248,9 +283,11 @@ int run(mec::bench::Context& ctx) {
       {"shards", mec::bench::FlagKind::kLong, "1",
        "force K shards for the sweep (skips the speedup column)"},
       {"transport", mec::bench::FlagKind::kString, "inproc",
-       "rank backend: inproc or process (forked workers)"},
-      {"workers", mec::bench::FlagKind::kLong, "0",
-       "worker-process count for --transport=process (0 = default 2)"},
+       "rank backend: inproc, process (forked workers), or tcp (mec worker "
+       "daemons)"},
+      {"workers", mec::bench::FlagKind::kString, "0",
+       "worker-process count for --transport=process (0 = default 2), or a "
+       "host:port,... daemon list for --transport=tcp"},
       {"baseline", mec::bench::FlagKind::kPath, "des_scaling_baseline.json",
        "events/sec floor file for --smoke"},
       {"stream-log", mec::bench::FlagKind::kPath, "",

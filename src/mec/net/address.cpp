@@ -1,0 +1,60 @@
+#include "mec/net/address.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "mec/common/error.hpp"
+
+namespace mec::net {
+
+Address parse_address(const std::string& spec, bool allow_port_zero) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0)
+    throw RuntimeError("worker address \"" + spec +
+                       "\" is not of the form host:port");
+  const std::string host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  if (port_text.empty() ||
+      !std::isdigit(static_cast<unsigned char>(port_text.front())))
+    throw RuntimeError("worker address \"" + spec +
+                       "\" is not of the form host:port");
+  char* end = nullptr;
+  errno = 0;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  const long port_lo = allow_port_zero ? 0 : 1;
+  if (*end != '\0' || errno != 0 || port < port_lo || port > 65535)
+    throw RuntimeError("worker address \"" + spec +
+                       "\" has an invalid port (expected an integer in [" +
+                       std::to_string(port_lo) + ", 65535])");
+  return Address{host, static_cast<std::uint16_t>(port)};
+}
+
+std::vector<Address> parse_worker_list(const std::string& csv) {
+  std::vector<Address> workers;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    std::size_t comma = csv.find(',', begin);
+    if (comma == std::string::npos) comma = csv.size();
+    workers.push_back(parse_address(csv.substr(begin, comma - begin)));
+    begin = comma + 1;
+  }
+  check_unique_worker_addresses(workers);
+  return workers;
+}
+
+void check_unique_worker_addresses(const std::vector<Address>& workers) {
+  if (workers.empty())
+    throw RuntimeError("the tcp worker list is empty (need at least one "
+                       "host:port)");
+  for (std::size_t i = 0; i < workers.size(); ++i)
+    for (std::size_t j = i + 1; j < workers.size(); ++j)
+      if (workers[i] == workers[j])
+        throw RuntimeError(
+            "tcp worker " + workers[i].str() +
+            " is listed twice (assigned to rank " + std::to_string(i) +
+            " and rank " + std::to_string(j) +
+            "); each rank needs its own daemon");
+}
+
+}  // namespace mec::net

@@ -1,0 +1,43 @@
+// Worker-address parsing for the TCP transport.
+//
+// Addresses are "host:port" strings (IPv4 literals or resolvable hostnames;
+// port 1-65535, or 0 where the caller explicitly allows an ephemeral bind).
+// Parsing is eager and loud: the CLI's --workers list and the engine's
+// worker_addresses option both go through here, so a typo'd port or a
+// duplicated worker (two ranks on one daemon would deadlock the barrier
+// protocol) fails before any socket is opened, naming the offending entry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mec::net {
+
+/// One worker endpoint.  `str()` renders the canonical "host:port" form
+/// used by every diagnostic that names a peer.
+struct Address {
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string str() const { return host + ":" + std::to_string(port); }
+
+  bool operator==(const Address&) const = default;
+};
+
+/// Parses "host:port".  Throws mec::RuntimeError naming `spec` when the
+/// colon is missing, the host is empty, or the port is not an integer in
+/// [1, 65535] ([0, 65535] with `allow_port_zero`, for ephemeral binds).
+Address parse_address(const std::string& spec, bool allow_port_zero = false);
+
+/// Parses a comma-separated worker list ("h1:p1,h2:p2,..."), one rank per
+/// entry in rank order.  Throws on an empty list, a malformed entry, or a
+/// duplicated address — the error names both ranks assigned to it.
+std::vector<Address> parse_worker_list(const std::string& csv);
+
+/// Rejects duplicate addresses in an already-parsed rank list, naming both
+/// ranks (the engine re-checks here because worker_addresses can be built
+/// programmatically, bypassing parse_worker_list).
+void check_unique_worker_addresses(const std::vector<Address>& workers);
+
+}  // namespace mec::net

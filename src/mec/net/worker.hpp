@@ -1,0 +1,60 @@
+// The `mec worker` daemon: one TCP rank endpoint.
+//
+// A daemon binds HOST:PORT (port 0 = ephemeral, for tests), accepts one
+// coordinator connection at a time, and serves one full run per connection:
+// versioned handshake, population decode, worker-side rebuild of the rank's
+// scenario slice, then the ordinary serve_worker barrier loop — the same
+// loop a forked ProcessTransport child runs, over a TCP fd instead of a
+// socketpair.  After finalize (or any error) it goes back to accepting, so
+// one daemon can serve many runs back to back.
+//
+// Handshake reads are deadline-bounded (MEC_TRANSPORT_TIMEOUT_MS), so a
+// port-scanning or garbage client cannot wedge the daemon: a bad magic,
+// oversized length, or CRC mismatch kills that connection with a best-effort
+// error frame and the daemon survives to serve the next one.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "mec/net/address.hpp"
+#include "mec/net/socket.hpp"
+
+namespace mec::net {
+
+class WorkerDaemon {
+ public:
+  struct Options {
+    Address listen;          ///< port 0 binds an ephemeral port
+    std::size_t max_runs = 0;  ///< serve() returns after this many (0 = forever)
+    bool quiet = false;        ///< suppress the per-run log lines
+  };
+
+  /// Binds and listens immediately (throws mec::RuntimeError on failure) so
+  /// the caller can read port() — and a test can bind before forking —
+  /// before any coordinator connects.
+  explicit WorkerDaemon(const Options& options);
+
+  /// The resolved listen port (meaningful after an ephemeral bind).
+  std::uint16_t port() const;
+
+  /// Accept loop: serves one run per connection until max_runs complete
+  /// runs (failed connections do not count) or shutdown().  Returns 0 on a
+  /// clean exit; connection-level errors are logged and answered with an
+  /// error frame, never fatal to the daemon.
+  int serve();
+
+  /// Wakes a blocked serve() and makes it return (callable from another
+  /// thread; used by the in-process test harness).
+  void shutdown();
+
+ private:
+  void serve_connection(int fd);
+
+  Options options_;
+  ScopedFd listen_fd_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace mec::net

@@ -6,10 +6,12 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstddef>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -51,6 +53,47 @@ static_assert(sizeof(DeviceTotals) == 56 &&
               "DeviceTotals layout drifted; update the wire codec and "
               "kDeviceTotalsWireSize together");
 static_assert(kDeviceTotalsWireSize == 56);
+
+std::string frame_kind_name(std::uint32_t kind) {
+  const char* name = "unknown";
+  switch (kind) {
+    case kFrameAdvance:
+      name = "advance request";
+      break;
+    case kFrameThresholds:
+      name = "threshold broadcast";
+      break;
+    case kFrameFinalize:
+      name = "finalize request";
+      break;
+    case kFrameHello:
+      name = "hello";
+      break;
+    case kFramePopulation:
+      name = "population";
+      break;
+    case kFrameBarrier:
+      name = "barrier payload";
+      break;
+    case kFrameFinal:
+      name = "final device totals";
+      break;
+    case kFrameHelloAck:
+      name = "hello ack";
+      break;
+    case kFrameReady:
+      name = "population ready";
+      break;
+    case kFrameError:
+      name = "worker error";
+      break;
+    default:
+      break;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s (kind 0x%02X)", name, kind);
+  return buf;
+}
 
 std::vector<std::uint8_t> encode_frame(
     std::uint32_t kind, std::span<const std::uint8_t> payload) {
@@ -403,6 +446,99 @@ long env_long(const char* name, long fallback) {
 
 }  // namespace
 
+long resolve_transport_timeout_ms(long fallback_ms) {
+  const char* env = std::getenv("MEC_TRANSPORT_TIMEOUT_MS");
+  if (env == nullptr || *env == '\0') return fallback_ms;
+  // Same eager-validation contract as MEC_SHARDS (resolve_shard_count): a
+  // malformed or out-of-range deadline is a run-killing misconfiguration,
+  // not something to paper over with the default.
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(env, &end, 10);
+  const bool clean = std::isdigit(static_cast<unsigned char>(*env)) &&
+                     end != env && *end == '\0' && errno == 0;
+  if (!clean || parsed < 1 || parsed > kMaxTransportTimeoutMs)
+    throw RuntimeError("MEC_TRANSPORT_TIMEOUT_MS=\"" + std::string(env) +
+                       "\" is not a valid read deadline (expected an integer "
+                       "number of milliseconds in [1, " +
+                       std::to_string(kMaxTransportTimeoutMs) + "])");
+  return parsed;
+}
+
+namespace wire {
+
+void write_frame(int fd, std::uint32_t kind,
+                 std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> frame = encode_frame(kind, payload);
+  write_all(fd, frame.data(), frame.size());
+}
+
+DecodedFrame read_frame_deadline(int fd, long timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::uint8_t header[8];
+  std::size_t have = 0;
+  std::vector<std::uint8_t> body;  // payload + crc once the header is in
+  std::size_t body_have = 0;
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline)
+      throw PeerError(PeerError::Kind::kTimeout,
+                      "transport read deadline expired after " +
+                          std::to_string(timeout_ms) + " ms");
+    struct pollfd pfd{fd, POLLIN, 0};
+    const long wait_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             deadline - now)
+                             .count();
+    const int ready = ::poll(&pfd, 1, static_cast<int>(wait_ms) + 1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw RuntimeError(std::string("transport poll failed: ") +
+                         std::strerror(errno));
+    }
+    if (ready == 0) continue;  // deadline check at loop head
+    if (have < sizeof header) {
+      const ssize_t r = ::read(fd, header + have, sizeof header - have);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        throw RuntimeError(std::string("transport read failed: ") +
+                           std::strerror(errno));
+      }
+      if (r == 0)
+        throw PeerError(PeerError::Kind::kClosed,
+                        "transport peer closed the channel");
+      have += static_cast<std::size_t>(r);
+      if (have == sizeof header) {
+        const std::uint32_t len = load_le_u32(header + 4);
+        if (len > kMaxTransportPayload)
+          throw RuntimeError("transport frame length exceeds the size cap");
+        body.resize(static_cast<std::size_t>(len) + 4);
+      }
+      continue;
+    }
+    const ssize_t r =
+        ::read(fd, body.data() + body_have, body.size() - body_have);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw RuntimeError(std::string("transport read failed: ") +
+                         std::strerror(errno));
+    }
+    if (r == 0)
+      throw PeerError(PeerError::Kind::kClosed,
+                      "transport peer closed the channel");
+    body_have += static_cast<std::size_t>(r);
+    if (body_have == body.size()) break;
+  }
+  DecodedFrame frame;
+  frame.kind = load_le_u32(header);
+  frame.payload.assign(body.begin(), body.end() - 4);
+  if (load_le_u32(body.data() + body.size() - 4) != obs::crc32(frame.payload))
+    throw RuntimeError("transport frame CRC mismatch");
+  return frame;
+}
+
+}  // namespace wire
+
 // --- worker loop -----------------------------------------------------------
 
 void serve_worker(RankWorker& worker, std::size_t rank, int fd) {
@@ -467,7 +603,7 @@ ProcessTransport::ProcessTransport(const Config& config,
                                    const WorkerFactory& factory)
     : config_(config) {
   MEC_EXPECTS(config.workers >= 1 && config.workers <= config.shard_count);
-  timeout_ms_ = env_long("MEC_TRANSPORT_TIMEOUT_MS", 300000);
+  timeout_ms_ = resolve_transport_timeout_ms();
   ranks_.resize(config.workers);
   for (std::size_t r = 0; r < config.workers; ++r) {
     ranks_[r].shard_lo = config.shard_count * r / config.workers;
@@ -561,67 +697,23 @@ void ProcessTransport::fail_rank(Rank& rank, double barrier_time,
                     std::to_string(barrier_time) + "; last completed barrier #" +
                     std::to_string(rank.barriers_done) + " (t=" +
                     std::to_string(rank.last_barrier_time) + ")";
+  if (rank.pending != 0)
+    msg += "; pending frame: " + wire::frame_kind_name(rank.pending);
   throw RuntimeError(msg);
 }
 
 wire::DecodedFrame ProcessTransport::read_frame(Rank& rank,
                                                 double barrier_time) {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms_);
-  std::uint8_t header[8];
-  std::size_t have = 0;
-  std::vector<std::uint8_t> body;  // payload + crc once the header is in
-  std::size_t body_have = 0;
-  for (;;) {
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline)
+  wire::DecodedFrame frame;
+  try {
+    frame = wire::read_frame_deadline(rank.fd, timeout_ms_);
+  } catch (const wire::PeerError& e) {
+    if (e.kind() == wire::PeerError::Kind::kTimeout)
       fail_rank(rank, barrier_time,
                 "stopped responding (no payload within " +
                     std::to_string(timeout_ms_) + " ms)");
-    struct pollfd pfd{rank.fd, POLLIN, 0};
-    const long wait_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                             deadline - now)
-                             .count();
-    const int ready = ::poll(&pfd, 1, static_cast<int>(wait_ms) + 1);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      throw RuntimeError(std::string("transport poll failed: ") +
-                         std::strerror(errno));
-    }
-    if (ready == 0) continue;  // deadline check at loop head
-    if (have < sizeof header) {
-      const ssize_t r = ::read(rank.fd, header + have, sizeof header - have);
-      if (r < 0) {
-        if (errno == EINTR) continue;
-        throw RuntimeError(std::string("transport read failed: ") +
-                           std::strerror(errno));
-      }
-      if (r == 0) fail_rank(rank, barrier_time, "exited unexpectedly");
-      have += static_cast<std::size_t>(r);
-      if (have == sizeof header) {
-        const std::uint32_t len = load_le_u32(header + 4);
-        if (len > wire::kMaxTransportPayload)
-          throw RuntimeError("transport frame length exceeds the size cap");
-        body.resize(static_cast<std::size_t>(len) + 4);
-      }
-      continue;
-    }
-    const ssize_t r =
-        ::read(rank.fd, body.data() + body_have, body.size() - body_have);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      throw RuntimeError(std::string("transport read failed: ") +
-                         std::strerror(errno));
-    }
-    if (r == 0) fail_rank(rank, barrier_time, "exited unexpectedly");
-    body_have += static_cast<std::size_t>(r);
-    if (body_have == body.size()) break;
+    fail_rank(rank, barrier_time, "exited unexpectedly");
   }
-  wire::DecodedFrame frame;
-  frame.kind = load_le_u32(header);
-  frame.payload.assign(body.begin(), body.end() - 4);
-  if (load_le_u32(body.data() + body.size() - 4) != obs::crc32(frame.payload))
-    throw RuntimeError("transport frame CRC mismatch");
   ++rank.stats.frames_received;
   rank.stats.payload_bytes += frame.payload.size();
   if (frame.kind == wire::kFrameError) {
@@ -639,6 +731,7 @@ std::span<const ShardBarrierView> ProcessTransport::advance(
   for (Rank& rank : ranks_)
     send_frame(rank, wire::kFrameAdvance, payload);
   for (Rank& rank : ranks_) {
+    rank.pending = wire::kFrameBarrier;
     const auto t0 = std::chrono::steady_clock::now();
     wire::DecodedFrame frame = read_frame(rank, request.limit);
     rank.stats.barrier_wait_seconds =
@@ -648,6 +741,7 @@ std::span<const ShardBarrierView> ProcessTransport::advance(
       fail_rank(rank, request.limit,
                 "sent an unexpected frame kind " + std::to_string(frame.kind));
     rank.data = wire::decode_barrier_payload(frame.payload);
+    rank.pending = 0;
     ++rank.barriers_done;
     rank.last_barrier_time = request.limit;
   }
@@ -677,10 +771,12 @@ void ProcessTransport::finalize(bool flipped) {
   totals_.assign(config_.n_devices, DeviceTotals{});
   const double t_mark = -1.0;  // finalize has no barrier time
   for (Rank& rank : ranks_) {
+    rank.pending = wire::kFrameFinal;
     wire::DecodedFrame frame = read_frame(rank, t_mark);
     if (frame.kind != wire::kFrameFinal)
       fail_rank(rank, t_mark,
                 "sent an unexpected frame kind " + std::to_string(frame.kind));
+    rank.pending = 0;
     wire::FinalTotals fin = wire::decode_device_totals(frame.payload);
     if (fin.device_hi > config_.n_devices)
       throw RuntimeError("transport final totals exceed the device range");

@@ -31,6 +31,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -204,9 +205,17 @@ namespace wire {
 inline constexpr std::uint32_t kFrameAdvance = 0x10;     ///< BarrierRequest
 inline constexpr std::uint32_t kFrameThresholds = 0x11;  ///< f64 per device
 inline constexpr std::uint32_t kFrameFinalize = 0x12;    ///< u8 flipped
+inline constexpr std::uint32_t kFrameHello = 0x13;       ///< TCP handshake
+inline constexpr std::uint32_t kFramePopulation = 0x14;  ///< rank's slice
 inline constexpr std::uint32_t kFrameBarrier = 0x20;     ///< barrier payload
 inline constexpr std::uint32_t kFrameFinal = 0x21;       ///< device totals
+inline constexpr std::uint32_t kFrameHelloAck = 0x22;    ///< handshake echo
+inline constexpr std::uint32_t kFrameReady = 0x23;       ///< population built
 inline constexpr std::uint32_t kFrameError = 0x2F;       ///< worker failure
+
+/// Human-readable frame-kind label for diagnostics, e.g.
+/// "barrier payload (kind 0x20)"; unregistered kinds render as "unknown".
+std::string frame_kind_name(std::uint32_t kind);
 
 /// Barrier payloads scale with the leg's offload log, so the cap is far
 /// above the run-log's (the length field stays u32 either way).
@@ -288,7 +297,47 @@ struct FinalTotals {
 };
 FinalTotals decode_device_totals(std::span<const std::uint8_t> payload);
 
+// --- deadline-bounded fd framing (shared by process + tcp backends) --------
+
+/// Peer-liveness failure on a framed channel: the fd hit EOF at a frame
+/// boundary (kClosed) or the read deadline expired (kTimeout).  Transports
+/// catch this to attach rank / peer-address / barrier context; wire-format
+/// corruption (CRC, oversize) stays a plain mec::RuntimeError because it is
+/// a protocol fault, not a liveness one.
+class PeerError final : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t { kClosed, kTimeout };
+  PeerError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Writes one complete frame to `fd`; short writes and EINTR are retried
+/// until the whole envelope is on the wire.
+void write_frame(int fd, std::uint32_t kind,
+                 std::span<const std::uint8_t> payload);
+
+/// Reads one complete frame from `fd` within `timeout_ms` — the poll-deadline
+/// loop both backends share.  Partial reads are resumed across polls; the
+/// deadline covers the whole frame, not each chunk.  Throws PeerError
+/// (kClosed on EOF, kTimeout on deadline) and mec::RuntimeError on CRC
+/// mismatch, an oversized length, or a poll/read error.
+DecodedFrame read_frame_deadline(int fd, long timeout_ms);
+
 }  // namespace wire
+
+/// Upper bound accepted for MEC_TRANSPORT_TIMEOUT_MS (24 h, in ms).
+inline constexpr long kMaxTransportTimeoutMs = 86'400'000;
+
+/// Resolves the per-read transport deadline: MEC_TRANSPORT_TIMEOUT_MS when
+/// set, else `fallback_ms`.  A malformed or out-of-range value throws
+/// mec::RuntimeError naming the variable and the accepted range
+/// [1, 86400000] instead of silently falling back (same contract as
+/// MEC_SHARDS in resolve_shard_count).
+long resolve_transport_timeout_ms(long fallback_ms = 300000);
 
 // --- process backend -------------------------------------------------------
 
@@ -347,6 +396,10 @@ class ProcessTransport final : public Transport {
     RankStats stats;
     std::uint64_t barriers_done = 0;
     double last_barrier_time = 0.0;
+    /// Frame kind the coordinator is currently waiting on (0 = none); a
+    /// crash diagnostic names it so a death during the finalize exchange is
+    /// distinguishable from a mid-leg one.
+    std::uint32_t pending = 0;
     bool reaped = false;
   };
 

@@ -30,6 +30,16 @@ Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
     state_[0] = 1;
 }
 
+Xoshiro256 Xoshiro256::from_state(
+    const std::array<std::uint64_t, 4>& words) noexcept {
+  Xoshiro256 rng(0);
+  rng.state_ = words;
+  if (rng.state_[0] == 0 && rng.state_[1] == 0 && rng.state_[2] == 0 &&
+      rng.state_[3] == 0)
+    rng.state_[0] = 1;
+  return rng;
+}
+
 Xoshiro256::result_type Xoshiro256::operator()() noexcept {
   const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
   const std::uint64_t t = state_[1] << 17;

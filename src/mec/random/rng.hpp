@@ -37,6 +37,16 @@ class Xoshiro256 {
   /// sequence of split() calls yields pairwise-independent streams.
   Xoshiro256 split() noexcept;
 
+  /// The raw 256-bit engine state, for serialization.  The TCP transport
+  /// ships each device's pre-run stream to its worker as four words;
+  /// from_state() reconstructs an engine that continues the exact sequence.
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+
+  /// Rebuilds an engine from a state() snapshot (words must not be all zero;
+  /// the all-zero state is a fixed point and is coerced to a valid one).
+  static Xoshiro256 from_state(
+      const std::array<std::uint64_t, 4>& words) noexcept;
+
   bool operator==(const Xoshiro256&) const noexcept = default;
 
  private:

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -35,6 +36,10 @@ struct ClosedLoopOptions {
   core::UpdateGate update_gate;   ///< null => every device updates
   ServiceSampler service;         ///< null => exponential
   LatencySampler latency;         ///< null => exponential
+  /// Wire-describable sampler specs forwarded to SimulationOptions;
+  /// required (instead of the closures above) for transport=tcp.
+  std::optional<SamplerSpec> service_spec;
+  std::optional<SamplerSpec> latency_spec;
   double utilization_ewma_tau = 10.0;
   /// Optional fault/churn schedule forwarded to the simulator.  With churn,
   /// joining devices get their own MutableTroPolicy (threshold 0 until the
@@ -58,6 +63,8 @@ struct ClosedLoopOptions {
   /// transport's mirrored-threshold requirement always holds here.
   TransportKind transport = TransportKind::kInProcess;
   std::size_t workers = 0;
+  /// host:port per rank, forwarded to SimulationOptions (tcp only).
+  std::vector<std::string> worker_addresses;
   /// Edge cluster topology forwarded to the simulator.  Algorithm 1 keeps
   /// broadcasting the scalar aggregate utilization; the per-cluster gamma
   /// trajectories still land in the telemetry stream.

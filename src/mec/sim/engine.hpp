@@ -34,6 +34,9 @@
 
 #include "mec/common/error.hpp"
 #include "mec/fault/fault_plan.hpp"
+#include "mec/net/address.hpp"
+#include "mec/net/protocol.hpp"
+#include "mec/net/tcp_transport.hpp"
 #include "mec/parallel/shard_executor.hpp"
 #include "mec/parallel/thread_pool.hpp"
 #include "mec/parallel/transport.hpp"
@@ -182,6 +185,81 @@ SimulationResult run_sharded(const std::vector<core::UserParams>& users,
               ws, TroValueDecide{mirror.data()}, wlc, shard_lo, shard_hi,
               nullptr, &mirror);
         });
+    return coordinator_run(cc, transport);
+  }
+
+  if (options.transport == TransportKind::kTcp) {
+    // Same contract as transport=process: remote ranks decide over a
+    // mirrored threshold vector, so the provider must expose per-device
+    // TRO thresholds.  Checked before connecting anywhere.
+    std::vector<double> mirror(n_devices);
+    for (std::uint32_t d = 0; d < n_devices; ++d) {
+      mirror[d] = decide.threshold_value(d);
+      if (mirror[d] < 0.0)
+        throw RuntimeError(
+            "transport=tcp requires per-device TRO thresholds, but the "
+            "policy for device " +
+            std::to_string(d) +
+            " has none (virtual non-TRO policies cannot cross a machine "
+            "boundary)");
+    }
+    std::vector<net::Address> workers;
+    workers.reserve(options.worker_addresses.size());
+    for (const std::string& spec : options.worker_addresses)
+      workers.push_back(net::parse_address(spec));
+    net::check_unique_worker_addresses(workers);
+    const std::size_t ranks = workers.size();
+    if (ranks > shard_count)
+      throw RuntimeError("transport=tcp lists " + std::to_string(ranks) +
+                         " workers but the run has only " +
+                         std::to_string(shard_count) +
+                         " shards; drop workers or raise --shards");
+    MEC_EXPECTS_MSG(options.service_spec && options.latency_spec,
+                    "transport=tcp requires sampler specs (enforced by "
+                    "MecSimulation)");
+    // Unlike transport=process there is no fork to inherit state through:
+    // each rank's slice is serialized explicitly.  The RNG words shipped
+    // are the *pre-init* snapshots (rng_init); the worker re-runs
+    // init_shard and reproduces the initial-arrival draws bit for bit.
+    net::wire::WorkerPopulation base;
+    base.ranks = static_cast<std::uint32_t>(ranks);
+    base.seed = options.seed;
+    base.n_devices = n_devices;
+    base.n_initial = n_initial;
+    base.n_clusters = n_clusters;
+    base.shard_count = static_cast<std::uint32_t>(shard_count);
+    base.warmup = options.warmup;
+    base.t_end = t_end;
+    base.has_fixed_gamma = has_fixed_gamma;
+    base.fixed_delay = fixed_delay;
+    base.with_faults = WithFaults;
+    base.service = *options.service_spec;
+    base.latency = *options.latency_spec;
+    if constexpr (WithFaults)
+      base.actions.assign(plan.actions.begin(), plan.actions.end());
+    std::vector<std::vector<std::uint8_t>> payloads;
+    payloads.reserve(ranks);
+    for (std::size_t r = 0; r < ranks; ++r) {
+      net::wire::WorkerPopulation pop = base;
+      pop.rank = static_cast<std::uint32_t>(r);
+      pop.shard_lo = static_cast<std::uint32_t>(shard_count * r / ranks);
+      pop.shard_hi = static_cast<std::uint32_t>(shard_count * (r + 1) / ranks);
+      pop.device_lo =
+          parallel::shard_bound(n_devices, shard_count, pop.shard_lo);
+      pop.device_hi =
+          parallel::shard_bound(n_devices, shard_count, pop.shard_hi);
+      pop.users.assign(users.begin() + pop.device_lo,
+                       users.begin() + pop.device_hi);
+      pop.rng_states.reserve(pop.device_hi - pop.device_lo);
+      for (std::uint32_t d = pop.device_lo; d < pop.device_hi; ++d)
+        pop.rng_states.push_back(ws.rng_init[d].state());
+      payloads.push_back(net::wire::encode_population(pop));
+    }
+    net::TcpTransport::Config cfg;
+    cfg.workers = std::move(workers);
+    cfg.shard_count = shard_count;
+    cfg.n_devices = n_devices;
+    net::TcpTransport transport(cfg, payloads, mirror);
     return coordinator_run(cc, transport);
   }
 

@@ -60,6 +60,36 @@ LatencySampler deterministic_latency();
 /// Resamples `latencies` rescaled so each device's mean latency is tau_n.
 LatencySampler empirical_latency(random::EmpiricalDataset latencies);
 
+/// Wire-describable sampler recipe.  A raw ServiceSampler/LatencySampler is
+/// an arbitrary closure and cannot cross a machine boundary; a spec is data,
+/// so the TCP transport ships it in the population frame and the worker
+/// rebuilds the *same* factory closure — same parameters, same RNG-draw
+/// order, hence bit-identical streams.  make_service_sampler /
+/// make_latency_sampler map each kind onto the factory of the same name.
+struct SamplerSpec {
+  enum class Kind : std::uint8_t {
+    kExponential = 0,
+    kDeterministic = 1,
+    /// param = stage count k >= 1 (service only).
+    kErlang = 2,
+    /// param = SCV >= 1 (service only).
+    kHyperExponential = 3,
+    /// data = samples to resample (rescaled per device to the target mean).
+    kEmpirical = 4,
+  };
+  Kind kind = Kind::kExponential;
+  double param = 0.0;
+  std::vector<double> data;
+
+  bool operator==(const SamplerSpec&) const = default;
+};
+
+/// Builds the sampler a spec describes; throws mec::RuntimeError on an
+/// invalid spec (bad param/data for the kind, or a latency kind the latency
+/// factories do not offer).
+ServiceSampler make_service_sampler(const SamplerSpec& spec);
+LatencySampler make_latency_sampler(const SamplerSpec& spec);
+
 /// How a run's shard legs execute relative to the coordinating process.
 /// Either way the coordinator/worker split goes through the same
 /// parallel::Transport seam and results are bit-identical — the transport
@@ -75,6 +105,14 @@ enum class TransportKind {
   /// thresholds (threshold_value(n) >= 0 for every device) — virtual
   /// non-TRO policies cannot be mirrored across a process boundary.
   kProcess,
+  /// Ranks live in `mec worker` daemons reached over TCP
+  /// (SimulationOptions::worker_addresses, one rank per address); the same
+  /// wire dialect as kProcess plus a versioned handshake and an explicit
+  /// population frame per rank (workers cannot inherit device arrays by
+  /// fork).  Requires per-device TRO thresholds like kProcess, and
+  /// wire-describable samplers (service_spec/latency_spec — raw sampler
+  /// closures cannot cross a machine boundary).
+  kTcp,
 };
 
 struct SimulationOptions {
@@ -83,6 +121,14 @@ struct SimulationOptions {
   std::uint64_t seed = 1;
   ServiceSampler service;  ///< null => exponential_service()
   LatencySampler latency;  ///< null => exponential_latency()
+  /// Wire-describable sampler recipes.  Setting a spec (and leaving the
+  /// matching raw sampler null) makes the run TCP-shippable: the
+  /// constructor materializes the sampler via make_service_sampler /
+  /// make_latency_sampler, so results are identical to passing the factory
+  /// product directly.  Setting both a spec and its raw sampler is an
+  /// error; with neither, the spec defaults to exponential.
+  std::optional<SamplerSpec> service_spec;
+  std::optional<SamplerSpec> latency_spec;
   /// If set, the edge delay uses this constant utilization (quasi-stationary
   /// evaluation); otherwise an online EWMA estimate with time constant
   /// `utilization_ewma_tau` is used, seeded from `initial_gamma`.
@@ -146,6 +192,12 @@ struct SimulationOptions {
   /// any value is capped at the run's shard count.  Ignored by kInProcess.
   /// Worker rank r owns the contiguous shard slice [K*r/W, K*(r+1)/W).
   std::size_t workers = 0;
+  /// Worker daemon addresses ("host:port") for TransportKind::kTcp, one
+  /// rank per entry in rank order.  The list must be duplicate-free and no
+  /// longer than the run's shard count (every rank needs at least one
+  /// shard).  Shard slices follow the same [K*r/W, K*(r+1)/W) rule, so any
+  /// placement streams the exact inproc bytes.
+  std::vector<std::string> worker_addresses;
   /// When non-empty, the run streams windowed telemetry to this .meclog
   /// path: one fixed-size window record per sample instant, flushed at the
   /// observation-grid barrier (see src/mec/obs/ and docs/OBSERVABILITY.md).

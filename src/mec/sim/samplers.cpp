@@ -3,6 +3,7 @@
 // never touch — or recompile — the event-loop translation units.
 #include <cmath>
 #include <cstddef>
+#include <string>
 #include <utility>
 
 #include "mec/common/error.hpp"
@@ -76,6 +77,62 @@ LatencySampler empirical_latency(random::EmpiricalDataset latencies) {
              random::Xoshiro256& rng, const core::UserParams& u) {
     return latencies.resample(rng) * (u.offload_latency / dataset_mean);
   };
+}
+
+namespace {
+
+random::EmpiricalDataset spec_dataset(const SamplerSpec& spec,
+                                      const char* role) {
+  if (spec.data.empty())
+    throw RuntimeError(std::string("empirical ") + role +
+                       " sampler spec has no samples");
+  // EmpiricalDataset keeps its samples sorted, so a dataset rebuilt from a
+  // shipped spec resamples the exact sequence the coordinator's would.
+  return random::EmpiricalDataset(spec.data, "spec");
+}
+
+}  // namespace
+
+ServiceSampler make_service_sampler(const SamplerSpec& spec) {
+  switch (spec.kind) {
+    case SamplerSpec::Kind::kExponential:
+      return exponential_service();
+    case SamplerSpec::Kind::kDeterministic:
+      return deterministic_service();
+    case SamplerSpec::Kind::kErlang: {
+      const double stages = spec.param;
+      if (!(stages >= 1.0) || stages != std::floor(stages))
+        throw RuntimeError(
+            "erlang service sampler spec needs an integer stage count >= 1");
+      return erlang_service(static_cast<std::size_t>(stages));
+    }
+    case SamplerSpec::Kind::kHyperExponential:
+      if (!(spec.param >= 1.0))
+        throw RuntimeError(
+            "hyperexponential service sampler spec needs SCV >= 1");
+      return hyperexponential_service(spec.param);
+    case SamplerSpec::Kind::kEmpirical:
+      return empirical_service(spec_dataset(spec, "service"));
+  }
+  throw RuntimeError("unknown service sampler spec kind " +
+                     std::to_string(static_cast<int>(spec.kind)));
+}
+
+LatencySampler make_latency_sampler(const SamplerSpec& spec) {
+  switch (spec.kind) {
+    case SamplerSpec::Kind::kExponential:
+      return exponential_latency();
+    case SamplerSpec::Kind::kDeterministic:
+      return deterministic_latency();
+    case SamplerSpec::Kind::kEmpirical:
+      return empirical_latency(spec_dataset(spec, "latency"));
+    case SamplerSpec::Kind::kErlang:
+    case SamplerSpec::Kind::kHyperExponential:
+      break;
+  }
+  throw RuntimeError(
+      "latency sampler spec supports exponential, deterministic, or "
+      "empirical kinds only");
 }
 
 }  // namespace mec::sim

@@ -28,6 +28,7 @@
 #include "mec/core/edge_delay.hpp"
 #include "mec/core/user.hpp"
 #include "mec/fault/fault_schedule.hpp"
+#include "mec/parallel/transport.hpp"
 #include "mec/population/population.hpp"
 #include "mec/population/scenario.hpp"
 #include "mec/random/rng.hpp"
@@ -334,6 +335,47 @@ TEST(ProcessTransportRobustness, WorkerCrashFailsWithRankAndBarrier) {
     EXPECT_NE(what.find("exit status 17"), std::string::npos) << what;
     EXPECT_NE(what.find("last completed barrier #2"), std::string::npos)
         << what;
+    // The diagnostic names the frame the coordinator was still waiting for,
+    // so a hung-vs-crashed worker is distinguishable from the message alone.
+    EXPECT_NE(what.find("pending frame: barrier payload"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(TransportTimeout, EnvOverrideIsValidatedLoudly) {
+  // A malformed or out-of-range MEC_TRANSPORT_TIMEOUT_MS must throw naming
+  // the variable and the accepted range — a typo'd deadline silently
+  // falling back to 5 minutes would make stall tests pass vacuously.
+  for (const char* bad : {"banana", "0", "-5", "1e3", "250ms", "86400001",
+                          "999999999999999999999"}) {
+    ScopedEnv env("MEC_TRANSPORT_TIMEOUT_MS", bad);
+    try {
+      parallel::resolve_transport_timeout_ms();
+      FAIL() << "value '" << bad << "' must be rejected";
+    } catch (const RuntimeError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("MEC_TRANSPORT_TIMEOUT_MS"), std::string::npos)
+          << what;
+      EXPECT_NE(what.find("[1, 86400000]"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(TransportTimeout, EnvOverrideAndFallbackResolve) {
+  {
+    ScopedEnv env("MEC_TRANSPORT_TIMEOUT_MS", "250");
+    EXPECT_EQ(parallel::resolve_transport_timeout_ms(), 250);
+    EXPECT_EQ(parallel::resolve_transport_timeout_ms(9000), 250);
+  }
+  {
+    ScopedEnv env("MEC_TRANSPORT_TIMEOUT_MS", "86400000");
+    EXPECT_EQ(parallel::resolve_transport_timeout_ms(),
+              parallel::kMaxTransportTimeoutMs);
+  }
+  {
+    // Unset and empty both mean "use the fallback", matching MEC_SHARDS.
+    ScopedEnv env("MEC_TRANSPORT_TIMEOUT_MS", "");
+    EXPECT_EQ(parallel::resolve_transport_timeout_ms(1234), 1234);
   }
 }
 

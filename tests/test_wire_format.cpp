@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "mec/common/error.hpp"
+#include "mec/net/protocol.hpp"
 #include "mec/obs/run_log.hpp"
 #include "mec/parallel/transport.hpp"
 #include "mec/stats/latency_sketch.hpp"
@@ -100,8 +101,12 @@ TEST(TransportWire, FrameKindsArePinnedAndDisjointFromRunLogKinds) {
   EXPECT_EQ(wire::kFrameAdvance, 0x10u);
   EXPECT_EQ(wire::kFrameThresholds, 0x11u);
   EXPECT_EQ(wire::kFrameFinalize, 0x12u);
+  EXPECT_EQ(wire::kFrameHello, 0x13u);
+  EXPECT_EQ(wire::kFramePopulation, 0x14u);
   EXPECT_EQ(wire::kFrameBarrier, 0x20u);
   EXPECT_EQ(wire::kFrameFinal, 0x21u);
+  EXPECT_EQ(wire::kFrameHelloAck, 0x22u);
+  EXPECT_EQ(wire::kFrameReady, 0x23u);
   EXPECT_EQ(wire::kFrameError, 0x2Fu);
   // Disjoint from obs::FrameKind (1..4), so a misdirected frame can never
   // masquerade as run-log data.
@@ -421,6 +426,314 @@ TEST(RunLogWire, ScanTreatsAPartialTailFrameAsTruncation) {
   EXPECT_FALSE(scan.footer.has_value());
   EXPECT_EQ(scan.windows.size(), 1u);
   std::filesystem::remove(path);
+}
+
+// --- TCP handshake + population frames (net/protocol.cpp) ------------------
+
+void append_u16_le(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void append_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+}
+
+TEST(NetWire, HelloMatchesTheGoldenBytes) {
+  net::wire::Hello hello;
+  hello.rank = 3;
+  hello.ranks = 8;
+  const std::vector<std::uint8_t> payload = net::wire::encode_hello(hello);
+  // magic "MECT" | revision | rank | ranks, all u32 LE.
+  const std::vector<std::uint8_t> golden = bytes({
+      0x4D, 0x45, 0x43, 0x54,  // "MECT"
+      0x01, 0x00, 0x00, 0x00,  // schema revision 1
+      0x03, 0x00, 0x00, 0x00,  // rank 3
+      0x08, 0x00, 0x00, 0x00,  // of 8 ranks
+  });
+  EXPECT_EQ(payload, golden);
+  EXPECT_EQ(payload.size(), net::wire::kHelloWireSize);
+  const net::wire::Hello back = net::wire::decode_hello(payload);
+  EXPECT_EQ(back.revision, net::wire::kSchemaRevision);
+  EXPECT_EQ(back.rank, 3u);
+  EXPECT_EQ(back.ranks, 8u);
+}
+
+TEST(NetWire, HelloAckMatchesTheGoldenBytes) {
+  net::wire::HelloAck ack;
+  ack.rank = 3;
+  const std::vector<std::uint8_t> payload = net::wire::encode_hello_ack(ack);
+  const std::vector<std::uint8_t> golden = bytes({
+      0x4D, 0x45, 0x43, 0x54,  // "MECT"
+      0x01, 0x00, 0x00, 0x00,  // schema revision 1
+      0x03, 0x00, 0x00, 0x00,  // rank echo
+  });
+  EXPECT_EQ(payload, golden);
+  EXPECT_EQ(payload.size(), net::wire::kHelloAckWireSize);
+  const net::wire::HelloAck back = net::wire::decode_hello_ack(payload);
+  EXPECT_EQ(back.revision, net::wire::kSchemaRevision);
+  EXPECT_EQ(back.rank, 3u);
+}
+
+TEST(NetWire, HelloRejectsABadMagicNamingTheExpectation) {
+  // An HTTP client (or any non-mec peer) that happens to frame correctly
+  // still dies at the magic, with a diagnostic a human can act on.
+  std::vector<std::uint8_t> payload = net::wire::encode_hello({});
+  payload[0] = 'H';
+  payload[1] = 'T';
+  payload[2] = 'T';
+  payload[3] = 'P';
+  const std::string what =
+      thrown_message([&] { net::wire::decode_hello(payload); });
+  EXPECT_NE(what.find("magic mismatch"), std::string::npos) << what;
+  EXPECT_NE(what.find("not a mec transport endpoint"), std::string::npos)
+      << what;
+  EXPECT_NE(what.find("MECT"), std::string::npos) << what;
+}
+
+TEST(NetWire, HelloRejectsTruncationAndTrailingBytes) {
+  std::vector<std::uint8_t> payload = net::wire::encode_hello({});
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(payload.data(), cut);
+    EXPECT_THROW(net::wire::decode_hello(prefix), RuntimeError)
+        << "cut=" << cut;
+  }
+  payload.push_back(0x00);
+  const std::string what =
+      thrown_message([&] { net::wire::decode_hello(payload); });
+  EXPECT_NE(what.find("trailing bytes"), std::string::npos) << what;
+  std::vector<std::uint8_t> ack = net::wire::encode_hello_ack({});
+  ack.push_back(0x00);
+  EXPECT_THROW(net::wire::decode_hello_ack(ack), RuntimeError);
+}
+
+/// A two-rank population whose rank 1 owns shards [2, 4) of 4 and devices
+/// [2, 5) of 5 — small enough to write the golden bytes by hand, rich
+/// enough to cover every field (faults on, empirical latency data).
+net::wire::WorkerPopulation sample_population() {
+  net::wire::WorkerPopulation pop;
+  pop.rank = 1;
+  pop.ranks = 2;
+  pop.seed = 0x0123456789ABCDEFull;
+  pop.n_devices = 5;
+  pop.n_initial = 4;
+  pop.n_clusters = 2;
+  pop.shard_count = 4;
+  pop.shard_lo = 2;
+  pop.shard_hi = 4;
+  pop.device_lo = 2;
+  pop.device_hi = 5;
+  pop.warmup = 1.5;
+  pop.t_end = 40.0;
+  pop.has_fixed_gamma = true;
+  pop.fixed_delay = 0.75;
+  pop.with_faults = true;
+  pop.service.kind = sim::SamplerSpec::Kind::kErlang;
+  pop.service.param = 4.0;
+  pop.latency.kind = sim::SamplerSpec::Kind::kEmpirical;
+  pop.latency.data = {0.25, 1.0};
+  for (std::size_t i = 0; i < 3; ++i) {
+    core::UserParams u;
+    u.arrival_rate = 1.0 + static_cast<double>(i);
+    u.service_rate = 3.0;
+    u.offload_latency = 0.2;
+    u.energy_local = 1.0;
+    u.energy_offload = 0.5;
+    pop.users.push_back(u);
+    pop.rng_states.push_back({10 * i + 1, 10 * i + 2, 10 * i + 3, 10 * i + 4});
+  }
+  fault::ResolvedAction a;
+  a.time = 12.0;
+  a.kind = fault::FaultKind::kOutageBegin;
+  a.device = fault::ResolvedAction::kNoDevice;
+  a.value = 0.4;
+  a.outage_mode = fault::OutageMode::kPenalty;
+  a.cluster = 1;
+  a.effective = true;
+  a.active_after = 3;
+  pop.actions.push_back(a);
+  return pop;
+}
+
+std::vector<std::uint8_t> golden_population_bytes(
+    const net::wire::WorkerPopulation& pop) {
+  std::vector<std::uint8_t> out;
+  append_u32_le(out, pop.rank);
+  append_u32_le(out, pop.ranks);
+  append_u64_le(out, pop.seed);
+  append_u32_le(out, pop.n_devices);
+  append_u32_le(out, pop.n_initial);
+  append_u32_le(out, pop.n_clusters);
+  append_u32_le(out, pop.shard_count);
+  append_u32_le(out, pop.shard_lo);
+  append_u32_le(out, pop.shard_hi);
+  append_u32_le(out, pop.device_lo);
+  append_u32_le(out, pop.device_hi);
+  append_f64_le(out, pop.warmup);
+  append_f64_le(out, pop.t_end);
+  out.push_back(pop.has_fixed_gamma ? 1 : 0);
+  append_f64_le(out, pop.fixed_delay);
+  out.push_back(pop.with_faults ? 1 : 0);
+  for (const sim::SamplerSpec* spec : {&pop.service, &pop.latency}) {
+    out.push_back(static_cast<std::uint8_t>(spec->kind));
+    append_f64_le(out, spec->param);
+    append_u32_le(out, static_cast<std::uint32_t>(spec->data.size()));
+    for (const double v : spec->data) append_f64_le(out, v);
+  }
+  append_u32_le(out, static_cast<std::uint32_t>(pop.users.size()));
+  for (const core::UserParams& u : pop.users) {
+    append_f64_le(out, u.arrival_rate);
+    append_f64_le(out, u.service_rate);
+    append_f64_le(out, u.offload_latency);
+    append_f64_le(out, u.energy_local);
+    append_f64_le(out, u.energy_offload);
+    append_f64_le(out, u.weight);
+  }
+  append_u32_le(out, static_cast<std::uint32_t>(pop.rng_states.size()));
+  for (const auto& s : pop.rng_states)
+    for (const std::uint64_t word : s) append_u64_le(out, word);
+  append_u32_le(out, static_cast<std::uint32_t>(pop.actions.size()));
+  for (const fault::ResolvedAction& a : pop.actions) {
+    append_f64_le(out, a.time);
+    out.push_back(static_cast<std::uint8_t>(a.kind));
+    append_u32_le(out, a.device);
+    append_f64_le(out, a.value);
+    out.push_back(static_cast<std::uint8_t>(a.outage_mode));
+    append_u16_le(out, a.cluster);
+    out.push_back(a.effective ? 1 : 0);
+    append_u32_le(out, a.active_after);
+  }
+  return out;
+}
+
+TEST(NetWire, PopulationMatchesTheGoldenBytes) {
+  const net::wire::WorkerPopulation pop = sample_population();
+  const std::vector<std::uint8_t> payload = net::wire::encode_population(pop);
+  EXPECT_EQ(payload, golden_population_bytes(pop));
+}
+
+TEST(NetWire, PopulationRoundTripsBitIdentically) {
+  std::mt19937_64 gen(20260808);
+  std::uniform_real_distribution<double> real(0.01, 10.0);
+  net::wire::WorkerPopulation pop = sample_population();
+  pop.users.clear();
+  pop.rng_states.clear();
+  for (std::size_t i = 0; i < 3; ++i) {
+    core::UserParams u;
+    u.arrival_rate = real(gen);
+    u.service_rate = real(gen);
+    u.offload_latency = real(gen);
+    u.energy_local = real(gen);
+    u.energy_offload = real(gen);
+    u.weight = real(gen);
+    pop.users.push_back(u);
+    pop.rng_states.push_back({gen(), gen(), gen(), gen()});
+  }
+  const std::vector<std::uint8_t> payload = net::wire::encode_population(pop);
+  const net::wire::WorkerPopulation back =
+      net::wire::decode_population(payload);
+  // Re-encoding the decode must reproduce the exact bytes: nothing on this
+  // path may truncate, reorder, or renormalize (rng state words and f64 bit
+  // patterns included).
+  EXPECT_EQ(net::wire::encode_population(back), payload);
+  EXPECT_EQ(back.rank, pop.rank);
+  EXPECT_EQ(back.seed, pop.seed);
+  EXPECT_EQ(back.rng_states, pop.rng_states);
+  EXPECT_EQ(back.latency.data, pop.latency.data);
+  EXPECT_TRUE(back.service == pop.service);
+}
+
+TEST(NetWire, PopulationFrameSurvivesTheEnvelopeBatteries) {
+  // Through the shared envelope: truncation at every byte boundary and
+  // corruption at every payload/CRC position must refuse loudly, exactly as
+  // for barrier frames (the daemon reads populations with the same decoder).
+  const std::vector<std::uint8_t> payload =
+      net::wire::encode_population(sample_population());
+  const std::vector<std::uint8_t> frame =
+      wire::encode_frame(wire::kFramePopulation, payload);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(frame.data(), cut);
+    EXPECT_THROW(wire::decode_frame(prefix), RuntimeError) << "cut=" << cut;
+  }
+  for (std::size_t pos = 8; pos < frame.size(); pos += 7) {
+    std::vector<std::uint8_t> corrupt = frame;
+    corrupt[pos] ^= 0x01;
+    const std::string what =
+        thrown_message([&] { wire::decode_frame(corrupt); });
+    EXPECT_NE(what.find("CRC mismatch"), std::string::npos)
+        << "pos=" << pos << " what=" << what;
+  }
+}
+
+TEST(NetWire, PopulationRejectsTruncationAtEveryByteBoundary) {
+  const std::vector<std::uint8_t> payload =
+      net::wire::encode_population(sample_population());
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(payload.data(), cut);
+    EXPECT_THROW(net::wire::decode_population(prefix), RuntimeError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(NetWire, PopulationRejectsInconsistentAssignments) {
+  {
+    net::wire::WorkerPopulation pop = sample_population();
+    pop.rank = 2;  // == ranks
+    const std::string what = thrown_message(
+        [&] { net::wire::decode_population(net::wire::encode_population(pop)); });
+    EXPECT_NE(what.find("assigns rank 2 of 2"), std::string::npos) << what;
+  }
+  {
+    net::wire::WorkerPopulation pop = sample_population();
+    pop.shard_lo = 4;  // empty slice
+    const std::string what = thrown_message(
+        [&] { net::wire::decode_population(net::wire::encode_population(pop)); });
+    EXPECT_NE(what.find("invalid shard slice"), std::string::npos) << what;
+  }
+  {
+    net::wire::WorkerPopulation pop = sample_population();
+    pop.device_hi = 9;  // beyond n_devices
+    EXPECT_THROW(
+        net::wire::decode_population(net::wire::encode_population(pop)),
+        RuntimeError);
+  }
+  {
+    net::wire::WorkerPopulation pop = sample_population();
+    pop.users.pop_back();  // 2 users for a 3-device slice
+    const std::string what = thrown_message(
+        [&] { net::wire::decode_population(net::wire::encode_population(pop)); });
+    EXPECT_NE(what.find("slice arrays"), std::string::npos) << what;
+  }
+  {
+    net::wire::WorkerPopulation pop = sample_population();
+    pop.with_faults = false;  // but actions still present
+    const std::string what = thrown_message(
+        [&] { net::wire::decode_population(net::wire::encode_population(pop)); });
+    EXPECT_NE(what.find("with_faults is off"), std::string::npos) << what;
+  }
+  {
+    net::wire::WorkerPopulation pop = sample_population();
+    pop.service.kind = static_cast<sim::SamplerSpec::Kind>(9);
+    const std::string what = thrown_message(
+        [&] { net::wire::decode_population(net::wire::encode_population(pop)); });
+    EXPECT_NE(what.find("unknown sampler kind 9"), std::string::npos) << what;
+  }
+  {
+    net::wire::WorkerPopulation pop = sample_population();
+    pop.actions[0].kind = static_cast<fault::FaultKind>(200);
+    const std::string what = thrown_message(
+        [&] { net::wire::decode_population(net::wire::encode_population(pop)); });
+    EXPECT_NE(what.find("unknown fault kind 200"), std::string::npos) << what;
+  }
+  {
+    std::vector<std::uint8_t> payload =
+        net::wire::encode_population(sample_population());
+    payload.push_back(0x00);
+    const std::string what =
+        thrown_message([&] { net::wire::decode_population(payload); });
+    EXPECT_NE(what.find("trailing bytes"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

@@ -43,6 +43,8 @@
 #include "mec/io/csv.hpp"
 #include "mec/io/json.hpp"
 #include "mec/io/table.hpp"
+#include "mec/net/address.hpp"
+#include "mec/net/worker.hpp"
 #include "mec/obs/tail.hpp"
 #include "mec/parallel/replication.hpp"
 #include "mec/parallel/sequential.hpp"
@@ -68,6 +70,7 @@ commands:
   closedloop  run Algorithm 1 live inside the simulator
   compare   DTU vs probabilistic baselines
   tail      view a .meclog telemetry stream (live or post-hoc)
+  worker    serve simulation ranks to a remote coordinator over TCP
 
 common flags:
   --scenario=<theoretical|comparison|practical>   (default theoretical)
@@ -79,12 +82,21 @@ sharded execution (simulate, closedloop):
   --shards=<k>                   partition one run's devices over k event
                                  queues (bit-identical for any k; default
                                  honors MEC_SHARDS, then 1)
-  --transport=<inproc|process>   run shard legs in this process (default)
-                                 or in forked worker processes; results
-                                 are byte-identical either way
+  --transport=<inproc|process|tcp>  run shard legs in this process
+                                 (default), in forked worker processes, or
+                                 in `mec worker` daemons reached over TCP;
+                                 results are byte-identical in every case
   --workers=<w>                  worker-process count for
                                  --transport=process (default 2, capped at
                                  the shard count)
+  --workers=<host:port,...>      for --transport=tcp: one `mec worker`
+                                 daemon address per rank
+
+worker daemon:
+  mec worker --listen=<host:port> [--max-runs=<n>] [--quiet=<0|1>]
+                                 serve simulation ranks on host:port; one
+                                 run per coordinator connection, forever
+                                 unless --max-runs is set
 
 multi-cluster edge (simulate):
   --clusters=<k>                 split the edge capacity over k clusters
@@ -136,7 +148,31 @@ run `mec <command> --help` for command-specific flags.
 sim::TransportKind parse_transport(const std::string& name) {
   if (name == "inproc") return sim::TransportKind::kInProcess;
   if (name == "process") return sim::TransportKind::kProcess;
-  throw RuntimeError("unknown --transport '" + name + "' (inproc|process)");
+  if (name == "tcp") return sim::TransportKind::kTcp;
+  throw RuntimeError("unknown --transport '" + name +
+                     "' (inproc|process|tcp)");
+}
+
+/// Resolves the dual-grammar --workers flag: a count for
+/// --transport=process, a host:port list for --transport=tcp, rejected for
+/// inproc.  Fills `workers` or `worker_addresses` accordingly.
+void parse_workers_flag(const io::Args& args, sim::TransportKind transport,
+                        std::size_t& workers,
+                        std::vector<std::string>& worker_addresses) {
+  if (transport == sim::TransportKind::kTcp) {
+    if (!args.has("workers"))
+      throw RuntimeError(
+          "--transport=tcp needs --workers=<host:port,host:port,...> (one "
+          "mec worker daemon per rank)");
+    for (const net::Address& a :
+         net::parse_worker_list(args.get_string("workers", "")))
+      worker_addresses.push_back(a.str());
+    return;
+  }
+  if (args.has("workers") && transport != sim::TransportKind::kProcess)
+    throw RuntimeError(
+        "--workers only applies to --transport=process or --transport=tcp");
+  workers = static_cast<std::size_t>(args.get_long("workers", 0));
 }
 
 population::LoadRegime parse_regime(const std::string& name) {
@@ -364,20 +400,29 @@ int cmd_simulate(const io::Args& args) {
   if (args.has("window") || !so.stream_log.empty())
     so.sample_interval = args.get_double("window", 1.0);
   so.transport = parse_transport(args.get_string("transport", "inproc"));
-  so.workers = static_cast<std::size_t>(args.get_long("workers", 0));
-  if (args.has("workers") && so.transport != sim::TransportKind::kProcess)
-    throw RuntimeError("--workers only applies to --transport=process");
+  parse_workers_flag(args, so.transport, so.workers, so.worker_addresses);
   so.stream_counters = args.get_long("counters", 1) != 0;
   const std::string service = args.get_string("service", "exp");
-  if (service == "erlang4")
-    so.service = sim::erlang_service(4);
-  else if (service == "hyperexp4")
-    so.service = sim::hyperexponential_service(4.0);
-  else if (service == "empirical")
-    so.service =
-        sim::empirical_service(random::synthetic_yolo_processing_times());
-  else if (service != "exp")
+  // TCP ranks rebuild their samplers from wire-describable specs; the
+  // other transports keep taking the factory closures directly.  Either
+  // route materializes the same sampler, so results do not depend on it.
+  sim::SamplerSpec service_spec;
+  if (service == "erlang4") {
+    service_spec.kind = sim::SamplerSpec::Kind::kErlang;
+    service_spec.param = 4.0;
+  } else if (service == "hyperexp4") {
+    service_spec.kind = sim::SamplerSpec::Kind::kHyperExponential;
+    service_spec.param = 4.0;
+  } else if (service == "empirical") {
+    service_spec.kind = sim::SamplerSpec::Kind::kEmpirical;
+    service_spec.data = random::synthetic_yolo_processing_times().samples();
+  } else if (service != "exp") {
     throw RuntimeError("unknown --service (exp|erlang4|hyperexp4|empirical)");
+  }
+  if (so.transport == sim::TransportKind::kTcp)
+    so.service_spec = service_spec;
+  else if (service != "exp")
+    so.service = sim::make_service_sampler(service_spec);
 
   std::vector<double> xs(mfne.thresholds.begin(), mfne.thresholds.end());
   if (faults && faults->churn_arrivals() > 0) {
@@ -389,11 +434,11 @@ int cmd_simulate(const io::Args& args) {
   const std::string policy = args.get_string("policy", "tro");
   if (policy != "tro" && policy != "price" && policy != "minority")
     throw RuntimeError("unknown --policy (tro|price|minority)");
-  if (so.transport == sim::TransportKind::kProcess && policy != "tro")
+  if (so.transport != sim::TransportKind::kInProcess && policy != "tro")
     throw RuntimeError(
-        "--transport=process requires --policy=tro (the price and minority "
-        "controllers retune virtual policies that cannot cross a process "
-        "boundary)");
+        "--transport=process and --transport=tcp require --policy=tro (the "
+        "price and minority controllers retune virtual policies that cannot "
+        "cross a process or machine boundary)");
   if (policy != "tro") {
     if (args.has("replications") || args.has("target-ci") ||
         args.has("target-rel"))
@@ -459,12 +504,12 @@ int cmd_simulate(const io::Args& args) {
   const auto replications =
       static_cast<std::size_t>(args.get_long("replications", 1));
   const bool sequential = args.has("target-ci") || args.has("target-rel");
-  if (so.transport == sim::TransportKind::kProcess &&
+  if (so.transport != sim::TransportKind::kInProcess &&
       (sequential || replications > 1))
     throw RuntimeError(
-        "--transport=process runs a single simulation; replicated runs "
-        "already parallelize across replicas (drop --transport or the "
-        "replication flags)");
+        "--transport=process and --transport=tcp run a single simulation; "
+        "replicated runs already parallelize across replicas (drop "
+        "--transport or the replication flags)");
   if (sequential) {
     if (!so.stream_log.empty())
       throw RuntimeError(
@@ -546,9 +591,7 @@ int cmd_closedloop(const io::Args& args) {
   if (args.has("window") || !opt.stream_log.empty())
     opt.sample_interval = args.get_double("window", 1.0);
   opt.transport = parse_transport(args.get_string("transport", "inproc"));
-  opt.workers = static_cast<std::size_t>(args.get_long("workers", 0));
-  if (args.has("workers") && opt.transport != sim::TransportKind::kProcess)
-    throw RuntimeError("--workers only applies to --transport=process");
+  parse_workers_flag(args, opt.transport, opt.workers, opt.worker_addresses);
   opt.stream_counters = args.get_long("counters", 1) != 0;
   const double async = args.get_double("async", 1.0);
   if (async < 1.0) opt.update_gate = core::make_bernoulli_gate(async, 1);
@@ -602,6 +645,26 @@ int cmd_closedloop(const io::Args& args) {
                   e.gamma_measured, e.gamma_hat, e.eta);
   }
   return 0;
+}
+
+int cmd_worker(const io::Args& args) {
+  args.reject_unknown({"listen", "max-runs", "quiet", "help"});
+  if (!args.has("listen"))
+    throw RuntimeError(
+        "usage: mec worker --listen=<host:port> [--max-runs=<n>] "
+        "[--quiet=<0|1>]");
+  net::WorkerDaemon::Options opt;
+  // Port 0 binds an ephemeral port (logged at startup) — handy for tests
+  // and for running several daemons on one host without picking ports.
+  opt.listen = net::parse_address(args.get_string("listen", ""),
+                                  /*allow_port_zero=*/true);
+  const long max_runs = args.get_long("max-runs", 0);
+  if (max_runs < 0)
+    throw RuntimeError("--max-runs must be >= 0 (0 = serve forever)");
+  opt.max_runs = static_cast<std::size_t>(max_runs);
+  opt.quiet = args.get_long("quiet", 0) != 0;
+  net::WorkerDaemon daemon(opt);
+  return daemon.serve();
 }
 
 int cmd_tail(const io::Args& args, const std::string& positional_path) {
@@ -684,6 +747,7 @@ int main(int argc, char** argv) {
     if (args.command() == "closedloop") return cmd_closedloop(args);
     if (args.command() == "compare") return cmd_compare(args);
     if (args.command() == "tail") return cmd_tail(args, tail_path);
+    if (args.command() == "worker") return cmd_worker(args);
     std::fprintf(stderr, "unknown command '%s'\n%s", args.command().c_str(),
                  kUsage);
     return 1;
